@@ -1,0 +1,91 @@
+//! E10 — controller overhead microbenchmarks: per-feedback and
+//! per-frame cost of the adaptive controller, plus encoder and GCC
+//! costs for scale. The paper's mechanism must be (and is) cheap enough
+//! to run on every feedback report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ravel_cc::{CongestionController, Gcc, GccConfig};
+use ravel_codec::{Encoder, EncoderConfig};
+use ravel_core::{AdaptiveConfig, AdaptiveController};
+use ravel_net::{FeedbackReport, PacketResult};
+use ravel_sim::Time;
+use ravel_video::{ContentClass, Resolution, VideoSource};
+use std::hint::black_box;
+
+fn report(seq0: u64, t0_us: u64) -> FeedbackReport {
+    FeedbackReport {
+        generated_at: Time::from_micros(t0_us + 100_000),
+        packets: (0..40u64)
+            .map(|i| PacketResult {
+                seq: seq0 + i,
+                send_time: Time::from_micros(t0_us + i * 2_500),
+                arrival: Some(Time::from_micros(t0_us + i * 2_500 + 20_000)),
+                size_bytes: 1250,
+            })
+            .collect(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_overhead");
+
+    g.bench_function("controller_on_feedback", |b| {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
+        let mut enc = Encoder::new(EncoderConfig::rtc(4e6, 30));
+        let mut seq = 0u64;
+        let mut t_us = 0u64;
+        b.iter(|| {
+            let r = report(seq, t_us);
+            seq += 40;
+            t_us += 100_000;
+            ctl.on_feedback(&r, 4e6, Time::from_micros(t_us), &mut enc);
+            black_box(&ctl);
+        })
+    });
+
+    g.bench_function("controller_on_frame", |b| {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
+        let mut enc = Encoder::new(EncoderConfig::rtc(4e6, 30));
+        let mut src = VideoSource::new(
+            ContentClass::TalkingHead.profile(),
+            Resolution::P720,
+            30,
+            1,
+        );
+        b.iter(|| {
+            let f = src.next_frame();
+            black_box(ctl.on_frame(&f, f.pts, &mut enc));
+        })
+    });
+
+    g.bench_function("encoder_encode_frame", |b| {
+        let mut enc = Encoder::new(EncoderConfig::rtc(4e6, 30));
+        let mut src = VideoSource::new(
+            ContentClass::TalkingHead.profile(),
+            Resolution::P720,
+            30,
+            2,
+        );
+        b.iter(|| {
+            let f = src.next_frame();
+            black_box(enc.encode(&f, f.pts));
+        })
+    });
+
+    g.bench_function("gcc_on_feedback", |b| {
+        let mut gcc = Gcc::new(GccConfig::new(4e6));
+        let mut seq = 0u64;
+        let mut t_us = 0u64;
+        b.iter(|| {
+            let r = report(seq, t_us);
+            seq += 40;
+            t_us += 100_000;
+            black_box(gcc.on_feedback(&r, Time::from_micros(t_us)));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! E11 — lossy-link robustness table (NACK/RTX on/off).
+
+use ravel_bench::e11_loss_robustness;
+
+fn main() {
+    println!("\n=== E11: random loss x RTX x scheme (4->1 Mbps drop) ===\n");
+    println!("{}", e11_loss_robustness().render());
+}

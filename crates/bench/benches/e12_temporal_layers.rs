@@ -1,0 +1,8 @@
+//! E12 — temporal-scalability extension table.
+
+use ravel_bench::e12_temporal_layers;
+
+fn main() {
+    println!("\n=== E12: temporal layers (hierarchical-P) x scheme ===\n");
+    println!("{}", e12_temporal_layers().render());
+}

@@ -1,0 +1,8 @@
+//! E13 — audio-protection table: audio latency across the drop.
+
+use ravel_bench::e13_audio_protection;
+
+fn main() {
+    println!("\n=== E13: audio latency through the drop (audio shares the bottleneck) ===\n");
+    println!("{}", e13_audio_protection().render());
+}

@@ -1,0 +1,8 @@
+//! E14 — loss-recovery strategy comparison (none / RTX / FEC / both).
+
+use ravel_bench::e14_loss_recovery_strategies;
+
+fn main() {
+    println!("\n=== E14: loss-recovery strategies on a lossy link (adaptive, 4->1 drop) ===\n");
+    println!("{}", e14_loss_recovery_strategies().render());
+}

@@ -1,0 +1,8 @@
+//! E15 — drop-triggered vs continuous (Salsify-flavoured) control.
+
+use ravel_bench::e15_control_architectures;
+
+fn main() {
+    println!("\n=== E15: control architectures (baseline / drop-triggered / continuous) ===\n");
+    println!("{}", e15_control_architectures().render());
+}

@@ -1,0 +1,8 @@
+//! E16 — recovery speed after the capacity returns (probing extension).
+
+use ravel_bench::e16_recovery_probing;
+
+fn main() {
+    println!("\n=== E16: recovery after drop-and-recover (4->1->4 Mbps) ===\n");
+    println!("{}", e16_recovery_probing().render());
+}

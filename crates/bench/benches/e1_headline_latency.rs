@@ -1,0 +1,35 @@
+//! E1 — the headline latency table (paper claim: latency reduced by
+//! 28.66%–78.87%). Prints the table, then Criterion-times one full
+//! baseline session as a harness-throughput reference.
+
+use criterion::{criterion_group, Criterion};
+use ravel_bench::e1_headline_latency;
+
+fn print_table() {
+    println!("\n=== E1: post-drop G2G latency, baseline vs adaptive ===");
+    println!("(paper band: latency reduction 28.66%..78.87% across conditions)\n");
+    println!("{}", e1_headline_latency().render());
+}
+
+fn bench(c: &mut Criterion) {
+    use ravel_bench::common::run_drop;
+    use ravel_pipeline::Scheme;
+    use ravel_video::ContentClass;
+    let mut g = c.benchmark_group("e1");
+    g.sample_size(10);
+    g.bench_function("full_40s_session_baseline", |b| {
+        b.iter(|| run_drop(Scheme::baseline(), ContentClass::TalkingHead, 1e6))
+    });
+    g.bench_function("full_40s_session_adaptive", |b| {
+        b.iter(|| run_drop(Scheme::adaptive(), ContentClass::TalkingHead, 1e6))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

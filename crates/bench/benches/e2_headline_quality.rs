@@ -1,0 +1,10 @@
+//! E2 — the headline quality table (paper claim: video quality improved
+//! by 0.8%–3%).
+
+use ravel_bench::e2_headline_quality;
+
+fn main() {
+    println!("\n=== E2: session-wide quality, baseline vs adaptive ===");
+    println!("(paper band: SSIM improvement +0.8%..+3% at moderate severities)\n");
+    println!("{}", e2_headline_quality().render());
+}

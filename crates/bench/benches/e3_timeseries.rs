@@ -1,0 +1,9 @@
+//! E3 — the motivating time-series figure (rate/queue/latency around
+//! the drop). Prints CSV blocks for both schemes.
+
+use ravel_bench::e3_timeseries;
+
+fn main() {
+    println!("\n=== E3: time series around the 4->1 Mbps drop (CSV) ===\n");
+    println!("{}", e3_timeseries());
+}

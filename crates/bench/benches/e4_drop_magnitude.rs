@@ -1,0 +1,8 @@
+//! E4 — latency reduction vs drop magnitude (figure series).
+
+use ravel_bench::e4_drop_magnitude_sweep;
+
+fn main() {
+    println!("\n=== E4: reduction vs drop magnitude ===\n");
+    println!("{}", e4_drop_magnitude_sweep().render());
+}

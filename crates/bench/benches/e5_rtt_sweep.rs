@@ -1,0 +1,8 @@
+//! E5 — adaptation benefit vs feedback RTT (figure series).
+
+use ravel_bench::e5_rtt_sweep;
+
+fn main() {
+    println!("\n=== E5: reduction vs feedback RTT ===\n");
+    println!("{}", e5_rtt_sweep().render());
+}

@@ -1,0 +1,8 @@
+//! E6 — content-class sensitivity table.
+
+use ravel_bench::e6_content_sensitivity;
+
+fn main() {
+    println!("\n=== E6: content sensitivity (4->1 Mbps drop) ===\n");
+    println!("{}", e6_content_sensitivity().render());
+}

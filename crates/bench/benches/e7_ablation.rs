@@ -1,0 +1,8 @@
+//! E7 — mechanism ablation table.
+
+use ravel_bench::e7_ablation;
+
+fn main() {
+    println!("\n=== E7: mechanism ablation ===\n");
+    println!("{}", e7_ablation().render());
+}

@@ -1,0 +1,8 @@
+//! E8 — congestion-controller comparison table.
+
+use ravel_bench::e8_cc_comparison;
+
+fn main() {
+    println!("\n=== E8: congestion-controller comparison (4->1 Mbps drop) ===\n");
+    println!("{}", e8_cc_comparison().render());
+}

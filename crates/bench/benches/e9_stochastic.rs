@@ -1,0 +1,8 @@
+//! E9 — robustness on stochastic LTE-like traces (CDF-style table).
+
+use ravel_bench::e9_stochastic;
+
+fn main() {
+    println!("\n=== E9: stochastic LTE-like traces, 20 seeds ===\n");
+    println!("{}", e9_stochastic(20).render());
+}

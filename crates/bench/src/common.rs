@@ -1,0 +1,88 @@
+//! Shared experiment plumbing: canonical scenario constants and session
+//! helpers.
+
+use ravel_metrics::LatencySummary;
+use ravel_pipeline::{run_session, Scheme, SessionConfig, SessionResult};
+use ravel_sim::{Dur, Time};
+use ravel_trace::{BandwidthTrace, StepTrace};
+use ravel_video::ContentClass;
+
+/// The canonical drop instant: 10 s into the session, after GCC has
+/// converged.
+pub const DROP_AT: Time = Time::from_secs(10);
+
+/// The post-drop measurement window length.
+pub const POST_WINDOW: Dur = Dur::secs(8);
+
+/// The canonical pre-drop rate.
+pub const PRE_RATE: f64 = 4e6;
+
+/// Canonical session length for drop experiments.
+pub const SESSION_LEN: Dur = Dur::secs(40);
+
+/// The `[DROP_AT, DROP_AT + POST_WINDOW)` measurement window.
+pub fn window_after(result: &SessionResult) -> LatencySummary {
+    result.recorder.summarize(DROP_AT, DROP_AT + POST_WINDOW)
+}
+
+/// Runs one drop session: `PRE_RATE` falling to `after_bps` at
+/// [`DROP_AT`], under `scheme` and `content`.
+pub fn run_drop(scheme: Scheme, content: ContentClass, after_bps: f64) -> SessionResult {
+    let mut cfg = SessionConfig::default_with(scheme);
+    cfg.content = content;
+    cfg.duration = SESSION_LEN;
+    run_session(StepTrace::sudden_drop(PRE_RATE, after_bps, DROP_AT), cfg)
+}
+
+/// Runs one session over an arbitrary trace with config tweaks applied
+/// by `adjust`.
+pub fn run_with<T: BandwidthTrace>(
+    scheme: Scheme,
+    trace: T,
+    adjust: impl FnOnce(&mut SessionConfig),
+) -> SessionResult {
+    let mut cfg = SessionConfig::default_with(scheme);
+    cfg.duration = SESSION_LEN;
+    adjust(&mut cfg);
+    run_session(trace, cfg)
+}
+
+/// Percent change from `base` to `new`, negative = improvement
+/// (reduction).
+pub fn pct_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Formats a reduction (positive percentage = reduced by that much).
+pub fn fmt_reduction(base: f64, new: f64) -> String {
+    format!("{:.2}%", -pct_change(base, new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_change_signs() {
+        assert!((pct_change(100.0, 50.0) + 50.0).abs() < 1e-12);
+        assert!((pct_change(100.0, 150.0) - 50.0).abs() < 1e-12);
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn fmt_reduction_reads_positively_for_improvements() {
+        assert_eq!(fmt_reduction(100.0, 25.0), "75.00%");
+        assert_eq!(fmt_reduction(100.0, 125.0), "-25.00%");
+    }
+
+    #[test]
+    fn run_drop_is_deterministic() {
+        let a = run_drop(Scheme::adaptive(), ContentClass::TalkingHead, 1e6);
+        let b = run_drop(Scheme::adaptive(), ContentClass::TalkingHead, 1e6);
+        assert_eq!(a.recorder.records(), b.recorder.records());
+    }
+}

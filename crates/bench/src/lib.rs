@@ -1,0 +1,18 @@
+//! # ravel-bench — the experiment harness
+//!
+//! One function per experiment in DESIGN.md §5 (E1–E9; E10 is a pure
+//! Criterion microbench). Each returns the table/series the paper-style
+//! evaluation reports; the `benches/` targets print them so that
+//! `cargo bench` regenerates every table and figure, and EXPERIMENTS.md
+//! records the measured numbers next to the paper's claims.
+//!
+//! All experiments run on seeded, deterministic sessions: same binary →
+//! same numbers, down to the last digit.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{window_after, DROP_AT, POST_WINDOW};
+pub use experiments::*;

@@ -1,0 +1,186 @@
+//! Packet grouping and inter-group delay deltas (libwebrtc
+//! `InterArrival`).
+//!
+//! GCC does not estimate delay per packet — bursts sent back-to-back by
+//! the pacer would swamp the signal. Packets are grouped into *send
+//! bursts* (all packets whose send times fall within a 5 ms window), and
+//! the delay-variation signal is computed between consecutive groups:
+//!
+//! ```text
+//! d(i) = (arrival_i − arrival_{i−1}) − (send_i − send_{i−1})
+//! ```
+//!
+//! A positive `d` means the path is delivering slower than the sender is
+//! sending — the queue is growing.
+
+use ravel_sim::{Dur, Time};
+
+/// One completed group-pair measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketGroupDelta {
+    /// Arrival-time delta minus send-time delta, in milliseconds
+    /// (positive = queue growing).
+    pub delay_variation_ms: f64,
+    /// Arrival time of the newer group (x-axis for the trendline).
+    pub arrival: Time,
+    /// Send-time delta between the groups.
+    pub send_delta: Dur,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    first_send: Time,
+    last_send: Time,
+    last_arrival: Time,
+}
+
+/// Groups packets into send bursts and emits inter-group deltas.
+#[derive(Debug, Clone)]
+pub struct InterArrival {
+    burst_window: Dur,
+    current: Option<Group>,
+    previous: Option<Group>,
+}
+
+impl Default for InterArrival {
+    fn default() -> Self {
+        Self::new(Dur::millis(5))
+    }
+}
+
+impl InterArrival {
+    /// Creates a grouper with the given burst window (libwebrtc: 5 ms).
+    pub fn new(burst_window: Dur) -> InterArrival {
+        InterArrival {
+            burst_window,
+            current: None,
+            previous: None,
+        }
+    }
+
+    /// Feeds one received packet (send and arrival timestamps must be
+    /// non-decreasing — guaranteed by the FIFO link). Returns a delta
+    /// when the packet starts a new group and a previous pair exists.
+    pub fn on_packet(&mut self, send_time: Time, arrival: Time) -> Option<PacketGroupDelta> {
+        match self.current {
+            None => {
+                self.current = Some(Group {
+                    first_send: send_time,
+                    last_send: send_time,
+                    last_arrival: arrival,
+                });
+                None
+            }
+            Some(ref mut g) if send_time.saturating_since(g.first_send) <= self.burst_window => {
+                // Same burst: extend the group.
+                g.last_send = g.last_send.max(send_time);
+                g.last_arrival = g.last_arrival.max(arrival);
+                None
+            }
+            Some(g) => {
+                // New group begins; emit a delta vs. the previous group.
+                let delta = self.previous.map(|prev| {
+                    let arrival_delta =
+                        g.last_arrival.saturating_since(prev.last_arrival).as_secs_f64();
+                    let send_delta_d = g.last_send.saturating_since(prev.last_send);
+                    let send_delta = send_delta_d.as_secs_f64();
+                    PacketGroupDelta {
+                        delay_variation_ms: (arrival_delta - send_delta) * 1e3,
+                        arrival: g.last_arrival,
+                        send_delta: send_delta_d,
+                    }
+                });
+                self.previous = Some(g);
+                self.current = Some(Group {
+                    first_send: send_time,
+                    last_send: send_time,
+                    last_arrival: arrival,
+                });
+                delta
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Time {
+        Time::from_millis(v)
+    }
+
+    #[test]
+    fn needs_three_groups_for_first_delta() {
+        let mut ia = InterArrival::default();
+        assert!(ia.on_packet(ms(0), ms(20)).is_none()); // group 1
+        assert!(ia.on_packet(ms(10), ms(30)).is_none()); // group 2 starts
+        // Group 3 starts: emits delta between groups 1 and 2.
+        let d = ia.on_packet(ms(20), ms(40)).unwrap();
+        assert!((d.delay_variation_ms - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growing_queue_is_positive_variation() {
+        let mut ia = InterArrival::default();
+        // Sent every 10 ms, arriving with increasing spacing (12 ms):
+        // queue grows 2 ms per group.
+        ia.on_packet(ms(0), ms(20));
+        ia.on_packet(ms(10), ms(32));
+        let d = ia.on_packet(ms(20), ms(44)).unwrap();
+        assert!((d.delay_variation_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn draining_queue_is_negative_variation() {
+        let mut ia = InterArrival::default();
+        ia.on_packet(ms(0), ms(30));
+        ia.on_packet(ms(10), ms(37));
+        let d = ia.on_packet(ms(20), ms(44)).unwrap();
+        assert!((d.delay_variation_ms + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_packets_group_together() {
+        let mut ia = InterArrival::default();
+        // Three packets within 5 ms are one group.
+        ia.on_packet(ms(0), ms(20));
+        ia.on_packet(Time::from_micros(2_000), ms(21));
+        ia.on_packet(Time::from_micros(4_000), ms(22));
+        // Next group.
+        assert!(ia.on_packet(ms(10), ms(30)).is_none());
+        // Third group: delta between (group ending at 22ms arrival) and
+        // (group at 30ms).
+        let d = ia.on_packet(ms(20), ms(40)).unwrap();
+        // arrival delta 8 ms (22→30), send delta 6 ms (4→10).
+        assert!((d.delay_variation_ms - 2.0).abs() < 1e-9, "{d:?}");
+    }
+
+    proptest::proptest! {
+        /// With matched send/arrival spacing, every emitted delta is zero
+        /// regardless of the (positive) spacing pattern.
+        #[test]
+        fn matched_spacing_zero_delta(gaps in proptest::collection::vec(6u64..50, 3..60)) {
+            let mut ia = InterArrival::default();
+            let mut send = 0u64;
+            for &g in &gaps {
+                send += g;
+                if let Some(d) = ia.on_packet(ms(send), ms(send + 20)) {
+                    proptest::prop_assert!(d.delay_variation_ms.abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_flow_continuously() {
+        let mut ia = InterArrival::default();
+        let mut count = 0;
+        for i in 0..100u64 {
+            if ia.on_packet(ms(i * 10), ms(i * 10 + 20)).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 98);
+    }
+}

@@ -1,0 +1,61 @@
+//! # ravel-cc — congestion control for the RTC sender
+//!
+//! The baseline the paper measures against is Google Congestion Control
+//! (GCC), the delay-based controller that ships in libwebrtc. This crate
+//! is a behavioural port of its pipeline:
+//!
+//! ```text
+//! feedback → InterArrival (packet grouping)
+//!          → Trendline (delay-gradient slope)
+//!          → OveruseDetector (adaptive threshold)
+//!          → AimdRateControl (0.85× decrease / careful increase)
+//!          → min(delay-based, loss-based) target
+//! ```
+//!
+//! GCC's reaction to a sudden drop takes several feedback rounds: the
+//! trendline needs enough packet groups to see the gradient, the
+//! detector needs sustained overuse, and each AIMD decrease only cuts to
+//! 0.85× the *measured received* rate. This multi-RTT lag — on top of
+//! the encoder's own lag — is what the adaptive controller in
+//! `ravel-core` bypasses.
+//!
+//! [`baselines`] adds the two strawmen used in E8: a fixed-rate sender
+//! and a loss-only AIMD.
+
+#![warn(missing_docs)]
+
+pub mod aimd;
+pub mod baselines;
+pub mod gcc;
+pub mod interarrival;
+pub mod loss;
+pub mod throughput;
+pub mod trendline;
+
+pub use aimd::{AimdRateControl, RateControlState};
+pub use baselines::{FixedRate, NaiveAimd};
+pub use gcc::{Gcc, GccConfig};
+pub use interarrival::{InterArrival, PacketGroupDelta};
+pub use loss::LossController;
+pub use throughput::ThroughputEstimator;
+pub use trendline::{BandwidthUsage, TrendlineEstimator};
+
+use ravel_net::FeedbackReport;
+use ravel_sim::Time;
+
+/// A sender-side congestion controller driven by transport-wide feedback.
+pub trait CongestionController {
+    /// Ingests one feedback report; returns the (possibly updated) target
+    /// bitrate in bits/second.
+    fn on_feedback(&mut self, report: &FeedbackReport, now: Time) -> f64;
+
+    /// The current target bitrate in bits/second.
+    fn target_bps(&self) -> f64;
+
+    /// A short name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Downcast hook so instrumentation can reach concrete controllers
+    /// (e.g. the session recorder logging GCC's detector state).
+    fn as_any(&self) -> &dyn std::any::Any;
+}

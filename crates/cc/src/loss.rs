@@ -1,0 +1,117 @@
+//! The loss-based controller (GCC's second arm).
+//!
+//! Delay tells GCC about queue growth; loss tells it the queue already
+//! overflowed. The classic GCC loss rules (per the RMCAT draft):
+//!
+//! * loss > 10%: `target ×= (1 − 0.5·loss)`
+//! * 2% ≤ loss ≤ 10%: hold
+//! * loss < 2%: `target ×= 1.05` (gentle probe)
+//!
+//! The final GCC target is the min of the delay-based and loss-based
+//! estimates.
+
+use ravel_sim::Time;
+
+/// Loss-based target estimator.
+#[derive(Debug, Clone)]
+pub struct LossController {
+    target_bps: f64,
+    min_bps: f64,
+    max_bps: f64,
+    last_update: Option<Time>,
+}
+
+impl LossController {
+    /// Creates a loss controller starting at `start_bps`.
+    pub fn new(start_bps: f64, min_bps: f64, max_bps: f64) -> LossController {
+        assert!(min_bps > 0.0 && min_bps <= max_bps, "bad rate bounds");
+        LossController {
+            target_bps: start_bps.clamp(min_bps, max_bps),
+            min_bps,
+            max_bps,
+            last_update: None,
+        }
+    }
+
+    /// The current loss-based target.
+    pub fn target_bps(&self) -> f64 {
+        self.target_bps
+    }
+
+    /// Updates from one report's loss fraction. Increases are rate
+    /// limited to once per ~200 ms so bursts of reports don't compound.
+    pub fn update(&mut self, loss_fraction: f64, now: Time) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&loss_fraction));
+        if loss_fraction > 0.10 {
+            self.target_bps *= 1.0 - 0.5 * loss_fraction;
+            self.last_update = Some(now);
+        } else if loss_fraction < 0.02 {
+            let due = match self.last_update {
+                Some(last) => now.saturating_since(last).as_millis_f64() >= 200.0,
+                None => true,
+            };
+            if due {
+                self.target_bps *= 1.05;
+                self.last_update = Some(now);
+            }
+        } else {
+            self.last_update = Some(now);
+        }
+        self.target_bps = self.target_bps.clamp(self.min_bps, self.max_bps);
+        self.target_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn heavy_loss_cuts_rate() {
+        let mut lc = LossController::new(2e6, 0.1e6, 10e6);
+        let target = lc.update(0.2, t(100));
+        assert!((target - 2e6 * 0.9).abs() < 1.0);
+    }
+
+    #[test]
+    fn moderate_loss_holds() {
+        let mut lc = LossController::new(2e6, 0.1e6, 10e6);
+        let target = lc.update(0.05, t(100));
+        assert_eq!(target, 2e6);
+    }
+
+    #[test]
+    fn low_loss_probes_up() {
+        let mut lc = LossController::new(2e6, 0.1e6, 10e6);
+        let target = lc.update(0.0, t(100));
+        assert!((target - 2.1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn increase_is_rate_limited() {
+        let mut lc = LossController::new(2e6, 0.1e6, 10e6);
+        lc.update(0.0, t(100));
+        let after = lc.update(0.0, t(150)); // only 50 ms later
+        assert!((after - 2.1e6).abs() < 1.0, "compounded too fast: {after}");
+        let later = lc.update(0.0, t(350));
+        assert!(later > after);
+    }
+
+    #[test]
+    fn clamped_to_bounds() {
+        let mut lc = LossController::new(0.2e6, 0.1e6, 0.3e6);
+        for i in 0..50 {
+            lc.update(0.5, t(i * 100));
+        }
+        assert_eq!(lc.target_bps(), 0.1e6);
+        let mut hi = LossController::new(0.29e6, 0.1e6, 0.3e6);
+        for i in 0..50 {
+            hi.update(0.0, t(i * 300));
+        }
+        assert_eq!(hi.target_bps(), 0.3e6);
+    }
+}

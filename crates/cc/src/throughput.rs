@@ -1,0 +1,123 @@
+//! Acked-bitrate estimation over a sliding window.
+//!
+//! GCC's multiplicative decrease is anchored to the *measured delivered*
+//! rate ("acked bitrate"), not the configured target — after a capacity
+//! drop, the delivered rate is the best available estimate of the new
+//! capacity. This estimator mirrors libwebrtc's windowed bitrate
+//! estimator: bytes arriving within the trailing window, divided by the
+//! window span.
+
+use std::collections::VecDeque;
+
+use ravel_sim::{Dur, Time};
+
+/// Sliding-window delivered-throughput estimator.
+#[derive(Debug, Clone)]
+pub struct ThroughputEstimator {
+    window: Dur,
+    samples: VecDeque<(Time, u64)>,
+    bytes_in_window: u64,
+}
+
+impl ThroughputEstimator {
+    /// Creates an estimator with the given trailing window (libwebrtc
+    /// uses 500 ms–1 s).
+    pub fn new(window: Dur) -> ThroughputEstimator {
+        assert!(!window.is_zero(), "zero window");
+        ThroughputEstimator {
+            window,
+            samples: VecDeque::new(),
+            bytes_in_window: 0,
+        }
+    }
+
+    /// Records `bytes` arriving at `arrival`.
+    pub fn on_bytes(&mut self, bytes: u64, arrival: Time) {
+        self.samples.push_back((arrival, bytes));
+        self.bytes_in_window += bytes;
+        self.evict(arrival);
+    }
+
+    fn evict(&mut self, now: Time) {
+        let cutoff_time = Time::from_micros(
+            now.as_micros().saturating_sub(self.window.as_micros()),
+        );
+        while let Some(&(t, b)) = self.samples.front() {
+            if t < cutoff_time {
+                self.bytes_in_window -= b;
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Estimated delivered rate in bits/second as of `now`, or `None`
+    /// with fewer than two samples in the window.
+    pub fn rate_bps(&mut self, now: Time) -> Option<f64> {
+        self.evict(now);
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let span = now
+            .saturating_since(self.samples.front().expect("non-empty").0)
+            .max(Dur::millis(1));
+        Some(self.bytes_in_window as f64 * 8.0 / span.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_rate() {
+        let mut est = ThroughputEstimator::new(Dur::millis(500));
+        // 1250 bytes every 10 ms = 1 Mbps.
+        for i in 0..100u64 {
+            est.on_bytes(1250, Time::from_millis(i * 10));
+        }
+        let rate = est.rate_bps(Time::from_millis(1000)).unwrap();
+        assert!((rate - 1e6).abs() / 1e6 < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_follows_capacity_drop() {
+        let mut est = ThroughputEstimator::new(Dur::millis(500));
+        for i in 0..50u64 {
+            est.on_bytes(1250, Time::from_millis(i * 10)); // 1 Mbps
+        }
+        // Rate halves: packets arrive every 20 ms.
+        for i in 0..50u64 {
+            est.on_bytes(1250, Time::from_millis(500 + i * 20));
+        }
+        let rate = est.rate_bps(Time::from_millis(1500)).unwrap();
+        assert!((rate - 0.5e6).abs() / 0.5e6 < 0.15, "rate {rate}");
+    }
+
+    #[test]
+    fn needs_two_samples() {
+        let mut est = ThroughputEstimator::new(Dur::millis(500));
+        assert!(est.rate_bps(Time::from_millis(100)).is_none());
+        est.on_bytes(1250, Time::from_millis(100));
+        assert!(est.rate_bps(Time::from_millis(100)).is_none());
+        est.on_bytes(1250, Time::from_millis(110));
+        assert!(est.rate_bps(Time::from_millis(120)).is_some());
+    }
+
+    #[test]
+    fn stale_samples_evicted() {
+        let mut est = ThroughputEstimator::new(Dur::millis(500));
+        for i in 0..10u64 {
+            est.on_bytes(1250, Time::from_millis(i * 10));
+        }
+        // Long silence: everything ages out.
+        assert!(est.rate_bps(Time::from_secs(10)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero window")]
+    fn zero_window_panics() {
+        ThroughputEstimator::new(Dur::ZERO);
+    }
+}

@@ -1,0 +1,292 @@
+//! Trendline delay-gradient estimation and overuse detection
+//! (libwebrtc `TrendlineEstimator` + adaptive threshold).
+//!
+//! The estimator keeps a short window of (time, smoothed accumulated
+//! delay) points and fits a line; the slope — scaled by the number of
+//! deltas and a gain — is compared against an *adaptive* threshold γ.
+//! Sustained positive trend above γ signals overuse; below −γ signals
+//! underuse (queue draining).
+
+use std::collections::VecDeque;
+
+use ravel_sim::Time;
+
+use crate::interarrival::PacketGroupDelta;
+
+/// The detector's three-valued output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthUsage {
+    /// Queue is stable.
+    Normal,
+    /// Queue is growing: the path is over-used.
+    Overusing,
+    /// Queue is draining: the path is under-used.
+    Underusing,
+}
+
+/// Trendline estimator with libwebrtc's default tuning.
+#[derive(Debug, Clone)]
+pub struct TrendlineEstimator {
+    /// Sliding window of (arrival seconds, smoothed delay ms).
+    window: VecDeque<(f64, f64)>,
+    window_size: usize,
+    /// EWMA coefficient for the accumulated delay.
+    smoothing: f64,
+    /// Accumulated (summed) delay variation, ms.
+    accumulated_delay_ms: f64,
+    /// Smoothed accumulated delay, ms.
+    smoothed_delay_ms: f64,
+    /// Number of deltas seen so far.
+    num_deltas: u64,
+    /// Gain applied to the fitted slope (libwebrtc: 4.0).
+    threshold_gain: f64,
+    /// Adaptive threshold γ in ms (initial 12.5).
+    threshold_ms: f64,
+    /// Adaptive threshold gains (libwebrtc k_up/k_down).
+    k_up: f64,
+    k_down: f64,
+    /// Time the current overuse hypothesis started.
+    overuse_start: Option<Time>,
+    /// Sustained-overuse requirement (libwebrtc: 10 ms).
+    overuse_time_threshold_ms: f64,
+    /// Consecutive overuse samples.
+    overuse_counter: u32,
+    last_update: Option<Time>,
+    state: BandwidthUsage,
+    last_trend: f64,
+}
+
+impl Default for TrendlineEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrendlineEstimator {
+    /// Creates an estimator with libwebrtc default parameters.
+    pub fn new() -> TrendlineEstimator {
+        TrendlineEstimator {
+            window: VecDeque::new(),
+            window_size: 20,
+            smoothing: 0.9,
+            accumulated_delay_ms: 0.0,
+            smoothed_delay_ms: 0.0,
+            num_deltas: 0,
+            threshold_gain: 4.0,
+            threshold_ms: 12.5,
+            k_up: 0.0087,
+            k_down: 0.039,
+            overuse_start: None,
+            overuse_time_threshold_ms: 10.0,
+            overuse_counter: 0,
+            last_update: None,
+            state: BandwidthUsage::Normal,
+            last_trend: 0.0,
+        }
+    }
+
+    /// The current detector state.
+    pub fn state(&self) -> BandwidthUsage {
+        self.state
+    }
+
+    /// The most recent modified trend (ms).
+    pub fn modified_trend_ms(&self) -> f64 {
+        self.last_trend
+    }
+
+    /// The current adaptive threshold (ms).
+    pub fn threshold_ms(&self) -> f64 {
+        self.threshold_ms
+    }
+
+    /// Feeds one inter-group delta; returns the updated state.
+    pub fn update(&mut self, delta: &PacketGroupDelta) -> BandwidthUsage {
+        self.num_deltas += 1;
+        self.accumulated_delay_ms += delta.delay_variation_ms;
+        self.smoothed_delay_ms = self.smoothing * self.smoothed_delay_ms
+            + (1.0 - self.smoothing) * self.accumulated_delay_ms;
+
+        self.window
+            .push_back((delta.arrival.as_secs_f64(), self.smoothed_delay_ms));
+        if self.window.len() > self.window_size {
+            self.window.pop_front();
+        }
+
+        let trend = self.linear_fit_slope().unwrap_or(0.0);
+        // Modified trend: slope scaled by sample count (capped) and gain,
+        // in ms — comparable against γ.
+        let samples = (self.num_deltas.min(60)) as f64;
+        let modified_trend = trend * samples * self.threshold_gain;
+        self.last_trend = modified_trend;
+
+        self.detect(modified_trend, delta.arrival);
+        self.adapt_threshold(modified_trend, delta.arrival);
+        self.state
+    }
+
+    /// Least-squares slope of the window, in ms per second.
+    fn linear_fit_slope(&self) -> Option<f64> {
+        let n = self.window.len();
+        if n < 2 {
+            return None;
+        }
+        let (sum_x, sum_y): (f64, f64) = self
+            .window
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
+        let mean_x = sum_x / n as f64;
+        let mean_y = sum_y / n as f64;
+        let (num, den) = self.window.iter().fold((0.0, 0.0), |(num, den), &(x, y)| {
+            (num + (x - mean_x) * (y - mean_y), den + (x - mean_x).powi(2))
+        });
+        if den.abs() < 1e-12 {
+            None
+        } else {
+            // x in seconds, y in ms → slope is ms/s; scale to "ms per
+            // group" using a nominal 1 group ≈ 1/trendline-rate; libwebrtc
+            // works in ms/ms — dividing by 1000 matches its magnitude.
+            Some(num / den / 1000.0)
+        }
+    }
+
+    fn detect(&mut self, modified_trend: f64, now: Time) {
+        if modified_trend > self.threshold_ms {
+            let start = *self.overuse_start.get_or_insert(now);
+            self.overuse_counter += 1;
+            let sustained_ms = now.saturating_since(start).as_millis_f64();
+            if sustained_ms >= self.overuse_time_threshold_ms && self.overuse_counter > 1 {
+                self.state = BandwidthUsage::Overusing;
+            }
+        } else if modified_trend < -self.threshold_ms {
+            self.overuse_start = None;
+            self.overuse_counter = 0;
+            self.state = BandwidthUsage::Underusing;
+        } else {
+            self.overuse_start = None;
+            self.overuse_counter = 0;
+            self.state = BandwidthUsage::Normal;
+        }
+    }
+
+    /// Adapts γ toward |trend| (fast down, slow up) so transient spikes
+    /// do not permanently desensitize the detector.
+    fn adapt_threshold(&mut self, modified_trend: f64, now: Time) {
+        let dt_ms = match self.last_update {
+            Some(last) => now.saturating_since(last).as_millis_f64().min(100.0),
+            None => 100.0,
+        };
+        self.last_update = Some(now);
+        let abs_trend = modified_trend.abs();
+        // libwebrtc ignores samples far above the threshold to avoid
+        // adapting to its own overuse.
+        if abs_trend > self.threshold_ms + 15.0 {
+            return;
+        }
+        let k = if abs_trend < self.threshold_ms {
+            self.k_down
+        } else {
+            self.k_up
+        };
+        self.threshold_ms += k * (abs_trend - self.threshold_ms) * dt_ms;
+        self.threshold_ms = self.threshold_ms.clamp(6.0, 600.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ravel_sim::Dur;
+
+    fn delta(var_ms: f64, at_ms: u64) -> PacketGroupDelta {
+        PacketGroupDelta {
+            delay_variation_ms: var_ms,
+            arrival: Time::from_millis(at_ms),
+            send_delta: Dur::millis(10),
+        }
+    }
+
+    #[test]
+    fn stable_path_is_normal() {
+        let mut est = TrendlineEstimator::new();
+        for i in 0..100 {
+            let s = est.update(&delta(0.0, i * 10));
+            assert_eq!(s, BandwidthUsage::Normal);
+        }
+    }
+
+    #[test]
+    fn growing_queue_detected_as_overuse() {
+        let mut est = TrendlineEstimator::new();
+        // Warm up stable.
+        for i in 0..30 {
+            est.update(&delta(0.0, i * 10));
+        }
+        // Queue grows 5 ms per group — a clear capacity drop signature.
+        let mut overused = false;
+        for i in 30..60 {
+            if est.update(&delta(5.0, i * 10)) == BandwidthUsage::Overusing {
+                overused = true;
+                break;
+            }
+        }
+        assert!(overused, "never detected overuse; trend {}", est.modified_trend_ms());
+    }
+
+    #[test]
+    fn draining_queue_detected_as_underuse() {
+        let mut est = TrendlineEstimator::new();
+        for i in 0..30 {
+            est.update(&delta(0.0, i * 10));
+        }
+        let mut underused = false;
+        for i in 30..60 {
+            if est.update(&delta(-5.0, i * 10)) == BandwidthUsage::Underusing {
+                underused = true;
+                break;
+            }
+        }
+        assert!(underused);
+    }
+
+    #[test]
+    fn overuse_requires_sustained_trend() {
+        let mut est = TrendlineEstimator::new();
+        for i in 0..30 {
+            est.update(&delta(0.0, i * 10));
+        }
+        // One spiky group must not trigger.
+        let s = est.update(&delta(30.0, 300));
+        assert_ne!(s, BandwidthUsage::Overusing);
+    }
+
+    #[test]
+    fn threshold_adapts_down_on_quiet_path() {
+        let mut est = TrendlineEstimator::new();
+        let initial = est.threshold_ms();
+        for i in 0..300 {
+            est.update(&delta(0.0, i * 10));
+        }
+        assert!(est.threshold_ms() < initial);
+        assert!(est.threshold_ms() >= 6.0);
+    }
+
+    #[test]
+    fn recovery_returns_to_normal() {
+        let mut est = TrendlineEstimator::new();
+        for i in 0..30 {
+            est.update(&delta(0.0, i * 10));
+        }
+        for i in 30..60 {
+            est.update(&delta(5.0, i * 10));
+        }
+        // Drain, then stabilize.
+        for i in 60..90 {
+            est.update(&delta(-5.0, i * 10));
+        }
+        for i in 90..150 {
+            est.update(&delta(0.0, i * 10));
+        }
+        assert_eq!(est.state(), BandwidthUsage::Normal);
+    }
+}

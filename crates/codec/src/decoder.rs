@@ -1,0 +1,308 @@
+//! The decoder model: reference-chain integrity and display outcomes.
+//!
+//! The decoder does not reconstruct pixels; it tracks the one property
+//! that matters for end-to-end quality: *can this frame be decoded at
+//! all?* A P-frame is decodable only if its reference (the previous
+//! decoded frame) was decoded; an I-frame always is. A frame that is
+//! lost in the network, or arrives after its playout deadline, breaks
+//! the chain for every P-frame behind it until the next I-frame.
+//!
+//! While the chain is broken the receiver *freezes*: it keeps displaying
+//! the last good frame. The quality cost of a freeze grows with the
+//! content's temporal complexity (a frozen talking head is barely
+//! noticeable for one frame; frozen sports is not) — this is how the
+//! baseline's overshoot-induced losses turn into the measured SSIM gap.
+
+use crate::frame::{EncodedFrame, FrameType};
+
+/// What happened to one frame at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodeOutcome {
+    /// Decoded and displayed; carries the encode SSIM.
+    Displayed {
+        /// Encode quality of the displayed frame.
+        ssim: f64,
+    },
+    /// The frame was undecodable (lost, late, or broken reference);
+    /// the previous image stays on screen. Carries the modelled SSIM of
+    /// the *stale* image vs. the current source frame.
+    Frozen {
+        /// Quality of the stale display vs. the live content.
+        ssim: f64,
+    },
+}
+
+impl DecodeOutcome {
+    /// The SSIM the viewer experienced for this frame slot.
+    pub fn displayed_ssim(self) -> f64 {
+        match self {
+            DecodeOutcome::Displayed { ssim } | DecodeOutcome::Frozen { ssim } => ssim,
+        }
+    }
+
+    /// True if the viewer saw a fresh frame.
+    pub fn is_displayed(self) -> bool {
+        matches!(self, DecodeOutcome::Displayed { .. })
+    }
+}
+
+/// Reference-chain tracking decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// Index of the last successfully decoded frame.
+    last_decoded: Option<u64>,
+    /// True when a P-frame's reference is missing; cleared by an I-frame.
+    chain_broken: bool,
+    /// SSIM of the image currently on screen (vs. its own source frame).
+    screen_ssim: f64,
+    /// Per-missing-frame SSIM decay rate, scaled by temporal complexity.
+    freeze_decay_per_frame: f64,
+    frames_frozen_run: u64,
+    total_frozen: u64,
+    total_displayed: u64,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decoder {
+    /// Creates a decoder with the default freeze-decay model.
+    pub fn new() -> Decoder {
+        Decoder {
+            last_decoded: None,
+            chain_broken: false,
+            screen_ssim: 0.0,
+            freeze_decay_per_frame: 0.05,
+            frames_frozen_run: 0,
+            total_frozen: 0,
+            total_displayed: 0,
+        }
+    }
+
+    /// Count of frame slots that froze.
+    pub fn total_frozen(&self) -> u64 {
+        self.total_frozen
+    }
+
+    /// Count of frame slots that displayed fresh frames.
+    pub fn total_displayed(&self) -> u64 {
+        self.total_displayed
+    }
+
+    /// True if the next P-frame cannot be decoded.
+    pub fn chain_broken(&self) -> bool {
+        self.chain_broken
+    }
+
+    /// Feeds a frame that arrived *after its playout deadline*: the
+    /// decoder decodes it (the reference chain stays healthy and the
+    /// screen updates), but what the viewer sees at this slot's moment is
+    /// `staleness_frames` behind the live scene. The quality penalty
+    /// grows with motion and saturates — a talking head that is 1 s
+    /// stale looks about as wrong as one 0.5 s stale.
+    pub fn feed_late(
+        &mut self,
+        frame: &EncodedFrame,
+        staleness_frames: f64,
+        temporal_complexity: f64,
+    ) -> DecodeOutcome {
+        // Decode bookkeeping: the chain advances exactly as for an
+        // on-time frame.
+        if frame.frame_type.is_intra() {
+            self.chain_broken = false;
+        }
+        let decodable = match frame.frame_type {
+            FrameType::I => true,
+            FrameType::P => !self.chain_broken && self.last_decoded.is_some(),
+        };
+        if !decodable {
+            self.chain_broken = true;
+            return self.feed(None, true, temporal_complexity);
+        }
+        self.last_decoded = Some(frame.index);
+        self.screen_ssim = frame.ssim;
+        self.frames_frozen_run = 0;
+        self.total_frozen += 1;
+        let slope = self.freeze_decay_per_frame * temporal_complexity.max(0.05);
+        let max_penalty = 0.25;
+        let penalty =
+            max_penalty * (1.0 - (-staleness_frames.max(0.0) * slope / max_penalty).exp());
+        DecodeOutcome::Frozen {
+            ssim: (frame.ssim - penalty).max(0.2),
+        }
+    }
+
+    /// Feeds a slot the *sender* deliberately skipped: the display
+    /// freezes for one slot, but the reference chain is intact — the
+    /// encoder's next P-frame references the last *encoded* frame, which
+    /// the receiver has. (Contrast with a lost/late frame, which removes
+    /// a reference the following P-frames need.)
+    pub fn feed_sender_skip(&mut self, temporal_complexity: f64) -> DecodeOutcome {
+        self.frames_frozen_run += 1;
+        self.total_frozen += 1;
+        let decay = self.freeze_decay_per_frame * temporal_complexity.max(0.05);
+        let ssim = (self.screen_ssim - decay * self.frames_frozen_run as f64).max(0.2);
+        DecodeOutcome::Frozen { ssim }
+    }
+
+    /// Feeds the next frame slot to the decoder.
+    ///
+    /// * `frame` — the encoded frame for this slot, or `None` if it never
+    ///   arrived (lost, dropped, or skipped at the sender).
+    /// * `on_time` — whether it arrived before its playout deadline.
+    /// * `temporal_complexity` — the *source* frame's motion level,
+    ///   used to price a freeze.
+    pub fn feed(
+        &mut self,
+        frame: Option<&EncodedFrame>,
+        on_time: bool,
+        temporal_complexity: f64,
+    ) -> DecodeOutcome {
+        let decodable = match frame {
+            Some(f) if on_time => match f.frame_type {
+                FrameType::I => true,
+                FrameType::P => !self.chain_broken && self.last_decoded.is_some(),
+            },
+            _ => false,
+        };
+
+        if decodable {
+            let f = frame.expect("decodable implies present");
+            if f.frame_type.is_intra() {
+                self.chain_broken = false;
+            }
+            self.last_decoded = Some(f.index);
+            self.screen_ssim = f.ssim;
+            self.frames_frozen_run = 0;
+            self.total_displayed += 1;
+            DecodeOutcome::Displayed { ssim: f.ssim }
+        } else {
+            // A missing or undecodable slot breaks the chain for
+            // subsequent P-frames (their reference is not on screen).
+            self.chain_broken = true;
+            self.frames_frozen_run += 1;
+            self.total_frozen += 1;
+            // The stale image diverges from live content at a rate set by
+            // motion; floor at 0.2 (a frozen image is still *an* image).
+            let decay = self.freeze_decay_per_frame * temporal_complexity.max(0.05);
+            let ssim = (self.screen_ssim - decay * self.frames_frozen_run as f64).max(0.2);
+            DecodeOutcome::Frozen { ssim }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qp::Qp;
+    use ravel_sim::{Dur, Time};
+    use ravel_video::Resolution;
+
+    fn frame(index: u64, frame_type: FrameType, ssim: f64) -> EncodedFrame {
+        EncodedFrame {
+            index,
+            pts: Time::from_millis(index * 33),
+            encoded_at: Time::from_millis(index * 33 + 5),
+            frame_type,
+            size_bytes: 5_000,
+            qp: Qp::TYPICAL,
+            ssim,
+            psnr_db: 40.0,
+            encode_time: Dur::millis(5),
+            encode_resolution: Resolution::P720,
+            temporal_layer: 0,
+        }
+    }
+
+    #[test]
+    fn normal_playout_displays() {
+        let mut d = Decoder::new();
+        let out0 = d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 0.35);
+        let out1 = d.feed(Some(&frame(1, FrameType::P, 0.95)), true, 0.35);
+        assert_eq!(out0, DecodeOutcome::Displayed { ssim: 0.96 });
+        assert_eq!(out1, DecodeOutcome::Displayed { ssim: 0.95 });
+        assert_eq!(d.total_displayed(), 2);
+        assert_eq!(d.total_frozen(), 0);
+    }
+
+    #[test]
+    fn first_frame_p_cannot_decode() {
+        let mut d = Decoder::new();
+        let out = d.feed(Some(&frame(0, FrameType::P, 0.95)), true, 0.35);
+        assert!(!out.is_displayed());
+    }
+
+    #[test]
+    fn missing_frame_freezes_and_breaks_chain() {
+        let mut d = Decoder::new();
+        d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 0.35);
+        let out1 = d.feed(None, true, 0.35);
+        assert!(!out1.is_displayed());
+        // Subsequent P cannot decode even though it arrived fine.
+        let out2 = d.feed(Some(&frame(2, FrameType::P, 0.95)), true, 0.35);
+        assert!(!out2.is_displayed());
+        assert!(d.chain_broken());
+    }
+
+    #[test]
+    fn i_frame_repairs_chain() {
+        let mut d = Decoder::new();
+        d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 0.35);
+        d.feed(None, true, 0.35);
+        d.feed(Some(&frame(2, FrameType::P, 0.95)), true, 0.35);
+        let out = d.feed(Some(&frame(3, FrameType::I, 0.94)), true, 0.35);
+        assert!(out.is_displayed());
+        assert!(!d.chain_broken());
+        let next = d.feed(Some(&frame(4, FrameType::P, 0.95)), true, 0.35);
+        assert!(next.is_displayed());
+    }
+
+    #[test]
+    fn late_frame_counts_as_missing() {
+        let mut d = Decoder::new();
+        d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 0.35);
+        let out = d.feed(Some(&frame(1, FrameType::P, 0.95)), false, 0.35);
+        assert!(!out.is_displayed());
+    }
+
+    #[test]
+    fn freeze_quality_decays_with_motion() {
+        let mut d = Decoder::new();
+        d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 1.0);
+        let f1 = d.feed(None, true, 1.0).displayed_ssim();
+        let f2 = d.feed(None, true, 1.0).displayed_ssim();
+        let f3 = d.feed(None, true, 1.0).displayed_ssim();
+        assert!(f1 > f2 && f2 > f3, "freeze should decay: {f1} {f2} {f3}");
+        // High motion decays faster than low motion.
+        let mut d2 = Decoder::new();
+        d2.feed(Some(&frame(0, FrameType::I, 0.96)), true, 0.05);
+        let slow = d2.feed(None, true, 0.05).displayed_ssim();
+        assert!(slow > f1);
+    }
+
+    #[test]
+    fn freeze_floors_at_minimum() {
+        let mut d = Decoder::new();
+        d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 2.0);
+        let mut last = 1.0;
+        for _ in 0..100 {
+            last = d.feed(None, true, 2.0).displayed_ssim();
+        }
+        assert_eq!(last, 0.2);
+    }
+
+    #[test]
+    fn recovery_resets_freeze_run() {
+        let mut d = Decoder::new();
+        d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 1.0);
+        d.feed(None, true, 1.0);
+        d.feed(None, true, 1.0);
+        d.feed(Some(&frame(3, FrameType::I, 0.93)), true, 1.0);
+        // A fresh freeze starts shallow again.
+        let f = d.feed(None, true, 1.0).displayed_ssim();
+        assert!(f > 0.8, "freeze after recovery too deep: {f}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Encoded frame metadata.
+
+use ravel_sim::{Dur, Time};
+use ravel_video::Resolution;
+
+use crate::qp::Qp;
+
+/// H.264 frame type. B-frames are omitted: RTC encoders disable them
+/// (x264 `--tune zerolatency` sets `bframes=0`) because they add a frame
+/// of latency by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Intra-coded: self-contained, repairs the reference chain, costs
+    /// several times the bits of a P-frame at equal QP.
+    I,
+    /// Predicted from the previous frame; cheap but fragile — loses its
+    /// meaning if the reference was not decoded.
+    P,
+}
+
+impl FrameType {
+    /// True for intra frames.
+    pub fn is_intra(self) -> bool {
+        matches!(self, FrameType::I)
+    }
+}
+
+/// The encoder's output for one input frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodedFrame {
+    /// Capture index of the source frame.
+    pub index: u64,
+    /// Capture timestamp (latency is measured from here).
+    pub pts: Time,
+    /// Instant encoding finished (pts + encode time in a real pipeline).
+    pub encoded_at: Time,
+    /// Intra or predicted.
+    pub frame_type: FrameType,
+    /// Compressed size in bytes.
+    pub size_bytes: u64,
+    /// The quantizer the frame was coded at.
+    pub qp: Qp,
+    /// Modelled encode quality (SSIM in `[0, 1]`) vs. the raw frame.
+    pub ssim: f64,
+    /// Modelled encode quality (PSNR in dB).
+    pub psnr_db: f64,
+    /// Time the encoder spent on this frame.
+    pub encode_time: Dur,
+    /// The resolution the frame was encoded at (≤ capture resolution when
+    /// the adaptation ladder stepped down).
+    pub encode_resolution: Resolution,
+    /// Temporal layer (hierarchical-P): 0 = base layer (referenced by
+    /// later frames), 1 = enhancement (nothing references it — it can be
+    /// dropped anywhere without breaking the chain). Always 0 when the
+    /// encoder runs a single layer.
+    pub temporal_layer: u8,
+}
+
+impl EncodedFrame {
+    /// Compressed size in bits (the unit rate control works in).
+    pub fn size_bits(&self) -> u64 {
+        self.size_bytes * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_type_predicates() {
+        assert!(FrameType::I.is_intra());
+        assert!(!FrameType::P.is_intra());
+    }
+
+    #[test]
+    fn size_bits_conversion() {
+        let f = EncodedFrame {
+            index: 0,
+            pts: Time::ZERO,
+            encoded_at: Time::ZERO,
+            frame_type: FrameType::P,
+            size_bytes: 1000,
+            qp: Qp::TYPICAL,
+            ssim: 0.95,
+            psnr_db: 40.0,
+            encode_time: Dur::millis(8),
+            encode_resolution: Resolution::P720,
+            temporal_layer: 0,
+        };
+        assert_eq!(f.size_bits(), 8000);
+    }
+}

@@ -1,0 +1,231 @@
+//! The rate–distortion model: bits as a function of content and QP.
+//!
+//! The model is the standard exponential rate–QP law used throughout the
+//! rate-control literature (and implicitly by x264's `qscale` domain):
+//!
+//! ```text
+//! bits(frame) = K · pixels · complexity / qscale(QP)
+//! ```
+//!
+//! where `complexity` is the frame's temporal complexity for P-frames and
+//! spatial complexity for I-frames, and `qscale` doubles every +6 QP —
+//! i.e. bits halve every +6 QP, which is the empirical x264 behaviour.
+//!
+//! ## Calibration
+//!
+//! `K` is chosen so that reference talking-head content (temporal
+//! complexity 0.35) at 720p30 and QP 30 produces ≈ 2 Mbps — the x264
+//! operating point reported for comparable RTC configurations. With
+//! `qscale(30) = 6.8`:
+//!
+//! ```text
+//! K = 2e6/30 · 6.8 / (921600 · 0.35) ≈ 1.405
+//! ```
+//!
+//! The inverse solve ([`RdModel::solve_qp`]) answers "what QP fits this
+//! frame into `budget` bits" — the primitive the paper's fast
+//! reconfiguration path is built on.
+
+use ravel_video::FrameComplexity;
+
+use crate::frame::FrameType;
+use crate::qp::Qp;
+
+/// Rate–distortion model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdModel {
+    /// Rate constant `K` (bits per pixel·complexity at qscale 1).
+    pub k: f64,
+    /// Size floor in bits: headers/syntax make even a skipped frame
+    /// non-empty.
+    pub min_frame_bits: u64,
+    /// Multiplier on complexity when a frame is forced intra but the
+    /// content did not change (an I-frame re-spends bits P-frames saved).
+    pub intra_overhead: f64,
+}
+
+impl Default for RdModel {
+    fn default() -> Self {
+        RdModel {
+            k: 1.405,
+            min_frame_bits: 1_600, // ~200 bytes of headers/syntax
+            intra_overhead: 1.0,
+        }
+    }
+}
+
+impl RdModel {
+    /// The complexity that drives this frame's bits: spatial for
+    /// I-frames, temporal for P-frames (motion-compensated residual).
+    pub fn effective_complexity(complexity: FrameComplexity, frame_type: FrameType) -> f64 {
+        match frame_type {
+            FrameType::I => complexity.spatial,
+            FrameType::P => complexity.temporal,
+        }
+    }
+
+    /// Frame size in bits at quantizer `qp`.
+    pub fn frame_bits(
+        &self,
+        complexity: FrameComplexity,
+        pixels: u64,
+        frame_type: FrameType,
+        qp: Qp,
+    ) -> u64 {
+        let cplx = Self::effective_complexity(complexity, frame_type)
+            * if frame_type.is_intra() {
+                self.intra_overhead
+            } else {
+                1.0
+            };
+        let bits = self.k * pixels as f64 * cplx / qp.to_qscale();
+        (bits.max(0.0) as u64).max(self.min_frame_bits)
+    }
+
+    /// The QP at which this frame fits into `budget_bits`, clamped into
+    /// the valid range. Returns `Qp::MAX` for budgets below the frame
+    /// floor (the caller may then choose to skip the frame instead).
+    pub fn solve_qp(
+        &self,
+        complexity: FrameComplexity,
+        pixels: u64,
+        frame_type: FrameType,
+        budget_bits: u64,
+    ) -> Qp {
+        if budget_bits <= self.min_frame_bits {
+            return Qp::MAX;
+        }
+        let cplx = Self::effective_complexity(complexity, frame_type)
+            * if frame_type.is_intra() {
+                self.intra_overhead
+            } else {
+                1.0
+            };
+        let qscale = self.k * pixels as f64 * cplx / budget_bits as f64;
+        Qp::from_qscale(qscale.max(1e-9))
+    }
+
+    /// Bits per second for a steady stream of frames with this complexity
+    /// at `fps` and `qp` (P-frames only; I-frame overhead is amortized by
+    /// callers that know the GOP length).
+    pub fn steady_rate_bps(
+        &self,
+        complexity: FrameComplexity,
+        pixels: u64,
+        fps: u32,
+        qp: Qp,
+    ) -> f64 {
+        self.frame_bits(complexity, pixels, FrameType::P, qp) as f64 * fps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ravel_video::Resolution;
+
+    fn refc() -> FrameComplexity {
+        FrameComplexity::reference()
+    }
+
+    #[test]
+    fn calibration_point_2mbps_at_qp30() {
+        let rd = RdModel::default();
+        let rate = rd.steady_rate_bps(refc(), Resolution::P720.pixels(), 30, Qp::new(30.0));
+        assert!(
+            (rate - 2e6).abs() / 2e6 < 0.02,
+            "calibration drifted: {rate} bps"
+        );
+    }
+
+    #[test]
+    fn bits_halve_per_six_qp() {
+        let rd = RdModel::default();
+        let px = Resolution::P720.pixels();
+        let b30 = rd.frame_bits(refc(), px, FrameType::P, Qp::new(30.0));
+        let b36 = rd.frame_bits(refc(), px, FrameType::P, Qp::new(36.0));
+        let ratio = b30 as f64 / b36 as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn i_frames_cost_more_than_p() {
+        let rd = RdModel::default();
+        let px = Resolution::P720.pixels();
+        let i = rd.frame_bits(refc(), px, FrameType::I, Qp::new(30.0));
+        let p = rd.frame_bits(refc(), px, FrameType::P, Qp::new(30.0));
+        // Reference content: spatial 1.0 vs temporal 0.35 → ~2.9× ratio,
+        // in the published 2–5× I:P range.
+        let ratio = i as f64 / p as f64;
+        assert!(ratio > 2.0 && ratio < 5.0, "I:P ratio {ratio}");
+    }
+
+    #[test]
+    fn solve_qp_inverts_frame_bits() {
+        let rd = RdModel::default();
+        let px = Resolution::P720.pixels();
+        for target in [20_000u64, 66_000, 150_000, 400_000] {
+            let qp = rd.solve_qp(refc(), px, FrameType::P, target);
+            if qp.value() < Qp::MAX.value() && qp.value() > Qp::MIN.value() {
+                let bits = rd.frame_bits(refc(), px, FrameType::P, qp);
+                let err = (bits as f64 - target as f64).abs() / target as f64;
+                assert!(err < 0.01, "target {target} got {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_qp_tiny_budget_maxes_out() {
+        let rd = RdModel::default();
+        let qp = rd.solve_qp(refc(), Resolution::P720.pixels(), FrameType::P, 100);
+        assert_eq!(qp.value(), Qp::MAX.value());
+    }
+
+    #[test]
+    fn frame_floor_applies() {
+        let rd = RdModel::default();
+        // Minuscule complexity at max QP still pays the header floor.
+        let c = FrameComplexity {
+            spatial: 1e-6,
+            temporal: 1e-6,
+            scene_cut: false,
+        };
+        let bits = rd.frame_bits(c, 1000, FrameType::P, Qp::MAX);
+        assert_eq!(bits, rd.min_frame_bits);
+    }
+
+    #[test]
+    fn lower_resolution_fewer_bits() {
+        let rd = RdModel::default();
+        let hi = rd.frame_bits(refc(), Resolution::P720.pixels(), FrameType::P, Qp::TYPICAL);
+        let lo = rd.frame_bits(refc(), Resolution::P360.pixels(), FrameType::P, Qp::TYPICAL);
+        assert!((hi as f64 / lo as f64 - 4.0).abs() < 0.05);
+    }
+
+    proptest::proptest! {
+        /// frame_bits is monotonically non-increasing in QP.
+        #[test]
+        fn bits_decrease_with_qp(q1 in 10.0f64..51.0, q2 in 10.0f64..51.0) {
+            let rd = RdModel::default();
+            let px = Resolution::P720.pixels();
+            let (lo, hi) = if q1 < q2 { (q1, q2) } else { (q2, q1) };
+            let b_lo = rd.frame_bits(refc(), px, FrameType::P, Qp::new(lo));
+            let b_hi = rd.frame_bits(refc(), px, FrameType::P, Qp::new(hi));
+            proptest::prop_assert!(b_lo >= b_hi);
+        }
+
+        /// solve_qp never exceeds the budget (when a feasible QP exists).
+        #[test]
+        fn solve_respects_budget(budget in 5_000u64..500_000) {
+            let rd = RdModel::default();
+            let px = Resolution::P720.pixels();
+            let qp = rd.solve_qp(refc(), px, FrameType::P, budget);
+            let bits = rd.frame_bits(refc(), px, FrameType::P, qp);
+            // Within rounding, and always within budget unless clamped at
+            // QP::MAX (infeasible) or QP::MIN (budget more than needed).
+            if qp.value() < Qp::MAX.value() - 1e-9 && qp.value() > Qp::MIN.value() + 1e-9 {
+                proptest::prop_assert!(bits <= budget + budget / 100);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Empirical CDFs and fixed-bin histograms for figure output.
+//!
+//! E9-style figures plot latency CDFs per scheme; [`Cdf`] renders the
+//! sorted empirical distribution as `(value, fraction ≤ value)` pairs
+//! and as CSV, optionally downsampled to a fixed number of plot points.
+
+use std::fmt::Write as _;
+
+/// An empirical cumulative distribution over collected samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Cdf {
+        Cdf::default()
+    }
+
+    /// Builds a CDF from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut c = Cdf::new();
+        for s in samples {
+            c.push(s);
+        }
+        c
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "Cdf: non-finite sample");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// The fraction of samples ≤ `x` (0 for an empty CDF).
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// `(value, cumulative fraction)` points, downsampled to at most
+    /// `max_points` (0 = all).
+    pub fn points(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = if max_points == 0 || n <= max_points {
+            1
+        } else {
+            n.div_ceil(max_points)
+        };
+        let mut out = Vec::with_capacity(n / step + 1);
+        for i in (0..n).step_by(step) {
+            out.push((self.samples[i], (i + 1) as f64 / n as f64));
+        }
+        // Always include the maximum.
+        if out.last().map(|&(v, _)| v) != self.samples.last().copied() {
+            out.push((self.samples[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// CSV with a header, e.g. for gnuplot: `value,fraction`.
+    pub fn to_csv(&mut self, value_label: &str, max_points: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{value_label},fraction");
+        for (v, f) in self.points(max_points) {
+            let _ = writeln!(out, "{v},{f:.6}");
+        }
+        out
+    }
+}
+
+/// A fixed-width-bin histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    bin_width: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` / at-or-above the last bin edge.
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "Histogram: zero bins");
+        assert!(hi > lo, "Histogram: empty range");
+        Histogram {
+            lo,
+            bin_width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.bin_width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below range / at-or-above range.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * self.bin_width, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_below_matches_definition() {
+        let mut c = Cdf::from_samples((1..=100).map(|i| i as f64));
+        assert!((c.fraction_below(50.0) - 0.5).abs() < 1e-12);
+        assert_eq!(c.fraction_below(0.0), 0.0);
+        assert_eq!(c.fraction_below(1000.0), 1.0);
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let mut c = Cdf::from_samples([5.0, 1.0, 9.0, 3.0, 7.0]);
+        let pts = c.points(0);
+        for pair in pts.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn downsampling_keeps_max() {
+        let mut c = Cdf::from_samples((0..1000).map(|i| i as f64));
+        let pts = c.points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().0, 999.0);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_below(1.0), 0.0);
+        assert!(c.points(10).is_empty());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut c = Cdf::from_samples([1.0, 2.0]);
+        let csv = c.to_csv("latency_ms", 0);
+        assert!(csv.starts_with("latency_ms,fraction\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn interleaved_push_and_query() {
+        let mut c = Cdf::new();
+        c.push(10.0);
+        assert_eq!(c.fraction_below(10.0), 1.0);
+        c.push(20.0);
+        assert!((c.fraction_below(10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 2.9, 9.9, -1.0, 10.0, 42.0] {
+            h.push(x);
+        }
+        // Bin width 2: [0,2) holds 0.5 and 1.5; [2,4) holds 2.5 and 2.9.
+        assert_eq!(h.counts(), &[2, 2, 0, 0, 1]);
+        assert_eq!(h.outliers(), (1, 2));
+        let centers = h.centers();
+        assert_eq!(centers[0], (1.0, 2));
+        assert_eq!(centers[4], (9.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn rejects_zero_bins() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    proptest::proptest! {
+        /// fraction_below is monotone in x.
+        #[test]
+        fn cdf_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                        a in -1e3f64..1e3, b in -1e3f64..1e3) {
+            let mut c = Cdf::from_samples(xs);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            proptest::prop_assert!(c.fraction_below(lo) <= c.fraction_below(hi));
+        }
+    }
+}

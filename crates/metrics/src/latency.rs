@@ -1,0 +1,229 @@
+//! Per-frame latency and quality accounting.
+//!
+//! The paper's primary metric is per-frame glass-to-glass latency —
+//! capture timestamp to display instant — and its summary statistics
+//! over a measurement window. [`LatencyRecorder`] collects one
+//! [`FrameRecord`] per frame slot and produces a [`LatencySummary`]
+//! over any time window (experiments window around the drop instant).
+
+use ravel_sim::{Dur, Time};
+
+use crate::stats::{Percentiles, RunningStats};
+
+/// How one frame slot ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcomeKind {
+    /// Displayed on time.
+    Displayed,
+    /// Never displayed: lost, too late, undecodable, or skipped at the
+    /// sender.
+    Frozen,
+}
+
+/// One frame slot's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameRecord {
+    /// Capture timestamp.
+    pub pts: Time,
+    /// Displayed or frozen.
+    pub outcome: FrameOutcomeKind,
+    /// Glass-to-glass latency for displayed frames.
+    pub latency: Option<Dur>,
+    /// SSIM the viewer experienced for this slot.
+    pub ssim: f64,
+    /// PSNR for displayed frames (dB).
+    pub psnr_db: Option<f64>,
+}
+
+/// Aggregated latency/quality over a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Frame slots in the window.
+    pub frames: u64,
+    /// Slots that displayed fresh frames.
+    pub displayed: u64,
+    /// Slots that froze.
+    pub frozen: u64,
+    /// Mean G2G latency of displayed frames, ms.
+    pub mean_latency_ms: f64,
+    /// Median G2G latency, ms.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile G2G latency, ms.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile G2G latency, ms.
+    pub p99_latency_ms: f64,
+    /// Maximum G2G latency, ms.
+    pub max_latency_ms: f64,
+    /// Mean per-slot SSIM (displayed + frozen).
+    pub mean_ssim: f64,
+    /// Mean PSNR of displayed frames, dB.
+    pub mean_psnr_db: f64,
+}
+
+impl LatencySummary {
+    /// Freeze ratio in the window.
+    pub fn freeze_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.frozen as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Collects per-frame records across a session.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    records: Vec<FrameRecord>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Appends one frame slot (pts must be non-decreasing).
+    pub fn push(&mut self, record: FrameRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(record.pts >= last.pts, "frame records out of order");
+        }
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[FrameRecord] {
+        &self.records
+    }
+
+    /// Summarizes frames with `from <= pts < to`.
+    pub fn summarize(&self, from: Time, to: Time) -> LatencySummary {
+        let mut lat = Percentiles::new();
+        let mut lat_stats = RunningStats::new();
+        let mut ssim = RunningStats::new();
+        let mut psnr = RunningStats::new();
+        let mut displayed = 0u64;
+        let mut frozen = 0u64;
+        for r in &self.records {
+            if r.pts < from || r.pts >= to {
+                continue;
+            }
+            ssim.push(r.ssim);
+            // Latency counts for every frame that *arrived*, displayed
+            // or not — a frame shown stale because it blew its playout
+            // deadline still has a measured glass-to-glass latency (the
+            // quantity the paper reports).
+            if let Some(l) = r.latency {
+                lat.push(l.as_millis_f64());
+                lat_stats.push(l.as_millis_f64());
+            }
+            match r.outcome {
+                FrameOutcomeKind::Displayed => {
+                    displayed += 1;
+                    if let Some(p) = r.psnr_db {
+                        psnr.push(p);
+                    }
+                }
+                FrameOutcomeKind::Frozen => frozen += 1,
+            }
+        }
+        LatencySummary {
+            frames: displayed + frozen,
+            displayed,
+            frozen,
+            mean_latency_ms: lat_stats.mean(),
+            p50_latency_ms: lat.p50().unwrap_or(0.0),
+            p95_latency_ms: lat.p95().unwrap_or(0.0),
+            p99_latency_ms: lat.p99().unwrap_or(0.0),
+            max_latency_ms: if lat_stats.count() > 0 {
+                lat_stats.max()
+            } else {
+                0.0
+            },
+            mean_ssim: ssim.mean(),
+            mean_psnr_db: psnr.mean(),
+        }
+    }
+
+    /// Summarizes the whole session.
+    pub fn summarize_all(&self) -> LatencySummary {
+        self.summarize(Time::ZERO, Time::FAR_FUTURE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pts_ms: u64, latency_ms: Option<u64>, ssim: f64) -> FrameRecord {
+        FrameRecord {
+            pts: Time::from_millis(pts_ms),
+            outcome: if latency_ms.is_some() {
+                FrameOutcomeKind::Displayed
+            } else {
+                FrameOutcomeKind::Frozen
+            },
+            latency: latency_ms.map(Dur::millis),
+            ssim,
+            psnr_db: latency_ms.map(|_| 40.0),
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_means() {
+        let mut r = LatencyRecorder::new();
+        r.push(rec(0, Some(100), 0.95));
+        r.push(rec(33, Some(200), 0.94));
+        r.push(rec(66, None, 0.80));
+        let s = r.summarize_all();
+        assert_eq!(s.frames, 3);
+        assert_eq!(s.displayed, 2);
+        assert_eq!(s.frozen, 1);
+        assert!((s.mean_latency_ms - 150.0).abs() < 1e-9);
+        assert!((s.mean_ssim - (0.95 + 0.94 + 0.80) / 3.0).abs() < 1e-12);
+        assert!((s.freeze_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_psnr_db - 40.0).abs() < 1e-12);
+        assert_eq!(s.max_latency_ms, 200.0);
+    }
+
+    #[test]
+    fn windowing_excludes_outside_frames() {
+        let mut r = LatencyRecorder::new();
+        for i in 0..10 {
+            r.push(rec(i * 100, Some(50 + i), 0.9));
+        }
+        let s = r.summarize(Time::from_millis(300), Time::from_millis(600));
+        assert_eq!(s.frames, 3); // pts 300, 400, 500
+        assert!((s.mean_latency_ms - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_present() {
+        let mut r = LatencyRecorder::new();
+        for i in 0..100u64 {
+            r.push(rec(i * 33, Some(i + 1), 0.9));
+        }
+        let s = r.summarize_all();
+        assert!(s.p50_latency_ms > 49.0 && s.p50_latency_ms < 52.0);
+        assert!(s.p95_latency_ms > 94.0 && s.p95_latency_ms < 97.0);
+        assert!(s.p99_latency_ms > 98.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let r = LatencyRecorder::new();
+        let s = r.summarize_all();
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.mean_latency_ms, 0.0);
+        assert_eq!(s.freeze_ratio(), 0.0);
+        assert_eq!(s.max_latency_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_unordered_records() {
+        let mut r = LatencyRecorder::new();
+        r.push(rec(100, Some(10), 0.9));
+        r.push(rec(50, Some(10), 0.9));
+    }
+}

@@ -1,0 +1,228 @@
+//! Streaming moments and exact percentiles.
+
+/// Welford-style streaming mean/variance with min/max.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates empty stats.
+    pub fn new() -> RunningStats {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "RunningStats: non-finite sample");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Exact percentiles over a retained sample set.
+///
+/// Retains all samples (experiments are bounded); uses the
+/// nearest-rank-with-interpolation definition (type 7, the numpy
+/// default).
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty collector.
+    pub fn new() -> Percentiles {
+        Percentiles::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "Percentiles: non-finite sample");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]`, or `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Convenience: the median.
+    pub fn p50(&mut self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 95th percentile.
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_moments() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn percentiles_known_values() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.push(i as f64);
+        }
+        assert!((p.p50().unwrap() - 50.5).abs() < 1e-9);
+        assert!((p.quantile(0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((p.quantile(1.0).unwrap() - 100.0).abs() < 1e-12);
+        assert!((p.p95().unwrap() - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interleaved_push_and_query() {
+        let mut p = Percentiles::new();
+        p.push(10.0);
+        assert_eq!(p.p50(), Some(10.0));
+        p.push(20.0);
+        assert_eq!(p.p50(), Some(15.0));
+        p.push(0.0);
+        assert_eq!(p.p50(), Some(10.0));
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.p50(), None);
+        assert_eq!(p.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_range_checked() {
+        Percentiles::new().quantile(1.5);
+    }
+
+    proptest::proptest! {
+        /// Quantiles are monotone in q and bounded by min/max.
+        #[test]
+        fn quantile_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 2..200),
+                             q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let mut p = Percentiles::new();
+            for &x in &xs {
+                p.push(x);
+            }
+            let (lo, hi) = if q1 < q2 { (q1, q2) } else { (q2, q1) };
+            let v_lo = p.quantile(lo).unwrap();
+            let v_hi = p.quantile(hi).unwrap();
+            proptest::prop_assert!(v_lo <= v_hi + 1e-9);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            proptest::prop_assert!(v_lo >= xs[0] - 1e-9);
+            proptest::prop_assert!(v_hi <= xs[xs.len() - 1] + 1e-9);
+        }
+    }
+}

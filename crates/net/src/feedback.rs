@@ -1,0 +1,279 @@
+//! Transport-wide congestion-control feedback (RFC 8888-style).
+//!
+//! The receiver records, for every media packet, its transport-wide
+//! sequence number, the sender's wire-entry timestamp (echoed from the
+//! packet), its own arrival timestamp, and the size. Periodically it
+//! flushes these into a [`FeedbackReport`] that travels back to the
+//! sender over the (uncongested) reverse path.
+//!
+//! Both the GCC baseline and the paper's drop detector are *consumers*
+//! of these reports; the report interval and the reverse-path delay
+//! together set the floor on how fast *any* sender-side mechanism can
+//! react — which is why E5 sweeps the feedback RTT.
+
+use ravel_sim::Time;
+
+use crate::packet::Packet;
+
+/// One packet's fate, as the receiver saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketResult {
+    /// Transport-wide sequence number.
+    pub seq: u64,
+    /// Sender wire-entry time (echoed).
+    pub send_time: Time,
+    /// Arrival time, or `None` if the packet was declared lost (a gap in
+    /// sequence numbers that never filled before the report flushed).
+    pub arrival: Option<Time>,
+    /// Wire size in bytes.
+    pub size_bytes: u64,
+}
+
+/// A batch of packet results flushed by the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackReport {
+    /// When the receiver generated this report.
+    pub generated_at: Time,
+    /// Results ordered by sequence number.
+    pub packets: Vec<PacketResult>,
+}
+
+impl FeedbackReport {
+    /// Number of packets reported received.
+    pub fn received_count(&self) -> usize {
+        self.packets.iter().filter(|p| p.arrival.is_some()).count()
+    }
+
+    /// Number of packets reported lost.
+    pub fn lost_count(&self) -> usize {
+        self.packets.iter().filter(|p| p.arrival.is_none()).count()
+    }
+
+    /// Fraction of reported packets that were lost (0 if empty).
+    pub fn loss_fraction(&self) -> f64 {
+        if self.packets.is_empty() {
+            0.0
+        } else {
+            self.lost_count() as f64 / self.packets.len() as f64
+        }
+    }
+
+    /// Total received bytes in this report.
+    pub fn received_bytes(&self) -> u64 {
+        self.packets
+            .iter()
+            .filter(|p| p.arrival.is_some())
+            .map(|p| p.size_bytes)
+            .sum()
+    }
+
+    /// Delivered throughput over the report's arrival span, if at least
+    /// two packets arrived (bits/second).
+    pub fn delivered_rate_bps(&self) -> Option<f64> {
+        let mut first: Option<Time> = None;
+        let mut last: Option<Time> = None;
+        let mut bytes = 0u64;
+        for p in &self.packets {
+            if let Some(a) = p.arrival {
+                first = Some(first.map_or(a, |f: Time| f.min(a)));
+                last = Some(last.map_or(a, |l: Time| l.max(a)));
+                bytes += p.size_bytes;
+            }
+        }
+        let (first, last) = (first?, last?);
+        let span = last.saturating_since(first);
+        if span.is_zero() {
+            return None;
+        }
+        Some(bytes as f64 * 8.0 / span.as_secs_f64())
+    }
+}
+
+/// Receiver-side feedback accumulator.
+///
+/// Tracks arrivals by sequence number; on [`FeedbackBuilder::flush`],
+/// every sequence number up to the highest seen is reported — gaps as
+/// losses. (Real transports wait a reordering window before declaring
+/// loss; our link never reorders, so a gap at flush time is definitive.)
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackBuilder {
+    /// Results accumulated since the last flush, keyed by seq.
+    pending: Vec<PacketResult>,
+    /// The seq after the highest ever reported (for gap detection).
+    next_expected_seq: u64,
+    /// Info about known-sent packets we use for declaring gaps: the
+    /// receiver can only infer a gap's send metadata approximately, so
+    /// lost packets carry the previous packet's send time.
+    last_send_time: Time,
+}
+
+impl FeedbackBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> FeedbackBuilder {
+        FeedbackBuilder::default()
+    }
+
+    /// Records one arrived packet.
+    pub fn on_packet(&mut self, packet: &Packet, arrival: Time) {
+        self.pending.push(PacketResult {
+            seq: packet.seq,
+            send_time: packet.send_time,
+            arrival: Some(arrival),
+            size_bytes: packet.size_bytes,
+        });
+        self.last_send_time = self.last_send_time.max(packet.send_time);
+    }
+
+    /// Packets recorded since the last flush.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Produces a report covering every sequence number from the last
+    /// report's end through the highest arrival recorded, marking gaps as
+    /// lost. Returns `None` when nothing new arrived.
+    pub fn flush(&mut self, now: Time) -> Option<FeedbackReport> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.pending.sort_by_key(|p| p.seq);
+        let highest = self.pending.last().expect("non-empty").seq;
+        let mut packets = Vec::with_capacity(self.pending.len());
+        let mut iter = self.pending.drain(..).peekable();
+        for seq in self.next_expected_seq..=highest {
+            match iter.peek() {
+                Some(p) if p.seq == seq => {
+                    let p = iter.next().expect("peeked");
+                    packets.push(p);
+                }
+                Some(p) if p.seq < seq => {
+                    // Duplicate/old packet below the window; skip it.
+                    iter.next();
+                }
+                _ => {
+                    packets.push(PacketResult {
+                        seq,
+                        send_time: self.last_send_time,
+                        arrival: None,
+                        size_bytes: 0,
+                    });
+                }
+            }
+        }
+        self.next_expected_seq = highest + 1;
+        Some(FeedbackReport {
+            generated_at: now,
+            packets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::MediaKind;
+    use ravel_sim::Dur;
+
+    fn pkt(seq: u64, send_ms: u64) -> Packet {
+        Packet {
+            kind: MediaKind::Video,
+            seq,
+            frame_index: 0,
+            fragment: 0,
+            num_fragments: 1,
+            size_bytes: 1250,
+            pts: Time::ZERO,
+            send_time: Time::from_millis(send_ms),
+            is_keyframe: false,
+        }
+    }
+
+    #[test]
+    fn flush_reports_arrivals_in_order() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(1, 10), Time::from_millis(40));
+        fb.on_packet(&pkt(0, 5), Time::from_millis(35));
+        let report = fb.flush(Time::from_millis(50)).unwrap();
+        assert_eq!(report.packets.len(), 2);
+        assert_eq!(report.packets[0].seq, 0);
+        assert_eq!(report.received_count(), 2);
+        assert_eq!(report.lost_count(), 0);
+    }
+
+    #[test]
+    fn gaps_are_losses() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(0, 5), Time::from_millis(30));
+        fb.on_packet(&pkt(3, 20), Time::from_millis(45));
+        let report = fb.flush(Time::from_millis(50)).unwrap();
+        assert_eq!(report.packets.len(), 4);
+        assert_eq!(report.lost_count(), 2);
+        assert!((report.loss_fraction() - 0.5).abs() < 1e-12);
+        assert!(report.packets[1].arrival.is_none());
+        assert!(report.packets[2].arrival.is_none());
+    }
+
+    #[test]
+    fn empty_flush_is_none() {
+        let mut fb = FeedbackBuilder::new();
+        assert!(fb.flush(Time::from_millis(50)).is_none());
+        fb.on_packet(&pkt(0, 5), Time::from_millis(30));
+        assert!(fb.flush(Time::from_millis(50)).is_some());
+        assert!(fb.flush(Time::from_millis(100)).is_none());
+    }
+
+    #[test]
+    fn consecutive_reports_cover_disjoint_ranges() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(0, 5), Time::from_millis(30));
+        fb.on_packet(&pkt(1, 10), Time::from_millis(35));
+        let r1 = fb.flush(Time::from_millis(40)).unwrap();
+        fb.on_packet(&pkt(4, 30), Time::from_millis(60));
+        let r2 = fb.flush(Time::from_millis(70)).unwrap();
+        assert_eq!(r1.packets.last().unwrap().seq, 1);
+        // Seqs 2 and 3 fall into the second report as losses.
+        assert_eq!(r2.packets.first().unwrap().seq, 2);
+        assert_eq!(r2.lost_count(), 2);
+        assert_eq!(r2.received_count(), 1);
+    }
+
+    #[test]
+    fn delivered_rate_computation() {
+        let mut fb = FeedbackBuilder::new();
+        // 5 packets of 1250 B arriving 10 ms apart: span 40 ms,
+        // delivered bytes 6250 -> 50 kbit / 0.04 s = 1.25 Mbps.
+        for i in 0..5 {
+            fb.on_packet(&pkt(i, 0), Time::from_millis(100 + i * 10));
+        }
+        let report = fb.flush(Time::from_millis(200)).unwrap();
+        let rate = report.delivered_rate_bps().unwrap();
+        assert!((rate - 1.25e6).abs() < 1e3, "rate {rate}");
+    }
+
+    #[test]
+    fn delivered_rate_needs_span() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(0, 0), Time::from_millis(100));
+        let report = fb.flush(Time::from_millis(200)).unwrap();
+        assert!(report.delivered_rate_bps().is_none());
+    }
+
+    #[test]
+    fn received_bytes_excludes_losses() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(0, 5), Time::from_millis(30));
+        fb.on_packet(&pkt(2, 15), Time::from_millis(40));
+        let report = fb.flush(Time::from_millis(50)).unwrap();
+        assert_eq!(report.received_bytes(), 2500);
+    }
+
+    #[test]
+    fn one_way_delays_derivable() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(0, 10), Time::from_millis(40));
+        let report = fb.flush(Time::from_millis(50)).unwrap();
+        let p = report.packets[0];
+        let owd = p.arrival.unwrap().since(p.send_time);
+        assert_eq!(owd, Dur::millis(30));
+    }
+}

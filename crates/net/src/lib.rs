@@ -1,0 +1,46 @@
+//! # ravel-net — the RTC transport substrate
+//!
+//! Everything between the encoder's output and the decoder's input:
+//!
+//! * [`packet`] — RTP-like packets with transport-wide sequence numbers.
+//! * [`packetize`] — MTU fragmentation of encoded frames and receiver-side
+//!   frame reassembly.
+//! * [`pacer`] — the WebRTC-style leaky-bucket pacer that smooths frame
+//!   bursts onto the wire at a multiple of the target rate.
+//! * [`link`] — the bottleneck: a drop-tail queue in front of a
+//!   time-varying-capacity serializer, plus propagation delay, optional
+//!   jitter, and random loss. The queueing delay this link develops when
+//!   the encoder overshoots *is* the latency spike the paper measures.
+//! * [`feedback`] — transport-wide congestion-control feedback
+//!   (RFC 8888-style): the receiver periodically reports per-packet
+//!   arrival times back to the sender; both GCC and the adaptive
+//!   controller consume these reports.
+//! * [`rtx`] — NACK-driven retransmission: receiver-side gap detection
+//!   and a sender-side packet history, so random wireless loss is
+//!   repaired in one RTT instead of a PLI + keyframe round.
+//! * [`fec`] — FlexFEC-style XOR parity: one parity packet per group
+//!   recovers any single loss with zero round-trips, at a constant
+//!   bitrate overhead.
+//!
+//! The link is modelled analytically (delivery times computed at send
+//! time against the capacity trace) rather than with per-byte events;
+//! this is exact for piecewise-constant traces sampled at ≥1 ms and keeps
+//! experiments fast and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod fec;
+pub mod feedback;
+pub mod link;
+pub mod packet;
+pub mod packetize;
+pub mod pacer;
+pub mod rtx;
+
+pub use feedback::{FeedbackBuilder, FeedbackReport, PacketResult};
+pub use link::{Delivery, Link, LinkConfig};
+pub use packet::{MediaKind, Packet};
+pub use packetize::{FrameAssembler, Packetizer, ReassembledFrame};
+pub use pacer::Pacer;
+pub use fec::{FecDecoder, FecEncoder};
+pub use rtx::{NackBatch, NackGenerator, RtxBuffer};

@@ -1,0 +1,84 @@
+//! RTP-like packets.
+
+use ravel_sim::Time;
+
+/// Per-packet protocol overhead in bytes: 12 (RTP) + 8 (UDP) + 20 (IPv4).
+pub const HEADER_BYTES: u64 = 40;
+
+/// The default payload MTU for video packets (WebRTC uses ~1200 to clear
+/// common tunnel overheads).
+pub const PAYLOAD_MTU: u64 = 1200;
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MediaKind {
+    /// A video frame fragment.
+    #[default]
+    Video,
+    /// An audio frame (always a single packet; Opus-style 20 ms frames).
+    Audio,
+    /// A forward-error-correction parity packet covering a group of
+    /// media packets (see `ravel_net::fec`).
+    Fec,
+}
+
+/// One media packet on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Video or audio.
+    pub kind: MediaKind,
+    /// Transport-wide sequence number (monotonic across the session).
+    pub seq: u64,
+    /// Index of the video frame this packet carries a fragment of.
+    pub frame_index: u64,
+    /// Fragment number within the frame, `0..num_fragments`.
+    pub fragment: u16,
+    /// Total fragments in the frame.
+    pub num_fragments: u16,
+    /// Wire size in bytes (payload + [`HEADER_BYTES`]).
+    pub size_bytes: u64,
+    /// Capture timestamp of the frame (for latency accounting).
+    pub pts: Time,
+    /// Instant the packet entered the wire (stamped by the pacer/link
+    /// caller; also echoed in feedback for delay-gradient estimation).
+    pub send_time: Time,
+    /// True if the frame is a keyframe (I-frame) — receivers prioritize
+    /// these for reference-chain repair.
+    pub is_keyframe: bool,
+}
+
+impl Packet {
+    /// Wire size in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.size_bytes * 8
+    }
+
+    /// True if this is the last fragment of its frame.
+    pub fn is_last_fragment(&self) -> bool {
+        self.fragment + 1 == self.num_fragments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_fragment_helpers() {
+        let p = Packet {
+            kind: MediaKind::Video,
+            seq: 7,
+            frame_index: 2,
+            fragment: 2,
+            num_fragments: 3,
+            size_bytes: 1240,
+            pts: Time::ZERO,
+            send_time: Time::ZERO,
+            is_keyframe: false,
+        };
+        assert_eq!(p.size_bits(), 9920);
+        assert!(p.is_last_fragment());
+        let mid = Packet { fragment: 1, ..p };
+        assert!(!mid.is_last_fragment());
+    }
+}

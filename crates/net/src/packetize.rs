@@ -1,0 +1,314 @@
+//! Frame → packets fragmentation and receiver-side reassembly.
+
+use std::collections::BTreeMap;
+
+use ravel_codec::EncodedFrame;
+use ravel_sim::Time;
+
+use crate::packet::{MediaKind, Packet, HEADER_BYTES, PAYLOAD_MTU};
+
+/// Splits encoded frames into MTU-sized packets with transport-wide
+/// sequence numbers.
+#[derive(Debug, Clone, Default)]
+pub struct Packetizer {
+    next_seq: u64,
+}
+
+impl Packetizer {
+    /// Creates a packetizer starting at sequence 0.
+    pub fn new() -> Packetizer {
+        Packetizer::default()
+    }
+
+    /// The next sequence number that will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Allocates one transport-wide sequence number for a non-video
+    /// packet (audio shares the same feedback sequence space in WebRTC).
+    pub fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Fragments one encoded frame. Every packet carries `HEADER_BYTES`
+    /// of overhead; payload is split into at most `PAYLOAD_MTU`-byte
+    /// chunks. `send_time` is left at the frame's encode-completion time
+    /// and restamped by the pacer when the packet actually hits the wire.
+    pub fn packetize(&mut self, frame: &EncodedFrame) -> Vec<Packet> {
+        let payload = frame.size_bytes.max(1);
+        let num_fragments = payload.div_ceil(PAYLOAD_MTU) as u16;
+        let mut packets = Vec::with_capacity(num_fragments as usize);
+        let mut remaining = payload;
+        for fragment in 0..num_fragments {
+            let chunk = remaining.min(PAYLOAD_MTU);
+            remaining -= chunk;
+            packets.push(Packet {
+                kind: MediaKind::Video,
+                seq: self.next_seq,
+                frame_index: frame.index,
+                fragment,
+                num_fragments,
+                size_bytes: chunk + HEADER_BYTES,
+                pts: frame.pts,
+                send_time: frame.encoded_at,
+                is_keyframe: frame.frame_type.is_intra(),
+            });
+            self.next_seq += 1;
+        }
+        packets
+    }
+}
+
+/// A frame fully reassembled at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReassembledFrame {
+    /// The frame's capture index.
+    pub frame_index: u64,
+    /// Capture timestamp.
+    pub pts: Time,
+    /// Arrival time of the *last* fragment — the frame is usable only
+    /// from this instant.
+    pub complete_at: Time,
+    /// Whether the frame is a keyframe.
+    pub is_keyframe: bool,
+    /// Total received payload+header bytes.
+    pub total_bytes: u64,
+}
+
+/// Receiver-side reassembly: collects fragments until a frame is
+/// complete. Frames abandoned by newer completions are reported lost.
+#[derive(Debug, Clone, Default)]
+pub struct FrameAssembler {
+    /// fragment bitmaps per in-flight frame: frame_index → (received
+    /// mask-count, expected, bytes, pts, keyframe, latest arrival).
+    pending: BTreeMap<u64, PendingFrame>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingFrame {
+    received: Vec<bool>,
+    received_count: u16,
+    bytes: u64,
+    pts: Time,
+    is_keyframe: bool,
+    last_arrival: Time,
+}
+
+impl FrameAssembler {
+    /// Incomplete frames older than this many frames behind the newest
+    /// completion are unrecoverable (RTX has long given up) and evicted.
+    const REPAIR_HORIZON: u64 = 64;
+
+    /// Creates an empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Number of incomplete frames currently buffered.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one arrived packet; returns the frame if this packet
+    /// completed it.
+    pub fn push(&mut self, packet: &Packet, arrival: Time) -> Option<ReassembledFrame> {
+        let entry = self
+            .pending
+            .entry(packet.frame_index)
+            .or_insert_with(|| PendingFrame {
+                received: vec![false; packet.num_fragments as usize],
+                received_count: 0,
+                bytes: 0,
+                pts: packet.pts,
+                is_keyframe: packet.is_keyframe,
+                last_arrival: arrival,
+            });
+        let idx = packet.fragment as usize;
+        if idx >= entry.received.len() || entry.received[idx] {
+            // Duplicate or malformed fragment; ignore.
+            return None;
+        }
+        entry.received[idx] = true;
+        entry.received_count += 1;
+        entry.bytes += packet.size_bytes;
+        entry.last_arrival = entry.last_arrival.max(arrival);
+
+        if entry.received_count as usize == entry.received.len() {
+            let done = self.pending.remove(&packet.frame_index).expect("present");
+            // Keep older incomplete frames: with NACK/RTX their missing
+            // fragments may still arrive, and the playout jitter buffer
+            // can decode them in capture order afterwards. Only evict
+            // frames that have fallen beyond any plausible repair horizon.
+            let horizon = packet.frame_index.saturating_sub(Self::REPAIR_HORIZON);
+            self.pending.retain(|&idx2, _| idx2 >= horizon);
+            Some(ReassembledFrame {
+                frame_index: packet.frame_index,
+                pts: done.pts,
+                complete_at: done.last_arrival.max(arrival),
+                is_keyframe: done.is_keyframe,
+                total_bytes: done.bytes,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ravel_codec::{FrameType, Qp};
+    use ravel_sim::Dur;
+    use ravel_video::Resolution;
+
+    fn frame(index: u64, size_bytes: u64) -> EncodedFrame {
+        EncodedFrame {
+            index,
+            pts: Time::from_millis(index * 33),
+            encoded_at: Time::from_millis(index * 33 + 5),
+            frame_type: if index == 0 { FrameType::I } else { FrameType::P },
+            size_bytes,
+            qp: Qp::TYPICAL,
+            ssim: 0.95,
+            psnr_db: 40.0,
+            encode_time: Dur::millis(5),
+            encode_resolution: Resolution::P720,
+            temporal_layer: 0,
+        }
+    }
+
+    #[test]
+    fn fragments_cover_payload() {
+        let mut p = Packetizer::new();
+        let pkts = p.packetize(&frame(0, 3000));
+        assert_eq!(pkts.len(), 3);
+        let payload: u64 = pkts.iter().map(|p| p.size_bytes - HEADER_BYTES).sum();
+        assert_eq!(payload, 3000);
+        assert_eq!(pkts[0].size_bytes, 1240);
+        assert_eq!(pkts[2].size_bytes, 600 + 40);
+    }
+
+    #[test]
+    fn sequence_numbers_are_transport_wide() {
+        let mut p = Packetizer::new();
+        let a = p.packetize(&frame(0, 2500));
+        let b = p.packetize(&frame(1, 1000));
+        assert_eq!(a.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(b[0].seq, 3);
+        assert_eq!(p.next_seq(), 4);
+    }
+
+    #[test]
+    fn single_packet_frame() {
+        let mut p = Packetizer::new();
+        let pkts = p.packetize(&frame(0, 500));
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].is_last_fragment());
+        assert!(pkts[0].is_keyframe);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        let pkts = p.packetize(&frame(0, 3000));
+        let t0 = Time::from_millis(100);
+        assert!(asm.push(&pkts[0], t0).is_none());
+        assert!(asm.push(&pkts[1], t0 + Dur::millis(1)).is_none());
+        let done = asm.push(&pkts[2], t0 + Dur::millis(2)).unwrap();
+        assert_eq!(done.frame_index, 0);
+        assert_eq!(done.complete_at, t0 + Dur::millis(2));
+        assert_eq!(done.total_bytes, 3000 + 3 * HEADER_BYTES);
+        assert_eq!(asm.pending_frames(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        let pkts = p.packetize(&frame(0, 3000));
+        let t0 = Time::from_millis(100);
+        assert!(asm.push(&pkts[2], t0).is_none());
+        assert!(asm.push(&pkts[0], t0 + Dur::millis(3)).is_none());
+        let done = asm.push(&pkts[1], t0 + Dur::millis(1)).unwrap();
+        // complete_at is the max arrival, not the completing packet's.
+        assert_eq!(done.complete_at, t0 + Dur::millis(3));
+    }
+
+    #[test]
+    fn duplicate_fragment_ignored() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        let pkts = p.packetize(&frame(0, 2000));
+        let t = Time::from_millis(1);
+        assert!(asm.push(&pkts[0], t).is_none());
+        assert!(asm.push(&pkts[0], t).is_none());
+        assert!(asm.push(&pkts[1], t).is_some());
+    }
+
+    #[test]
+    fn older_incomplete_frame_survives_newer_completion() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        let f0 = p.packetize(&frame(0, 3000));
+        let f1 = p.packetize(&frame(1, 500));
+        let t = Time::from_millis(1);
+        // Frame 0 partially arrives, then frame 1 completes.
+        asm.push(&f0[0], t);
+        assert!(asm.push(&f1[0], t).is_some());
+        // Frame 0 stays pending: RTX may still repair it.
+        assert_eq!(asm.pending_frames(), 1);
+        asm.push(&f0[1], Time::from_millis(30));
+        let done = asm.push(&f0[2], Time::from_millis(31)).unwrap();
+        assert_eq!(done.frame_index, 0);
+        assert_eq!(done.complete_at, Time::from_millis(31));
+    }
+
+    #[test]
+    fn frames_beyond_repair_horizon_are_evicted() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        let f0 = p.packetize(&frame(0, 3000));
+        let t = Time::from_millis(1);
+        asm.push(&f0[0], t);
+        assert_eq!(asm.pending_frames(), 1);
+        // A frame far beyond the horizon completes; frame 0 is evicted.
+        let late_frame = p.packetize(&frame(100, 500));
+        assert!(asm.push(&late_frame[0], Time::from_millis(4000)).is_some());
+        assert_eq!(asm.pending_frames(), 0);
+    }
+
+    #[test]
+    fn interleaved_frames_reassemble_independently() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        let f0 = p.packetize(&frame(0, 2400));
+        let f1 = p.packetize(&frame(1, 2400));
+        let t = Time::from_millis(1);
+        assert!(asm.push(&f0[0], t).is_none());
+        assert!(asm.push(&f1[0], t).is_none());
+        assert!(asm.push(&f1[1], t).is_some());
+        // f0 remains pending within the repair horizon.
+        assert_eq!(asm.pending_frames(), 1);
+        assert!(asm.push(&f0[1], t).is_some());
+    }
+
+    proptest::proptest! {
+        /// Packetize always produces fragments that sum to the payload
+        /// and carry contiguous fragment numbers.
+        #[test]
+        fn packetize_total(size in 1u64..2_000_000) {
+            let mut p = Packetizer::new();
+            let pkts = p.packetize(&frame(0, size));
+            let payload: u64 = pkts.iter().map(|p| p.size_bytes - HEADER_BYTES).sum();
+            proptest::prop_assert_eq!(payload, size);
+            for (i, pkt) in pkts.iter().enumerate() {
+                proptest::prop_assert_eq!(pkt.fragment as usize, i);
+                proptest::prop_assert!(pkt.size_bytes - HEADER_BYTES <= PAYLOAD_MTU);
+            }
+        }
+    }
+}

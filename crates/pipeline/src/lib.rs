@@ -1,0 +1,30 @@
+//! # ravel-pipeline — the end-to-end RTC session
+//!
+//! Wires every substrate into one deterministic discrete-event session:
+//!
+//! ```text
+//! VideoSource → [AdaptiveController?] → Encoder → Packetizer → Pacer
+//!      → Link (bottleneck: queue + capacity trace + propagation)
+//!      → FrameAssembler → display accounting (→ Decoder model)
+//!      ↖ FeedbackBuilder ← per-packet arrivals
+//!        (reports return over the reverse path → GCC → controller)
+//! ```
+//!
+//! One call to [`run_session`] produces a [`SessionResult`] holding the
+//! per-frame latency/quality records and optional time series — the raw
+//! material for every table and figure in EXPERIMENTS.md.
+//!
+//! The **baseline** scheme is GCC driving the encoder through the
+//! production slow path (`set_target_bitrate`); the **adaptive** scheme
+//! inserts `ravel-core`'s controller in between. Everything else —
+//! content, codec, pacing, link, feedback timing, seeds — is identical
+//! across schemes, so measured deltas are attributable to the paper's
+//! mechanism alone.
+
+#![warn(missing_docs)]
+
+pub mod scheme;
+pub mod session;
+
+pub use scheme::{CcKind, Scheme};
+pub use session::{run_session, SessionConfig, SessionResult};

@@ -1,0 +1,103 @@
+//! Sender schemes: which congestion controller, and whether the
+//! adaptive encoder controller is in the loop.
+
+use ravel_cc::{CongestionController, FixedRate, Gcc, GccConfig, NaiveAimd};
+use ravel_core::AdaptiveConfig;
+
+/// Which congestion controller drives the long-term target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcKind {
+    /// Google Congestion Control (the realistic baseline).
+    Gcc,
+    /// No congestion control: fixed at the start rate.
+    Fixed,
+    /// Loss-only AIMD (TCP-flavoured strawman).
+    NaiveAimd,
+}
+
+impl CcKind {
+    /// Instantiates the controller at `start_bps`.
+    pub fn build(self, start_bps: f64) -> Box<dyn CongestionController> {
+        match self {
+            CcKind::Gcc => Box::new(Gcc::new(GccConfig::new(start_bps))),
+            CcKind::Fixed => Box::new(FixedRate::new(start_bps)),
+            CcKind::NaiveAimd => Box::new(NaiveAimd::new(start_bps, 150_000.0, 8e6)),
+        }
+    }
+}
+
+/// A complete sender scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scheme {
+    /// The congestion controller.
+    pub cc: CcKind,
+    /// The adaptive encoder controller, if enabled.
+    pub adaptive: Option<AdaptiveConfig>,
+}
+
+impl Scheme {
+    /// The paper's baseline: GCC + slow-path encoder reconfiguration.
+    pub fn baseline() -> Scheme {
+        Scheme {
+            cc: CcKind::Gcc,
+            adaptive: None,
+        }
+    }
+
+    /// The paper's system: GCC + the adaptive controller (full config).
+    pub fn adaptive() -> Scheme {
+        Scheme {
+            cc: CcKind::Gcc,
+            adaptive: Some(AdaptiveConfig::default()),
+        }
+    }
+
+    /// The paper's system with a specific (e.g. ablated) config.
+    pub fn adaptive_with(cfg: AdaptiveConfig) -> Scheme {
+        Scheme {
+            cc: CcKind::Gcc,
+            adaptive: Some(cfg),
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(&self) -> String {
+        let cc = match self.cc {
+            CcKind::Gcc => "gcc",
+            CcKind::Fixed => "fixed",
+            CcKind::NaiveAimd => "naive-aimd",
+        };
+        if self.adaptive.is_some() {
+            format!("{cc}+adaptive")
+        } else {
+            cc.to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Scheme::baseline().name(), "gcc");
+        assert_eq!(Scheme::adaptive().name(), "gcc+adaptive");
+        assert_eq!(
+            Scheme {
+                cc: CcKind::Fixed,
+                adaptive: None
+            }
+            .name(),
+            "fixed"
+        );
+    }
+
+    #[test]
+    fn cc_builders_start_at_requested_rate() {
+        for kind in [CcKind::Gcc, CcKind::Fixed, CcKind::NaiveAimd] {
+            let cc = kind.build(2e6);
+            assert_eq!(cc.target_bps(), 2e6, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! A deterministic event queue.
+//!
+//! Discrete-event simulation revolves around a priority queue keyed by
+//! firing time. The standard-library [`BinaryHeap`] is *not* stable for
+//! equal keys, which would make two events scheduled at the same instant
+//! pop in an order that depends on heap history — a classic source of
+//! irreproducible simulations. [`EventQueue`] therefore tags every pushed
+//! event with a monotonically increasing sequence number and breaks ties
+//! on it, guaranteeing FIFO order among simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event that has been scheduled: the instant it fires plus its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: Time,
+    /// Insertion order; unique per queue, used for deterministic ties.
+    pub seq: u64,
+    /// The caller's payload.
+    pub event: E,
+}
+
+/// Internal heap entry ordered as a *min*-heap on `(at, seq)`.
+struct Entry<E>(Scheduled<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that BinaryHeap (a max-heap) pops the earliest
+        // (time, seq) pair first.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+///
+/// The queue also tracks the latest time it has handed out, and panics if
+/// an event is scheduled in the past relative to an already-popped event —
+/// causality violations are always bugs in the model layer above.
+///
+/// ```
+/// use ravel_sim::{EventQueue, Time, Dur};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_millis(5), "b");
+/// q.push(Time::from_millis(1), "a");
+/// q.push(Time::from_millis(5), "c"); // same instant as "b": FIFO order
+///
+/// assert_eq!(q.pop().unwrap().event, "a");
+/// assert_eq!(q.pop().unwrap().event, "b");
+/// assert_eq!(q.pop().unwrap().event, "c");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock; scheduling into
+    /// the past would silently reorder causality.
+    pub fn push(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled at {at:?} but clock already at {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Scheduled { at, seq, event }));
+    }
+
+    /// Pops the earliest event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        self.now = entry.0.at;
+        Some(entry.0)
+    }
+
+    /// The firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: Time) -> Option<Scheduled<E>> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drops all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(30), 3);
+        q.push(Time::from_millis(10), 1);
+        q.push(Time::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_millis(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(5), ());
+        q.push(Time::from_millis(9), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_millis(5));
+        q.pop();
+        assert_eq!(q.now(), Time::from_millis(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled at")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(10), ());
+        q.pop();
+        q.push(Time::from_millis(5), ());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(10), 1);
+        q.push(Time::from_millis(20), 2);
+        assert_eq!(q.pop_before(Time::from_millis(15)).unwrap().event, 1);
+        assert!(q.pop_before(Time::from_millis(15)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_deterministic() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(1), "a");
+        let a = q.pop().unwrap();
+        assert_eq!(a.event, "a");
+        // Push two events at the same future instant after a pop: FIFO holds.
+        let t = q.now() + Dur::millis(4);
+        q.push(t, "b");
+        q.push(t, "c");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+    }
+
+    proptest::proptest! {
+        /// Pops always come out in non-decreasing time order, and
+        /// equal-time events preserve insertion order, for any schedule.
+        #[test]
+        fn pop_order_total(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Time::from_millis(t), i);
+            }
+            let mut last: Option<(Time, usize)> = None;
+            while let Some(s) = q.pop() {
+                if let Some((lt, lseq)) = last {
+                    proptest::prop_assert!(s.at >= lt);
+                    if s.at == lt {
+                        proptest::prop_assert!(s.event > lseq, "FIFO violated");
+                    }
+                }
+                last = Some((s.at, s.event));
+            }
+        }
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_millis(1), ());
+        q.push(Time::from_millis(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.peek_time().is_none());
+    }
+}

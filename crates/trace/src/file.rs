@@ -1,0 +1,224 @@
+//! File-backed traces: replay externally captured capacity series.
+//!
+//! The on-disk format is deliberately simple JSON — an object with a
+//! `samples` array of `[seconds, bits_per_second]` pairs — so traces
+//! exported from mahimahi/pantheon-style capture tools convert with a
+//! one-liner. Samples are interpreted as a step function (each rate holds
+//! until the next sample).
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use ravel_sim::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::{BandwidthTrace, StepTrace};
+
+/// Errors loading a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The file is not valid trace JSON.
+    Parse(serde_json::Error),
+    /// The file parsed but violates trace invariants.
+    Invalid(String),
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O error: {e}"),
+            TraceFileError::Parse(e) => write!(f, "trace file parse error: {e}"),
+            TraceFileError::Invalid(msg) => write!(f, "invalid trace file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceFileError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceFileError::Parse(e)
+    }
+}
+
+/// Serialized form of a trace file.
+#[derive(Debug, Serialize, Deserialize)]
+struct TraceFile {
+    /// Optional human-readable provenance note.
+    #[serde(default)]
+    note: String,
+    /// `[seconds_from_start, bits_per_second]` pairs, strictly increasing
+    /// in time.
+    samples: Vec<(f64, f64)>,
+}
+
+/// A capacity trace loaded from (or saved to) a JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileTrace {
+    path: StepTrace,
+    note: String,
+}
+
+impl FileTrace {
+    /// Loads a trace from a JSON file.
+    pub fn load(path: &Path) -> Result<FileTrace, TraceFileError> {
+        let text = fs::read_to_string(path)?;
+        FileTrace::from_json(&text)
+    }
+
+    /// Parses a trace from JSON text.
+    pub fn from_json(text: &str) -> Result<FileTrace, TraceFileError> {
+        let file: TraceFile = serde_json::from_str(text)?;
+        if file.samples.is_empty() {
+            return Err(TraceFileError::Invalid("no samples".into()));
+        }
+        let mut points = Vec::with_capacity(file.samples.len());
+        let mut last_us: Option<u64> = None;
+        for &(secs, bps) in &file.samples {
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(TraceFileError::Invalid(format!("bad timestamp {secs}")));
+            }
+            if !bps.is_finite() || bps < 0.0 {
+                return Err(TraceFileError::Invalid(format!("bad rate {bps}")));
+            }
+            let us = (secs * 1e6).round() as u64;
+            if let Some(prev) = last_us {
+                if us <= prev {
+                    return Err(TraceFileError::Invalid(
+                        "timestamps not strictly increasing".into(),
+                    ));
+                }
+            }
+            last_us = Some(us);
+            points.push((Time::from_micros(us), bps));
+        }
+        Ok(FileTrace {
+            path: StepTrace::new(points),
+            note: file.note,
+        })
+    }
+
+    /// Builds a trace directly from `(seconds, bps)` samples (used by
+    /// tools that synthesize traces and then save them).
+    pub fn from_samples(note: &str, samples: &[(f64, f64)]) -> Result<FileTrace, TraceFileError> {
+        let file = TraceFile {
+            note: note.to_owned(),
+            samples: samples.to_vec(),
+        };
+        let json = serde_json::to_string(&file).expect("trace serialization is infallible");
+        FileTrace::from_json(&json)
+    }
+
+    /// Serializes this trace to JSON.
+    pub fn to_json(&self) -> String {
+        let samples: Vec<(f64, f64)> = self
+            .path
+            .points()
+            .iter()
+            .map(|&(t, r)| (t.as_secs_f64(), r))
+            .collect();
+        let file = TraceFile {
+            note: self.note.clone(),
+            samples,
+        };
+        serde_json::to_string_pretty(&file).expect("trace serialization is infallible")
+    }
+
+    /// Saves this trace to a JSON file.
+    pub fn save(&self, path: &Path) -> Result<(), TraceFileError> {
+        fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// The provenance note stored with the trace.
+    pub fn note(&self) -> &str {
+        &self.note
+    }
+
+    /// The underlying step path.
+    pub fn path(&self) -> &StepTrace {
+        &self.path
+    }
+}
+
+impl BandwidthTrace for FileTrace {
+    fn rate_bps(&self, at: Time) -> f64 {
+        self.path.rate_bps(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let t = FileTrace::from_samples(
+            "unit test",
+            &[(0.0, 4e6), (10.0, 1e6), (30.0, 4e6)],
+        )
+        .unwrap();
+        let json = t.to_json();
+        let t2 = FileTrace::from_json(&json).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(t2.note(), "unit test");
+        assert_eq!(t2.rate_bps(Time::from_secs(15)), 1e6);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ravel_trace_test.json");
+        let t = FileTrace::from_samples("disk", &[(0.0, 2e6), (5.0, 1e6)]).unwrap();
+        t.save(&path).unwrap();
+        let t2 = FileTrace::load(&path).unwrap();
+        assert_eq!(t, t2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = FileTrace::from_json(r#"{"samples": []}"#).unwrap_err();
+        assert!(matches!(err, TraceFileError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        let err =
+            FileTrace::from_json(r#"{"samples": [[1.0, 5.0], [1.0, 6.0]]}"#).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"));
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        let err = FileTrace::from_json(r#"{"samples": [[0.0, -5.0]]}"#).unwrap_err();
+        assert!(err.to_string().contains("bad rate"));
+    }
+
+    #[test]
+    fn rejects_bad_json() {
+        let err = FileTrace::from_json("not json").unwrap_err();
+        assert!(matches!(err, TraceFileError::Parse(_)));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = FileTrace::load(Path::new("/nonexistent/ravel.json")).unwrap_err();
+        assert!(matches!(err, TraceFileError::Io(_)));
+    }
+
+    #[test]
+    fn note_defaults_empty() {
+        let t = FileTrace::from_json(r#"{"samples": [[0.0, 1.0]]}"#).unwrap();
+        assert_eq!(t.note(), "");
+    }
+}

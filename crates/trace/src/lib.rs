@@ -1,0 +1,148 @@
+//! # ravel-trace — network bandwidth traces
+//!
+//! The poster's subject is the *sudden bandwidth drop*: the bottleneck
+//! capacity falls by 2–8× within one RTT, long before the sender's
+//! congestion controller or encoder can react. This crate supplies the
+//! capacity processes the experiments run over:
+//!
+//! * [`ConstantTrace`] — a fixed-rate link (sanity baselines).
+//! * [`StepTrace`] — piecewise-constant capacity from explicit
+//!   breakpoints; [`StepTrace::sudden_drop`] builds the canonical
+//!   E1 "4 Mbps → 1 Mbps at t=10 s" shape.
+//! * [`OscillatingTrace`] — square- or sine-wave capacity for
+//!   oscillation/convergence tests.
+//! * [`StochasticTrace`] — a seeded Markov-modulated process reproducing
+//!   the statistics of cellular (LTE-like) capacity series: sticky states
+//!   with occasional deep fades. The path is *precomputed* at
+//!   construction, so queries are pure functions of time and every run
+//!   replays exactly.
+//! * [`FileTrace`] — `(seconds, bits-per-second)` samples loaded from a
+//!   JSON file, for replaying externally captured traces.
+//!
+//! Combinators ([`Scaled`], [`Clamped`], [`Shifted`], [`MinOf`]) compose
+//! traces without allocation at query time.
+//!
+//! All rates are in bits per second (`f64`); all queries take a
+//! [`ravel_sim::Time`] and are `O(log n)` or better.
+
+#![warn(missing_docs)]
+
+pub mod combinators;
+pub mod file;
+pub mod oscillating;
+pub mod step;
+pub mod stochastic;
+
+pub use combinators::{Clamped, MinOf, Scaled, Shifted};
+pub use file::{FileTrace, TraceFileError};
+pub use oscillating::{OscillatingTrace, Waveform};
+pub use step::{ConstantTrace, StepTrace};
+pub use stochastic::{CellularProfile, StochasticTrace};
+
+use ravel_sim::{Dur, Time};
+
+/// A bottleneck-capacity process: bits per second as a function of time.
+///
+/// Implementations must be pure: the same `at` always returns the same
+/// rate. Stochastic traces achieve this by sampling their whole path up
+/// front from a seed.
+pub trait BandwidthTrace {
+    /// Capacity in bits per second at instant `at`. Must be finite and
+    /// non-negative.
+    fn rate_bps(&self, at: Time) -> f64;
+
+    /// The mean rate over `[from, from + span)`, approximated by sampling
+    /// at `step` intervals. Implementations with closed forms may
+    /// override.
+    fn mean_rate_bps(&self, from: Time, span: Dur, step: Dur) -> f64 {
+        assert!(!step.is_zero(), "mean_rate_bps: zero step");
+        let mut t = from;
+        let end = from + span;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        while t < end {
+            sum += self.rate_bps(t);
+            n += 1;
+            t += step;
+        }
+        if n == 0 {
+            self.rate_bps(from)
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Wraps `self` so that all rates are multiplied by `factor`.
+    fn scaled(self, factor: f64) -> Scaled<Self>
+    where
+        Self: Sized,
+    {
+        Scaled::new(self, factor)
+    }
+
+    /// Wraps `self` so that rates are clamped into `[lo, hi]`.
+    fn clamped(self, lo: f64, hi: f64) -> Clamped<Self>
+    where
+        Self: Sized,
+    {
+        Clamped::new(self, lo, hi)
+    }
+
+    /// Wraps `self` shifted later in time by `offset` (the trace's t=0
+    /// maps to simulation time `offset`; earlier queries see the t=0 rate).
+    fn shifted(self, offset: Dur) -> Shifted<Self>
+    where
+        Self: Sized,
+    {
+        Shifted::new(self, offset)
+    }
+}
+
+/// Blanket impl so `&T` traces compose.
+impl<T: BandwidthTrace + ?Sized> BandwidthTrace for &T {
+    fn rate_bps(&self, at: Time) -> f64 {
+        (**self).rate_bps(at)
+    }
+}
+
+/// Blanket impl so boxed trait objects are traces too.
+impl<T: BandwidthTrace + ?Sized> BandwidthTrace for Box<T> {
+    fn rate_bps(&self, at: Time) -> f64 {
+        (**self).rate_bps(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let c = ConstantTrace::new(2e6);
+        let r: &dyn BandwidthTrace = &c;
+        assert_eq!(r.rate_bps(Time::ZERO), 2e6);
+        let b: Box<dyn BandwidthTrace> = Box::new(ConstantTrace::new(3e6));
+        assert_eq!(b.rate_bps(Time::from_secs(5)), 3e6);
+    }
+
+    #[test]
+    fn default_mean_rate_samples() {
+        let t = StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10));
+        // Over [5s, 15s): 5s at 4 Mbps then 5s at 1 Mbps -> mean 2.5 Mbps.
+        let mean = t.mean_rate_bps(Time::from_secs(5), Dur::secs(10), Dur::millis(100));
+        assert!((mean - 2.5e6).abs() < 0.05e6, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero step")]
+    fn mean_rate_zero_step_panics() {
+        // StepTrace uses the default mean_rate_bps implementation, which
+        // guards against a zero sampling step. (ConstantTrace overrides it
+        // with a closed form and never samples.)
+        StepTrace::sudden_drop(2.0, 1.0, Time::from_secs(1)).mean_rate_bps(
+            Time::ZERO,
+            Dur::SECOND,
+            Dur::ZERO,
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Periodic capacity traces for oscillation and convergence experiments.
+
+use std::f64::consts::TAU;
+
+use ravel_sim::{Dur, Time};
+
+use crate::BandwidthTrace;
+
+/// The shape of one oscillation period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waveform {
+    /// High for the first half of the period, low for the second half.
+    Square,
+    /// Smooth sinusoid between low and high.
+    Sine,
+    /// Linear ramp high→low→high (triangle).
+    Triangle,
+}
+
+/// A capacity that oscillates between `low` and `high` with a fixed period.
+///
+/// Square waves model periodic cross-traffic (e.g. a backup job); sine
+/// waves model slow fading. The trace is deterministic and phase-aligned
+/// to t=0 (a period starts high).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OscillatingTrace {
+    low: f64,
+    high: f64,
+    period: Dur,
+    waveform: Waveform,
+}
+
+impl OscillatingTrace {
+    /// Creates an oscillating trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`, rates are negative/non-finite, or the
+    /// period is zero.
+    pub fn new(low: f64, high: f64, period: Dur, waveform: Waveform) -> OscillatingTrace {
+        assert!(
+            low.is_finite() && high.is_finite() && low >= 0.0 && low <= high,
+            "OscillatingTrace: bad range [{low}, {high}]"
+        );
+        assert!(!period.is_zero(), "OscillatingTrace: zero period");
+        OscillatingTrace {
+            low,
+            high,
+            period,
+            waveform,
+        }
+    }
+
+    /// Phase within the current period, in `[0, 1)`.
+    fn phase(&self, at: Time) -> f64 {
+        let within = Dur::micros(at.as_micros() % self.period.as_micros());
+        within / self.period
+    }
+}
+
+impl BandwidthTrace for OscillatingTrace {
+    fn rate_bps(&self, at: Time) -> f64 {
+        let phase = self.phase(at);
+        match self.waveform {
+            Waveform::Square => {
+                if phase < 0.5 {
+                    self.high
+                } else {
+                    self.low
+                }
+            }
+            Waveform::Sine => {
+                let mid = (self.high + self.low) / 2.0;
+                let amp = (self.high - self.low) / 2.0;
+                mid + amp * (TAU * phase).cos()
+            }
+            Waveform::Triangle => {
+                // high at phase 0, low at phase 0.5, back to high at 1.
+                let dist = (phase - 0.5).abs() * 2.0; // 1 at edges, 0 at middle
+                self.low + (self.high - self.low) * dist
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_alternates() {
+        let t = OscillatingTrace::new(1e6, 4e6, Dur::secs(10), Waveform::Square);
+        assert_eq!(t.rate_bps(Time::from_secs(1)), 4e6);
+        assert_eq!(t.rate_bps(Time::from_secs(6)), 1e6);
+        assert_eq!(t.rate_bps(Time::from_secs(11)), 4e6);
+        assert_eq!(t.rate_bps(Time::from_secs(16)), 1e6);
+    }
+
+    #[test]
+    fn sine_peaks_at_period_start() {
+        let t = OscillatingTrace::new(1e6, 4e6, Dur::secs(10), Waveform::Sine);
+        assert!((t.rate_bps(Time::ZERO) - 4e6).abs() < 1.0);
+        assert!((t.rate_bps(Time::from_secs(5)) - 1e6).abs() < 1.0);
+        // Quarter period: midpoint.
+        assert!((t.rate_bps(Time::from_millis(2500)) - 2.5e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn triangle_hits_extremes() {
+        let t = OscillatingTrace::new(1e6, 4e6, Dur::secs(10), Waveform::Triangle);
+        assert!((t.rate_bps(Time::ZERO) - 4e6).abs() < 1.0);
+        assert!((t.rate_bps(Time::from_secs(5)) - 1e6).abs() < 1.0);
+        assert!((t.rate_bps(Time::from_millis(2500)) - 2.5e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn all_waveforms_stay_in_range() {
+        for wf in [Waveform::Square, Waveform::Sine, Waveform::Triangle] {
+            let t = OscillatingTrace::new(1e6, 4e6, Dur::millis(700), wf);
+            for ms in (0..5000).step_by(13) {
+                let r = t.rate_bps(Time::from_millis(ms));
+                assert!(
+                    (1e6 - 1e-6..=4e6 + 1e-6).contains(&r),
+                    "{wf:?} out of range at {ms}ms: {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_panics() {
+        OscillatingTrace::new(1.0, 2.0, Dur::ZERO, Waveform::Square);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        OscillatingTrace::new(2.0, 1.0, Dur::SECOND, Waveform::Square);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ravel-video — synthetic video content sources
+//!
+//! Encoder rate control reacts to the *complexity* of incoming frames,
+//! not to their pixels: x264's ABR loop tracks per-frame SATD-style
+//! complexity estimates, and frame sizes scale with them. To reproduce
+//! the paper's encoder dynamics we therefore need realistic complexity
+//! *processes*, not real video.
+//!
+//! A [`VideoSource`] emits [`RawFrame`]s at a fixed frame rate. Each
+//! frame carries:
+//!
+//! * **spatial complexity** — texture/detail; drives intra (I-frame) bits,
+//! * **temporal complexity** — motion/change since the previous frame;
+//!   drives inter (P-frame) bits,
+//! * a **scene-cut flag** — forces an I-frame and a complexity jump.
+//!
+//! Complexities are dimensionless with 1.0 ≈ "typical 720p talking-head
+//! content"; the codec crate's R–D model converts them to bits. The
+//! processes are mean-reverting AR(1) with seeded noise plus a Poisson
+//! scene-cut process, matching the short-range correlation and occasional
+//! discontinuities of real complexity traces.
+//!
+//! [`ContentProfile`] bundles the process parameters for the four content
+//! classes the experiments use (talking head, screen share, gaming,
+//! sports).
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod resolution;
+pub mod script;
+pub mod source;
+
+pub use profile::{ContentClass, ContentProfile};
+pub use resolution::Resolution;
+pub use script::{ScriptedSource, Segment};
+pub use source::{FrameComplexity, RawFrame, VideoSource};

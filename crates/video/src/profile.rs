@@ -1,0 +1,187 @@
+//! Content classes and their complexity-process parameters.
+
+use std::fmt;
+
+/// The four content classes used throughout the evaluation (E6 sweeps
+/// them). Each maps to a [`ContentProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentClass {
+    /// A video call: low motion, moderate texture, rare scene cuts.
+    TalkingHead,
+    /// Screen sharing: very low motion with bursty full-screen changes
+    /// (slide flips show up as scene cuts).
+    ScreenShare,
+    /// Game streaming: high motion, high texture, frequent cuts.
+    Gaming,
+    /// Sports: the hardest case — sustained high motion and panning.
+    Sports,
+}
+
+impl ContentClass {
+    /// All classes, in evaluation order.
+    pub const ALL: [ContentClass; 4] = [
+        ContentClass::TalkingHead,
+        ContentClass::ScreenShare,
+        ContentClass::Gaming,
+        ContentClass::Sports,
+    ];
+
+    /// The profile parameters for this class.
+    pub fn profile(self) -> ContentProfile {
+        match self {
+            ContentClass::TalkingHead => ContentProfile {
+                class: self,
+                spatial_mean: 1.0,
+                temporal_mean: 0.35,
+                ar_coeff: 0.97,
+                noise_std: 0.04,
+                scene_cuts_per_min: 0.5,
+                cut_complexity_boost: 1.4,
+            },
+            ContentClass::ScreenShare => ContentProfile {
+                class: self,
+                spatial_mean: 0.8,
+                temporal_mean: 0.08,
+                ar_coeff: 0.995,
+                noise_std: 0.02,
+                scene_cuts_per_min: 4.0,
+                cut_complexity_boost: 2.2,
+            },
+            ContentClass::Gaming => ContentProfile {
+                class: self,
+                spatial_mean: 1.3,
+                temporal_mean: 0.9,
+                ar_coeff: 0.9,
+                noise_std: 0.1,
+                scene_cuts_per_min: 6.0,
+                cut_complexity_boost: 1.6,
+            },
+            ContentClass::Sports => ContentProfile {
+                class: self,
+                spatial_mean: 1.2,
+                temporal_mean: 1.1,
+                ar_coeff: 0.93,
+                noise_std: 0.08,
+                scene_cuts_per_min: 3.0,
+                cut_complexity_boost: 1.5,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ContentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ContentClass::TalkingHead => "talking-head",
+            ContentClass::ScreenShare => "screen-share",
+            ContentClass::Gaming => "gaming",
+            ContentClass::Sports => "sports",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Parameters of the per-frame complexity process for one content class.
+///
+/// Spatial/temporal complexity each follow a mean-reverting AR(1):
+/// `x[n+1] = μ + ρ·(x[n] − μ) + σ·ε`, with a Poisson scene-cut process
+/// that multiplies complexity by `cut_complexity_boost` for the cut frame
+/// and forces an I-frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentProfile {
+    /// The class these parameters describe.
+    pub class: ContentClass,
+    /// Long-run mean spatial complexity (1.0 = reference content).
+    pub spatial_mean: f64,
+    /// Long-run mean temporal complexity (relative to spatial).
+    pub temporal_mean: f64,
+    /// AR(1) coefficient ρ in `[0, 1)`: higher = smoother content.
+    pub ar_coeff: f64,
+    /// Innovation standard deviation σ.
+    pub noise_std: f64,
+    /// Average scene cuts per minute (Poisson rate).
+    pub scene_cuts_per_min: f64,
+    /// Multiplier applied to the cut frame's complexity.
+    pub cut_complexity_boost: f64,
+}
+
+impl ContentProfile {
+    /// Validates parameter ranges; called by the source at construction.
+    pub fn validate(&self) {
+        assert!(
+            self.spatial_mean > 0.0 && self.spatial_mean.is_finite(),
+            "profile: bad spatial_mean"
+        );
+        assert!(
+            self.temporal_mean >= 0.0 && self.temporal_mean.is_finite(),
+            "profile: bad temporal_mean"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.ar_coeff),
+            "profile: ar_coeff must be in [0,1)"
+        );
+        assert!(self.noise_std >= 0.0, "profile: negative noise_std");
+        assert!(
+            self.scene_cuts_per_min >= 0.0,
+            "profile: negative scene cut rate"
+        );
+        assert!(
+            self.cut_complexity_boost >= 1.0,
+            "profile: cut boost must be >= 1"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for class in ContentClass::ALL {
+            class.profile().validate();
+        }
+    }
+
+    #[test]
+    fn screen_share_is_smoothest() {
+        // Screen share should have the highest AR coefficient (stillest
+        // content) and lowest temporal mean.
+        let ss = ContentClass::ScreenShare.profile();
+        for class in ContentClass::ALL {
+            let p = class.profile();
+            assert!(ss.ar_coeff >= p.ar_coeff);
+            assert!(ss.temporal_mean <= p.temporal_mean);
+        }
+    }
+
+    #[test]
+    fn sports_has_highest_motion() {
+        let sp = ContentClass::Sports.profile();
+        for class in ContentClass::ALL {
+            assert!(sp.temporal_mean >= class.profile().temporal_mean);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ar_coeff")]
+    fn validate_rejects_unit_root() {
+        let mut p = ContentClass::TalkingHead.profile();
+        p.ar_coeff = 1.0;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cut boost")]
+    fn validate_rejects_sub_unit_boost() {
+        let mut p = ContentClass::Gaming.profile();
+        p.cut_complexity_boost = 0.5;
+        p.validate();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ContentClass::TalkingHead.to_string(), "talking-head");
+        assert_eq!(ContentClass::Sports.to_string(), "sports");
+    }
+}

@@ -1,0 +1,297 @@
+//! The frame source: a capture clock plus complexity processes.
+
+use ravel_sim::{Dur, Rng, Time};
+
+use crate::profile::ContentProfile;
+use crate::resolution::Resolution;
+
+/// Per-frame complexity measurements, as an encoder's pre-analysis
+/// (lookahead) would estimate them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameComplexity {
+    /// Texture/detail complexity; drives intra-coded bits.
+    pub spatial: f64,
+    /// Motion/change complexity; drives inter-coded bits.
+    pub temporal: f64,
+    /// True if this frame is a scene cut (forces an I-frame).
+    pub scene_cut: bool,
+}
+
+impl FrameComplexity {
+    /// A neutral reference complexity (spatial 1.0, temporal 0.35), used
+    /// by tests and as the R–D model's calibration point.
+    pub fn reference() -> FrameComplexity {
+        FrameComplexity {
+            spatial: 1.0,
+            temporal: 0.35,
+            scene_cut: false,
+        }
+    }
+}
+
+/// An uncompressed frame handed to the encoder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawFrame {
+    /// Zero-based capture index.
+    pub index: u64,
+    /// Capture timestamp (the latency clock starts here).
+    pub pts: Time,
+    /// Capture resolution.
+    pub resolution: Resolution,
+    /// Pre-analysis complexity estimates.
+    pub complexity: FrameComplexity,
+}
+
+/// A deterministic synthetic camera: emits frames at a fixed rate with
+/// AR(1) complexity dynamics and Poisson scene cuts.
+///
+/// ```
+/// use ravel_video::{ContentClass, Resolution, VideoSource};
+///
+/// let mut src = VideoSource::new(
+///     ContentClass::TalkingHead.profile(),
+///     Resolution::P720,
+///     30,
+///     42,
+/// );
+/// let f0 = src.next_frame();
+/// let f1 = src.next_frame();
+/// assert_eq!(f0.index, 0);
+/// assert_eq!(f1.index, 1);
+/// assert!(f1.pts > f0.pts);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    profile: ContentProfile,
+    resolution: Resolution,
+    fps: u32,
+    frame_interval: Dur,
+    rng: Rng,
+    next_index: u64,
+    spatial: f64,
+    temporal: f64,
+    /// Per-frame scene-cut probability derived from the per-minute rate.
+    cut_prob: f64,
+}
+
+impl VideoSource {
+    /// Creates a source emitting `fps` frames per second at `resolution`,
+    /// with complexity dynamics from `profile`, seeded by `seed`.
+    pub fn new(profile: ContentProfile, resolution: Resolution, fps: u32, seed: u64) -> VideoSource {
+        profile.validate();
+        assert!(fps > 0, "VideoSource: zero fps");
+        let frame_interval = Dur::micros(1_000_000 / fps as u64);
+        let cut_prob = profile.scene_cuts_per_min / 60.0 / fps as f64;
+        VideoSource {
+            spatial: profile.spatial_mean,
+            temporal: profile.temporal_mean,
+            profile,
+            resolution,
+            fps,
+            frame_interval,
+            rng: Rng::substream(seed, 0xF00D),
+            next_index: 0,
+            cut_prob,
+        }
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// Interval between successive frames.
+    pub fn frame_interval(&self) -> Dur {
+        self.frame_interval
+    }
+
+    /// The capture resolution (frames report this; the *encoder* may
+    /// downscale independently).
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The content profile driving complexity.
+    pub fn profile(&self) -> &ContentProfile {
+        &self.profile
+    }
+
+    /// Capture time of frame `index`.
+    pub fn pts_of(&self, index: u64) -> Time {
+        Time::ZERO + self.frame_interval * index
+    }
+
+    /// Produces the next frame, advancing the complexity processes.
+    pub fn next_frame(&mut self) -> RawFrame {
+        let index = self.next_index;
+        self.next_index += 1;
+
+        let p = &self.profile;
+        // AR(1) mean-reverting step for each process.
+        self.spatial = ar1_step(
+            &mut self.rng,
+            self.spatial,
+            p.spatial_mean,
+            p.ar_coeff,
+            p.noise_std,
+        );
+        self.temporal = ar1_step(
+            &mut self.rng,
+            self.temporal,
+            p.temporal_mean,
+            p.ar_coeff,
+            p.noise_std,
+        );
+
+        let scene_cut = index == 0 || self.rng.chance(self.cut_prob);
+        let boost = if scene_cut && index != 0 {
+            // A cut kicks both processes up; they then mean-revert.
+            self.spatial *= p.cut_complexity_boost;
+            self.temporal = (self.temporal * p.cut_complexity_boost).max(p.temporal_mean);
+            p.cut_complexity_boost
+        } else {
+            1.0
+        };
+        let _ = boost;
+
+        RawFrame {
+            index,
+            pts: self.pts_of(index),
+            resolution: self.resolution,
+            complexity: FrameComplexity {
+                spatial: self.spatial,
+                temporal: self.temporal,
+                scene_cut,
+            },
+        }
+    }
+}
+
+/// One mean-reverting AR(1) step, floored at 10% of the mean so
+/// complexity never collapses to zero (real content always costs bits).
+fn ar1_step(rng: &mut Rng, x: f64, mean: f64, rho: f64, sigma: f64) -> f64 {
+    let next = mean + rho * (x - mean) + sigma * rng.normal();
+    next.max(mean * 0.1).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ContentClass;
+
+    fn source(class: ContentClass, seed: u64) -> VideoSource {
+        VideoSource::new(class.profile(), Resolution::P720, 30, seed)
+    }
+
+    #[test]
+    fn frame_timing_is_exact() {
+        let mut src = source(ContentClass::TalkingHead, 1);
+        let f0 = src.next_frame();
+        let f1 = src.next_frame();
+        let f2 = src.next_frame();
+        assert_eq!(f0.pts, Time::ZERO);
+        assert_eq!(f1.pts, Time::from_micros(33_333));
+        assert_eq!(f2.pts, Time::from_micros(66_666));
+        assert_eq!(src.frame_interval(), Dur::micros(33_333));
+    }
+
+    #[test]
+    fn first_frame_is_scene_cut() {
+        let mut src = source(ContentClass::Gaming, 2);
+        assert!(src.next_frame().complexity.scene_cut);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = source(ContentClass::Sports, 7);
+        let mut b = source(ContentClass::Sports, 7);
+        for _ in 0..500 {
+            assert_eq!(a.next_frame(), b.next_frame());
+        }
+    }
+
+    #[test]
+    fn complexity_stays_near_profile_mean() {
+        let mut src = source(ContentClass::TalkingHead, 3);
+        let n = 3000;
+        let mut spatial_sum = 0.0;
+        for _ in 0..n {
+            spatial_sum += src.next_frame().complexity.spatial;
+        }
+        let mean = spatial_sum / n as f64;
+        let target = ContentClass::TalkingHead.profile().spatial_mean;
+        // Scene cuts bias the mean slightly upward; allow 15%.
+        assert!(
+            (mean - target).abs() / target < 0.15,
+            "mean {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn complexity_always_positive() {
+        for class in ContentClass::ALL {
+            let mut src = source(class, 4);
+            for _ in 0..2000 {
+                let c = src.next_frame().complexity;
+                assert!(c.spatial > 0.0);
+                assert!(c.temporal > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scene_cut_rate_matches_profile() {
+        let mut src = source(ContentClass::Gaming, 5);
+        let minutes = 30;
+        let frames = 30 * 60 * minutes;
+        let cuts = (0..frames)
+            .filter(|_| src.next_frame().complexity.scene_cut)
+            .count()
+            - 1; // exclude the forced first-frame cut
+        let per_min = cuts as f64 / minutes as f64;
+        let target = ContentClass::Gaming.profile().scene_cuts_per_min;
+        assert!(
+            (per_min - target).abs() / target < 0.35,
+            "observed {per_min}/min vs target {target}/min"
+        );
+    }
+
+    #[test]
+    fn screen_share_less_temporal_than_gaming() {
+        let mut ss = source(ContentClass::ScreenShare, 6);
+        let mut gm = source(ContentClass::Gaming, 6);
+        let n = 2000;
+        let ss_t: f64 = (0..n).map(|_| ss.next_frame().complexity.temporal).sum();
+        let gm_t: f64 = (0..n).map(|_| gm.next_frame().complexity.temporal).sum();
+        assert!(ss_t < gm_t / 3.0, "screen {ss_t} vs gaming {gm_t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero fps")]
+    fn zero_fps_panics() {
+        VideoSource::new(ContentClass::TalkingHead.profile(), Resolution::P720, 0, 0);
+    }
+
+    #[test]
+    fn pts_of_matches_emitted() {
+        let mut src = source(ContentClass::TalkingHead, 8);
+        for _ in 0..10 {
+            let f = src.next_frame();
+            assert_eq!(src.pts_of(f.index), f.pts);
+        }
+    }
+
+    proptest::proptest! {
+        /// Complexity never collapses below the 10%-of-mean floor for any
+        /// seed or class.
+        #[test]
+        fn complexity_floor_invariant(seed in 0u64..1000) {
+            let mut src = source(ContentClass::Sports, seed);
+            let floor = ContentClass::Sports.profile().spatial_mean * 0.1 - 1e-9;
+            for _ in 0..200 {
+                let c = src.next_frame().complexity;
+                proptest::prop_assert!(c.spatial >= floor);
+            }
+        }
+    }
+}
