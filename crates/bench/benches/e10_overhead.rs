@@ -14,6 +14,7 @@ use std::hint::black_box;
 
 fn report(seq0: u64, t0_us: u64) -> FeedbackReport {
     FeedbackReport {
+        report_seq: 0,
         generated_at: Time::from_micros(t0_us + 100_000),
         packets: (0..40u64)
             .map(|i| PacketResult {
@@ -46,12 +47,8 @@ fn bench(c: &mut Criterion) {
     g.bench_function("controller_on_frame", |b| {
         let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
         let mut enc = Encoder::new(EncoderConfig::rtc(4e6, 30));
-        let mut src = VideoSource::new(
-            ContentClass::TalkingHead.profile(),
-            Resolution::P720,
-            30,
-            1,
-        );
+        let mut src =
+            VideoSource::new(ContentClass::TalkingHead.profile(), Resolution::P720, 30, 1);
         b.iter(|| {
             let f = src.next_frame();
             black_box(ctl.on_frame(&f, f.pts, &mut enc));
@@ -60,12 +57,8 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("encoder_encode_frame", |b| {
         let mut enc = Encoder::new(EncoderConfig::rtc(4e6, 30));
-        let mut src = VideoSource::new(
-            ContentClass::TalkingHead.profile(),
-            Resolution::P720,
-            30,
-            2,
-        );
+        let mut src =
+            VideoSource::new(ContentClass::TalkingHead.profile(), Resolution::P720, 30, 2);
         b.iter(|| {
             let f = src.next_frame();
             black_box(enc.encode(&f, f.pts));

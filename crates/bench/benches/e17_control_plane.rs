@@ -1,0 +1,8 @@
+//! E17 — control-plane robustness (feedback impairment + watchdog).
+
+use ravel_bench::e17_control_plane;
+
+fn main() {
+    println!("\n=== E17: control-plane robustness (4->1 Mbps, impaired reverse path) ===\n");
+    println!("{}", e17_control_plane().render());
+}

@@ -1,4 +1,4 @@
-//! The E1–E9 experiment implementations (see DESIGN.md §5).
+//! The experiment implementations (see DESIGN.md §5).
 
 use ravel_core::AdaptiveConfig;
 use ravel_metrics::Table;
@@ -137,8 +137,16 @@ pub fn e4_drop_magnitude_sweep() -> Table {
     ]);
     for ratio in [1.25, 1.6, 2.0, 2.7, 4.0, 8.0] {
         let after = PRE_RATE / ratio;
-        let b = window_after(&run_drop(Scheme::baseline(), ContentClass::TalkingHead, after));
-        let a = window_after(&run_drop(Scheme::adaptive(), ContentClass::TalkingHead, after));
+        let b = window_after(&run_drop(
+            Scheme::baseline(),
+            ContentClass::TalkingHead,
+            after,
+        ));
+        let a = window_after(&run_drop(
+            Scheme::adaptive(),
+            ContentClass::TalkingHead,
+            after,
+        ));
         t.row_owned(vec![
             format!("{ratio:.2}x"),
             format!("{:.2}", after / 1e6),
@@ -530,13 +538,7 @@ pub fn e14_loss_recovery_strategies() -> Table {
 /// baseline, across a clean drop, a stochastic trace, and a steady link
 /// (where continuous control's conservatism costs quality).
 pub fn e15_control_architectures() -> Table {
-    let mut t = Table::new(&[
-        "scenario",
-        "scheme",
-        "mean_ms",
-        "p95_ms",
-        "sess_ssim",
-    ]);
+    let mut t = Table::new(&["scenario", "scheme", "mean_ms", "p95_ms", "sess_ssim"]);
     let schemes: [(&str, Scheme); 3] = [
         ("baseline", Scheme::baseline()),
         ("drop-triggered", Scheme::adaptive()),
@@ -653,6 +655,80 @@ pub fn e16_recovery_probing() -> Table {
     t
 }
 
+/// E17 — control-plane robustness: the canonical 4→1 Mbps drop with the
+/// *reverse* path impaired at the same time. Sweeps i.i.d. feedback
+/// loss {0, 10, 30, 50}% crossed with a feedback blackout of
+/// {0, 1, 3} s starting exactly at the drop instant (the worst case:
+/// capacity falls the moment the sender goes blind), for baseline vs.
+/// adaptive, each with and without the [`FeedbackWatchdog`].
+///
+/// Reports post-drop-window p50/p95 latency, session SSIM, watchdog
+/// degradation steps, and reverse-path accounting. The headline
+/// acceptance condition (30% loss + 1 s blackout) is the row pair where
+/// `adaptive+wd` must beat `adaptive` on p95.
+///
+/// [`FeedbackWatchdog`]: ravel_core::FeedbackWatchdog
+pub fn e17_control_plane() -> Table {
+    use ravel_core::WatchdogConfig;
+    use ravel_net::ReversePathConfig;
+
+    let schemes: [(&str, Scheme); 2] = [
+        ("baseline", Scheme::baseline()),
+        ("adaptive", Scheme::adaptive()),
+    ];
+    let mut t = Table::new(&[
+        "fb_loss",
+        "blackout_s",
+        "scheme",
+        "watchdog",
+        "p50_ms",
+        "p95_ms",
+        "sess_ssim",
+        "wd_steps",
+        "discarded",
+        "rev_lost",
+    ]);
+    for loss in [0.0, 0.1, 0.3, 0.5] {
+        for blackout_s in [0u64, 1, 3] {
+            for (name, scheme) in schemes {
+                for wd_on in [false, true] {
+                    let result = run_with(
+                        scheme,
+                        StepTrace::sudden_drop(PRE_RATE, 1e6, DROP_AT),
+                        |cfg| {
+                            let mut rp = ReversePathConfig::with_loss(loss);
+                            if blackout_s > 0 {
+                                rp = rp.add_blackout(DROP_AT, DROP_AT + Dur::secs(blackout_s));
+                            }
+                            cfg.reverse_path = rp;
+                            if wd_on {
+                                cfg.watchdog = Some(WatchdogConfig::for_timing(
+                                    cfg.feedback_interval,
+                                    cfg.reverse_delay * 2,
+                                ));
+                            }
+                        },
+                    );
+                    let w = window_after(&result);
+                    t.row_owned(vec![
+                        format!("{:.0}%", loss * 100.0),
+                        blackout_s.to_string(),
+                        name.to_string(),
+                        if wd_on { "on" } else { "off" }.to_string(),
+                        format!("{:.1}", w.p50_latency_ms),
+                        format!("{:.1}", w.p95_latency_ms),
+                        format!("{:.4}", result.recorder.summarize_all().mean_ssim),
+                        result.watchdog_timeouts.to_string(),
+                        result.reports_discarded.to_string(),
+                        result.reverse_lost.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -752,7 +828,10 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(full < base, "full ablation level not better: {full} vs {base}");
+        assert!(
+            full < base,
+            "full ablation level not better: {full} vs {base}"
+        );
     }
 
     #[test]

@@ -82,12 +82,7 @@ impl AimdRateControl {
 
     /// Updates the target given the detector verdict and the measured
     /// delivered rate (if known). Returns the new target.
-    pub fn update(
-        &mut self,
-        usage: BandwidthUsage,
-        delivered_bps: Option<f64>,
-        now: Time,
-    ) -> f64 {
+    pub fn update(&mut self, usage: BandwidthUsage, delivered_bps: Option<f64>, now: Time) -> f64 {
         // State transitions (libwebrtc ChangeState).
         self.state = match (usage, self.state) {
             (BandwidthUsage::Overusing, _) => RateControlState::Decrease,
@@ -139,7 +134,9 @@ impl AimdRateControl {
                 // that capacity fell. Reductions only happen on overuse
                 // or loss evidence. (libwebrtc reaches the same end via
                 // ALR detection.)
-                let cap = delivered_bps.map(|d| 1.5 * d + 10_000.0).unwrap_or(f64::MAX);
+                let cap = delivered_bps
+                    .map(|d| 1.5 * d + 10_000.0)
+                    .unwrap_or(f64::MAX);
                 self.target_bps = increased
                     .min(cap)
                     .max(self.target_bps)

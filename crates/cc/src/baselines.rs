@@ -107,6 +107,7 @@ mod tests {
             });
         }
         FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(100),
             packets,
         }

@@ -41,6 +41,7 @@ impl GccConfig {
 ///
 /// let mut gcc = Gcc::new(GccConfig::new(2e6));
 /// let report = FeedbackReport {
+///     report_seq: 0,
 ///     generated_at: Time::from_millis(100),
 ///     packets: (0..10)
 ///         .map(|i| PacketResult {
@@ -173,6 +174,7 @@ mod tests {
             })
             .collect();
         FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(arrival_start_ms + n * arrival_gap_ms),
             packets,
         }
@@ -218,10 +220,7 @@ mod tests {
             seq += 10;
             target = gcc.on_feedback(&r, Time::from_millis((round + 1) * 100));
         }
-        assert!(
-            target < before * 0.95,
-            "no decrease: {before} -> {target}"
-        );
+        assert!(target < before * 0.95, "no decrease: {before} -> {target}");
     }
 
     #[test]
@@ -280,15 +279,7 @@ mod tests {
         // ...but a second or two of reports gets it most of the way down.
         let mut target = after_one;
         for round in 1..20u64 {
-            let r = report(
-                seq,
-                3,
-                1000 + round * 100,
-                10,
-                1030 + round * 120,
-                40,
-                None,
-            );
+            let r = report(seq, 3, 1000 + round * 100, 10, 1030 + round * 120, 40, None);
             seq += 3;
             target = gcc.on_feedback(&r, Time::from_millis(1100 + round * 100));
         }

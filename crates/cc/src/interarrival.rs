@@ -80,8 +80,10 @@ impl InterArrival {
             Some(g) => {
                 // New group begins; emit a delta vs. the previous group.
                 let delta = self.previous.map(|prev| {
-                    let arrival_delta =
-                        g.last_arrival.saturating_since(prev.last_arrival).as_secs_f64();
+                    let arrival_delta = g
+                        .last_arrival
+                        .saturating_since(prev.last_arrival)
+                        .as_secs_f64();
                     let send_delta_d = g.last_send.saturating_since(prev.last_send);
                     let send_delta = send_delta_d.as_secs_f64();
                     PacketGroupDelta {
@@ -115,7 +117,7 @@ mod tests {
         let mut ia = InterArrival::default();
         assert!(ia.on_packet(ms(0), ms(20)).is_none()); // group 1
         assert!(ia.on_packet(ms(10), ms(30)).is_none()); // group 2 starts
-        // Group 3 starts: emits delta between groups 1 and 2.
+                                                         // Group 3 starts: emits delta between groups 1 and 2.
         let d = ia.on_packet(ms(20), ms(40)).unwrap();
         assert!((d.delay_variation_ms - 0.0).abs() < 1e-9);
     }

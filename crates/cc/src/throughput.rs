@@ -39,9 +39,8 @@ impl ThroughputEstimator {
     }
 
     fn evict(&mut self, now: Time) {
-        let cutoff_time = Time::from_micros(
-            now.as_micros().saturating_sub(self.window.as_micros()),
-        );
+        let cutoff_time =
+            Time::from_micros(now.as_micros().saturating_sub(self.window.as_micros()));
         while let Some(&(t, b)) = self.samples.front() {
             if t < cutoff_time {
                 self.bytes_in_window -= b;

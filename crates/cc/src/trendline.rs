@@ -138,7 +138,10 @@ impl TrendlineEstimator {
         let mean_x = sum_x / n as f64;
         let mean_y = sum_y / n as f64;
         let (num, den) = self.window.iter().fold((0.0, 0.0), |(num, den), &(x, y)| {
-            (num + (x - mean_x) * (y - mean_y), den + (x - mean_x).powi(2))
+            (
+                num + (x - mean_x) * (y - mean_y),
+                den + (x - mean_x).powi(2),
+            )
         });
         if den.abs() < 1e-12 {
             None
@@ -230,7 +233,11 @@ mod tests {
                 break;
             }
         }
-        assert!(overused, "never detected overuse; trend {}", est.modified_trend_ms());
+        assert!(
+            overused,
+            "never detected overuse; trend {}",
+            est.modified_trend_ms()
+        );
     }
 
     #[test]

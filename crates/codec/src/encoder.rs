@@ -299,7 +299,9 @@ impl Encoder {
     /// The adaptive controller uses this to prefer skipping droppable
     /// enhancement-layer frames.
     pub fn next_frame_layer(&self) -> u8 {
-        if self.cfg.temporal_layers == 2 && !self.force_idr && self.frames_since_idr < self.cfg.keyint
+        if self.cfg.temporal_layers == 2
+            && !self.force_idr
+            && self.frames_since_idr < self.cfg.keyint
         {
             self.layer_parity as u8
         } else {
@@ -357,9 +359,7 @@ impl Encoder {
                 // Fast-path override: exact R–D solve for the pinned
                 // budget. Also inform the ABR planner so its blur keeps
                 // tracking content (plan result discarded).
-                let _ = self
-                    .abr
-                    .plan_frame(satd, frame_type, self.frame_interval);
+                let _ = self.abr.plan_frame(satd, frame_type, self.frame_interval);
                 self.cfg
                     .rd
                     .solve_qp(rd_complexity, pixels, frame_type, budget)
@@ -368,10 +368,12 @@ impl Encoder {
                 self.abr.plan_frame(satd, frame_type, self.frame_interval)
             }
             (None, RateControlMode::Crf(crf)) => {
-                let _ = self
-                    .abr
-                    .plan_frame(satd, frame_type, self.frame_interval);
-                Qp::new(if frame_type.is_intra() { crf - 2.0 } else { crf })
+                let _ = self.abr.plan_frame(satd, frame_type, self.frame_interval);
+                Qp::new(if frame_type.is_intra() {
+                    crf - 2.0
+                } else {
+                    crf
+                })
             }
         };
 
@@ -666,7 +668,11 @@ mod tests {
         let mut enc = Encoder::new(cfg);
         let mut src = source(12);
         let frames = run(&mut enc, &mut src, 120);
-        for f in frames.iter().skip(1).filter(|f| f.frame_type == FrameType::P) {
+        for f in frames
+            .iter()
+            .skip(1)
+            .filter(|f| f.frame_type == FrameType::P)
+        {
             assert!((f.qp.value() - 28.0).abs() < 1e-9, "CRF drifted: {}", f.qp);
         }
     }
@@ -684,7 +690,8 @@ mod tests {
         assert_eq!(frames[0].temporal_layer, 0);
         for pair in frames[1..].windows(2) {
             assert_ne!(
-                pair[0].temporal_layer, pair[1].temporal_layer,
+                pair[0].temporal_layer,
+                pair[1].temporal_layer,
                 "layers must alternate: {:?}",
                 frames.iter().map(|f| f.temporal_layer).collect::<Vec<_>>()
             );
@@ -719,7 +726,10 @@ mod tests {
         let qp1: f64 = f1[200..].iter().map(|f| f.qp.value()).sum::<f64>() / 200.0;
         let qp2: f64 = f2[200..].iter().map(|f| f.qp.value()).sum::<f64>() / 200.0;
         assert!(qp2 > qp1, "two layers should cost QP: {qp1} vs {qp2}");
-        assert!(qp2 - qp1 < 3.0, "layer overhead implausible: {qp1} vs {qp2}");
+        assert!(
+            qp2 - qp1 < 3.0,
+            "layer overhead implausible: {qp1} vs {qp2}"
+        );
     }
 
     #[test]
@@ -742,12 +752,7 @@ mod tests {
         let mut cfg = EncoderConfig::rtc(0.2e6, 30);
         cfg.vbv_buffer_secs = 0.05; // 10 kbit bucket
         let mut enc = Encoder::new(cfg);
-        let mut src = VideoSource::new(
-            ContentClass::Sports.profile(),
-            Resolution::P720,
-            30,
-            30,
-        );
+        let mut src = VideoSource::new(ContentClass::Sports.profile(), Resolution::P720, 30, 30);
         run(&mut enc, &mut src, 60);
         assert!(enc.vbv_underflows() > 0, "underflow never recorded");
     }

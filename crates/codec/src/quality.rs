@@ -65,7 +65,8 @@ impl QualityModel {
         encode_res: Resolution,
         display_res: Resolution,
     ) -> f64 {
-        let cplx_factor = (1.0 - self.complexity_weight) + self.complexity_weight * complexity.spatial;
+        let cplx_factor =
+            (1.0 - self.complexity_weight) + self.complexity_weight * complexity.spatial;
         let mut deficit = self.ssim_a * (self.ssim_k * qp.value()).exp() * cplx_factor.max(0.1);
         if encode_res.pixels() < display_res.pixels() {
             let octaves = (display_res.pixels() as f64 / encode_res.pixels() as f64).log2();
@@ -111,7 +112,12 @@ mod tests {
     fn ssim_decreases_with_qp() {
         let mut prev = 2.0;
         for qp in 10..=51 {
-            let s = m().ssim(Qp::new(qp as f64), refc(), Resolution::P720, Resolution::P720);
+            let s = m().ssim(
+                Qp::new(qp as f64),
+                refc(),
+                Resolution::P720,
+                Resolution::P720,
+            );
             assert!(s < prev, "SSIM not decreasing at QP{qp}");
             assert!((0.0..=1.0).contains(&s));
             prev = s;

@@ -218,10 +218,8 @@ impl AbrState {
         let time_done = self.time_done + duration.as_secs_f64();
         let wanted_bits = time_done * self.cfg.bitrate_bps;
         if wanted_bits > 0.0 {
-            let abr_buffer = 2.0
-                * self.cfg.rate_tolerance
-                * self.cfg.bitrate_bps
-                * time_done.sqrt().max(1.0);
+            let abr_buffer =
+                2.0 * self.cfg.rate_tolerance * self.cfg.bitrate_bps * time_done.sqrt().max(1.0);
             let overflow = (1.0 + (self.total_bits - wanted_bits) / abr_buffer).clamp(0.5, 2.0);
             qscale *= overflow;
         }

@@ -39,6 +39,9 @@ pub enum ControllerPhase {
     Drain,
     /// The queue has drained; easing control back to GCC.
     Recover,
+    /// The feedback loop is blind (watchdog fired); the target is being
+    /// backed off toward a floor until reports resume.
+    Degraded,
 }
 
 /// Per-frame verdict.
@@ -188,9 +191,20 @@ impl AdaptiveController {
             self.on_feedback_continuous(report, gcc_target_bps, now, encoder);
             return;
         }
-        let signal = self
-            .detector
-            .on_feedback(report, encoder.target_bps(), now);
+        let signal = self.detector.on_feedback(report, encoder.target_bps(), now);
+
+        if self.phase == ControllerPhase::Degraded {
+            // First report after a blind episode: hand control back
+            // through the ordinary Recover path. Reseed the capacity
+            // estimate from the backed-off target (the only rate the
+            // blind period validated) so Recover's
+            // `recover_rate_fraction · capacity` lands on it rather than
+            // on a pre-blackout estimate.
+            self.capacity_bps = (encoder.target_bps() * self.rate_overhead_factor
+                + self.reserved_bps)
+                / self.cfg.recover_rate_fraction;
+            self.enter_recover(now, encoder);
+        }
 
         match self.phase {
             ControllerPhase::Steady => {
@@ -233,8 +247,8 @@ impl AdaptiveController {
                         .or_else(|| self.detector.delivered_bps())
                     {
                         self.capacity_bps += 0.5 * (delivered - self.capacity_bps);
-                        let target = self
-                            .wire_to_media(self.cfg.drain_rate_fraction * self.capacity_bps);
+                        let target =
+                            self.wire_to_media(self.cfg.drain_rate_fraction * self.capacity_bps);
                         encoder.set_target_bitrate(target);
                         if self.cfg.enable_fast_qp {
                             encoder.override_frame_budget(Some((target / self.fps) as u64));
@@ -245,6 +259,8 @@ impl AdaptiveController {
                     self.enter_recover(now, encoder);
                 }
             }
+            // Converted to Recover above.
+            ControllerPhase::Degraded => unreachable!("Degraded resolved before dispatch"),
             ControllerPhase::Recover => {
                 if let Some(sig) = signal {
                     self.enter_drain(sig, now, encoder);
@@ -259,7 +275,8 @@ impl AdaptiveController {
                     }
                 } else {
                     // Cap GCC's optimism by what we measured.
-                    let cap = self.wire_to_media(self.cfg.recover_rate_fraction * self.capacity_bps);
+                    let cap =
+                        self.wire_to_media(self.cfg.recover_rate_fraction * self.capacity_bps);
                     let target = gcc_target_bps.min(cap);
                     encoder.set_target_bitrate(target);
                     if self.cfg.enable_vbv_rescale {
@@ -267,6 +284,29 @@ impl AdaptiveController {
                     }
                 }
             }
+        }
+    }
+
+    /// Feedback-watchdog hook: no valid report has arrived within the
+    /// timeout, and the watchdog has already computed the backed-off
+    /// `target_bps` (media rate). Enters the `Degraded` phase and drives
+    /// the encoder there through the fast path; successive timeouts call
+    /// this again with ever-lower targets. The next valid report routes
+    /// control back through `Recover`.
+    pub fn on_feedback_timeout(&mut self, target_bps: f64, now: Time, encoder: &mut Encoder) {
+        self.phase = ControllerPhase::Degraded;
+        self.phase_since = now;
+        // A probe cycle mid-blindness is meaningless — there is no
+        // feedback to judge it with.
+        self.probe = None;
+        encoder.override_frame_budget(None);
+        if self.cfg.enable_fast_qp {
+            encoder.reseed_rate_control(target_bps);
+        } else {
+            encoder.set_target_bitrate(target_bps);
+        }
+        if self.cfg.enable_vbv_rescale {
+            encoder.rescale_vbv(target_bps);
         }
     }
 
@@ -312,6 +352,13 @@ impl AdaptiveController {
                 }
                 FrameDecision::Encode
             }
+            // Blind-period frame skipping is a session policy (it applies
+            // to the baseline too), not a controller decision; here the
+            // ladder just holds its rung until feedback resumes.
+            ControllerPhase::Degraded => {
+                self.consecutive_skips = 0;
+                FrameDecision::Encode
+            }
         }
     }
 
@@ -327,9 +374,7 @@ impl AdaptiveController {
         now: Time,
         encoder: &mut Encoder,
     ) {
-        let _ = self
-            .detector
-            .on_feedback(report, encoder.target_bps(), now);
+        let _ = self.detector.on_feedback(report, encoder.target_bps(), now);
         let qd = self.detector.queue_delay();
         let cur = encoder.target_bps();
         let delivered = self
@@ -375,7 +420,9 @@ impl AdaptiveController {
     /// probe owns the encoder target (the normal GCC pass-through must
     /// not overwrite it).
     fn step_probe(&mut self, now: Time, encoder: &mut Encoder) -> bool {
-        let Some(mut p) = self.probe else { return false };
+        let Some(mut p) = self.probe else {
+            return false;
+        };
         let cur = encoder.target_bps();
         if p.active {
             let qd = self.detector.queue_delay();
@@ -480,12 +527,10 @@ impl AdaptiveController {
         }
         loop {
             let res = encoder.encode_resolution();
-            let qp = encoder.rd_model().solve_qp(
-                frame.complexity,
-                res.pixels(),
-                FrameType::P,
-                budget,
-            );
+            let qp =
+                encoder
+                    .rd_model()
+                    .solve_qp(frame.complexity, res.pixels(), FrameType::P, budget);
             if qp.value() <= self.cfg.ladder_down_qp {
                 break;
             }
@@ -555,6 +600,7 @@ mod tests {
             .collect();
         *seq += 40;
         FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis((round + 1) * 100),
             packets,
         }
@@ -572,6 +618,7 @@ mod tests {
             .collect();
         *seq += 10;
         FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(t0_ms + 100),
             packets,
         }
@@ -722,6 +769,7 @@ mod tests {
             })
             .collect();
         let r = FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(2100),
             packets,
         };
@@ -790,7 +838,11 @@ mod tests {
             ctl.on_feedback(&r, 4e6, Time::from_millis((round + 1) * 100), &mut enc);
         }
         assert!(enc.target_bps() >= 4e6, "no probe: {}", enc.target_bps());
-        assert!(enc.target_bps() <= 6e6, "runaway probe: {}", enc.target_bps());
+        assert!(
+            enc.target_bps() <= 6e6,
+            "runaway probe: {}",
+            enc.target_bps()
+        );
         // Congested round: target snaps toward the delivered rate
         // without any drop trigger.
         let r = congested_report(&mut seq, 2000, 60);
@@ -873,6 +925,57 @@ mod tests {
     }
 
     #[test]
+    fn feedback_timeout_enters_degraded_and_cuts_rate() {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
+        let mut enc = encoder(4e6);
+        let mut seq = 0;
+        warm(&mut ctl, &mut enc, &mut seq);
+        // The watchdog (session-side) computed successive backoffs.
+        ctl.on_feedback_timeout(2.8e6, Time::from_millis(2200), &mut enc);
+        assert_eq!(ctl.phase(), ControllerPhase::Degraded);
+        assert!((enc.target_bps() - 2.8e6).abs() < 1.0);
+        ctl.on_feedback_timeout(1.96e6, Time::from_millis(2400), &mut enc);
+        assert_eq!(ctl.phase(), ControllerPhase::Degraded);
+        assert!((enc.target_bps() - 1.96e6).abs() < 1.0);
+        // Frames still encode while degraded (skip policy is sessions').
+        let mut src = source();
+        let f = src.next_frame();
+        assert_eq!(
+            ctl.on_frame(&f, Time::from_millis(2400), &mut enc),
+            FrameDecision::Encode
+        );
+    }
+
+    #[test]
+    fn degraded_resumes_through_recover() {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
+        let mut enc = encoder(4e6);
+        let mut seq = 0;
+        warm(&mut ctl, &mut enc, &mut seq);
+        ctl.on_feedback_timeout(1.5e6, Time::from_millis(2200), &mut enc);
+        let degraded_target = enc.target_bps();
+        // Feedback resumes with a healthy report.
+        let r = healthy_report(&mut seq, 26);
+        ctl.on_feedback(&r, 4e6, Time::from_millis(2700), &mut enc);
+        assert_eq!(ctl.phase(), ControllerPhase::Recover);
+        // Recover's capacity was reseeded from the degraded target, so
+        // the hand-off does not jump the rate back up blindly.
+        assert!(
+            enc.target_bps() <= degraded_target * 1.05,
+            "recover jumped: {} -> {}",
+            degraded_target,
+            enc.target_bps()
+        );
+        // And after the hold, GCC resumes control as usual.
+        for round in 28..45u64 {
+            let r = healthy_report(&mut seq, round);
+            ctl.on_feedback(&r, 3e6, Time::from_millis((round + 1) * 100), &mut enc);
+        }
+        assert_eq!(ctl.phase(), ControllerPhase::Steady);
+        assert_eq!(enc.target_bps(), 3e6);
+    }
+
+    #[test]
     fn repeated_drop_reanchors_capacity() {
         let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
         let mut enc = encoder(4e6);
@@ -891,6 +994,7 @@ mod tests {
             })
             .collect();
         let r2 = FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(2800),
             packets,
         };

@@ -260,6 +260,7 @@ mod tests {
         arrival_gap_ms: u64,
     ) -> FeedbackReport {
         FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(arrival_start_ms + n * arrival_gap_ms),
             packets: (0..n)
                 .map(|i| PacketResult {
@@ -278,14 +279,13 @@ mod tests {
         let mut seq = 0;
         for round in 0..20u64 {
             let r = FeedbackReport {
+                report_seq: 0,
                 generated_at: Time::from_millis((round + 1) * 100),
                 packets: (0..40)
                     .map(|i| PacketResult {
                         seq: seq + i,
                         send_time: Time::from_micros((round * 100_000) + i * 2_500),
-                        arrival: Some(Time::from_micros(
-                            (round * 100_000) + i * 2_500 + 20_000,
-                        )),
+                        arrival: Some(Time::from_micros((round * 100_000) + i * 2_500 + 20_000)),
                         size_bytes: 1250,
                     })
                     .collect(),
@@ -314,6 +314,7 @@ mod tests {
         // Capacity drops 4x: arrivals now every 10 ms and OWD climbing
         // (each packet waits behind a growing queue).
         let r = FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(2100),
             packets: (0..10u64)
                 .map(|i| PacketResult {
@@ -341,6 +342,7 @@ mod tests {
         // A persisting (unhandled) drop keeps the queue — and thus OWD —
         // climbing across reports; `base` sets each report's OWD floor.
         let mk = |seq0: u64, t0: u64, base: u64| FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(t0 + 100),
             packets: (0..10u64)
                 .map(|i| PacketResult {
@@ -372,6 +374,7 @@ mod tests {
         let mut det = DropDetector::new(AdaptiveConfig::default());
         let seq = warm(&mut det);
         let r = FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(2100),
             packets: (0..40u64)
                 .map(|i| PacketResult {
@@ -401,6 +404,7 @@ mod tests {
     fn lost_packets_are_ignored_gracefully() {
         let mut det = DropDetector::new(AdaptiveConfig::default());
         let r = FeedbackReport {
+            report_seq: 0,
             generated_at: Time::from_millis(100),
             packets: vec![PacketResult {
                 seq: 0,

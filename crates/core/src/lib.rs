@@ -37,13 +37,21 @@
 //!
 //! Every mechanism has an independent enable flag in [`AdaptiveConfig`]
 //! so E7 can ablate them.
+//!
+//! * [`FeedbackWatchdog`] covers the failure mode the detector cannot:
+//!   feedback that never arrives. When the reverse path goes dark it
+//!   backs the target off exponentially toward a floor (the controller's
+//!   `Degraded` phase), and hands control back through `Recover` when
+//!   reports resume.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod controller;
 pub mod detector;
+pub mod watchdog;
 
 pub use config::AdaptiveConfig;
 pub use controller::{AdaptiveController, ControllerPhase, FrameDecision};
 pub use detector::{DropDetector, DropSignal};
+pub use watchdog::{FeedbackWatchdog, WatchdogConfig};

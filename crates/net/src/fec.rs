@@ -97,22 +97,24 @@ impl FecEncoder {
         self.current.clear();
         self.current_max_bytes = 0;
         self.parity_sent += 1;
-        Some(Packet {
-            kind: MediaKind::Fec,
-            seq: parity_seq(),
-            // Parity packets encode their group in the frame_index field
-            // (disjoint namespace) and the first covered seq in
-            // `fragment`-adjacent fields via pts reuse being unnecessary:
-            // the decoder re-derives membership from first_seq + size.
-            frame_index: FEC_GROUP_BASE + group.0,
-            fragment: 0,
-            num_fragments: 1,
-            size_bytes: size.max(HEADER_BYTES + 1),
-            pts: now,
-            send_time: now,
-            is_keyframe: false,
-        }
-        .with_group_info(first, span))
+        Some(
+            Packet {
+                kind: MediaKind::Fec,
+                seq: parity_seq(),
+                // Parity packets encode their group in the frame_index field
+                // (disjoint namespace) and the first covered seq in
+                // `fragment`-adjacent fields via pts reuse being unnecessary:
+                // the decoder re-derives membership from first_seq + size.
+                frame_index: FEC_GROUP_BASE + group.0,
+                fragment: 0,
+                num_fragments: 1,
+                size_bytes: size.max(HEADER_BYTES + 1),
+                pts: now,
+                send_time: now,
+                is_keyframe: false,
+            }
+            .with_group_info(first, span),
+        )
     }
 }
 
@@ -266,8 +268,7 @@ impl FecDecoder {
 
     /// The seq range a parity packet covers (diagnostics).
     pub fn covered_range(&self, parity: &Packet) -> std::ops::Range<u64> {
-        parity.group_first_seq()
-            ..parity.group_first_seq() + parity.group_count() as u64
+        parity.group_first_seq()..parity.group_first_seq() + parity.group_count() as u64
     }
 }
 

@@ -32,6 +32,12 @@ pub struct PacketResult {
 /// A batch of packet results flushed by the receiver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeedbackReport {
+    /// Monotone report sequence number assigned by the receiver at
+    /// flush time. The reverse path can drop, duplicate, and reorder
+    /// reports, so the sender uses this to discard duplicates and
+    /// stale (older-than-newest-processed) reports before they reach
+    /// the congestion controller or the drop detector.
+    pub report_seq: u64,
     /// When the receiver generated this report.
     pub generated_at: Time,
     /// Results ordered by sequence number.
@@ -105,6 +111,8 @@ pub struct FeedbackBuilder {
     /// receiver can only infer a gap's send metadata approximately, so
     /// lost packets carry the previous packet's send time.
     last_send_time: Time,
+    /// Sequence number assigned to the next flushed report.
+    next_report_seq: u64,
 }
 
 impl FeedbackBuilder {
@@ -138,17 +146,27 @@ impl FeedbackBuilder {
         }
         self.pending.sort_by_key(|p| p.seq);
         let highest = self.pending.last().expect("non-empty").seq;
+        if highest < self.next_expected_seq {
+            // Everything pending duplicates an already-reported seq
+            // (e.g. an RTX repair landing after its gap was declared
+            // lost). Reporting it again — or regressing the window to
+            // `highest + 1` — would double-report packets downstream,
+            // so drop the batch and keep the window where it is.
+            self.pending.clear();
+            return None;
+        }
         let mut packets = Vec::with_capacity(self.pending.len());
         let mut iter = self.pending.drain(..).peekable();
         for seq in self.next_expected_seq..=highest {
+            // Discard duplicates and below-window stragglers without
+            // letting them consume the slot for `seq`.
+            while iter.peek().is_some_and(|p| p.seq < seq) {
+                iter.next();
+            }
             match iter.peek() {
                 Some(p) if p.seq == seq => {
                     let p = iter.next().expect("peeked");
                     packets.push(p);
-                }
-                Some(p) if p.seq < seq => {
-                    // Duplicate/old packet below the window; skip it.
-                    iter.next();
                 }
                 _ => {
                     packets.push(PacketResult {
@@ -161,7 +179,10 @@ impl FeedbackBuilder {
             }
         }
         self.next_expected_seq = highest + 1;
+        let report_seq = self.next_report_seq;
+        self.next_report_seq += 1;
         Some(FeedbackReport {
+            report_seq,
             generated_at: now,
             packets,
         })
@@ -275,5 +296,88 @@ mod tests {
         let p = report.packets[0];
         let owd = p.arrival.unwrap().since(p.send_time);
         assert_eq!(owd, Dur::millis(30));
+    }
+
+    #[test]
+    fn report_seq_increments_per_flush() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(0, 5), Time::from_millis(30));
+        let r0 = fb.flush(Time::from_millis(40)).unwrap();
+        // An empty interval does not consume a report seq.
+        assert!(fb.flush(Time::from_millis(50)).is_none());
+        fb.on_packet(&pkt(1, 45), Time::from_millis(60));
+        let r1 = fb.flush(Time::from_millis(70)).unwrap();
+        assert_eq!(r0.report_seq, 0);
+        assert_eq!(r1.report_seq, 1);
+    }
+
+    #[test]
+    fn late_duplicate_does_not_regress_window() {
+        let mut fb = FeedbackBuilder::new();
+        fb.on_packet(&pkt(0, 5), Time::from_millis(30));
+        fb.on_packet(&pkt(5, 10), Time::from_millis(35));
+        let r1 = fb.flush(Time::from_millis(40)).unwrap();
+        assert_eq!(r1.packets.len(), 6); // 0..=5, gaps as losses
+                                         // An RTX repair for seq 2 lands after it was declared lost:
+                                         // it must not be re-reported, and the window must not regress.
+        fb.on_packet(&pkt(2, 8), Time::from_millis(50));
+        assert!(fb.flush(Time::from_millis(55)).is_none());
+        fb.on_packet(&pkt(6, 45), Time::from_millis(60));
+        let r2 = fb.flush(Time::from_millis(70)).unwrap();
+        assert_eq!(r2.packets.first().unwrap().seq, 6);
+        assert_eq!(r2.packets.len(), 1);
+    }
+
+    proptest::proptest! {
+        /// Whatever the arrival pattern — reordered, duplicated, with
+        /// gaps — consecutive reports cover disjoint, monotonically
+        /// increasing seq ranges and never double-report a packet.
+        #[test]
+        fn reports_partition_seq_space(
+            arrivals in proptest::collection::vec((0u64..400, 0u64..50), 1..120),
+            flush_every in 1usize..20,
+        ) {
+            let mut fb = FeedbackBuilder::new();
+            let mut reported = std::collections::BTreeSet::new();
+            let mut next_uncovered = 0u64;
+            let mut last_report_seq: Option<u64> = None;
+            let mut now_ms = 0;
+            for (chunk_idx, chunk) in arrivals.chunks(flush_every).enumerate() {
+                for &(seq, jitter_ms) in chunk {
+                    now_ms += 1;
+                    fb.on_packet(&pkt(seq, now_ms), Time::from_millis(now_ms + jitter_ms));
+                }
+                let Some(report) = fb.flush(Time::from_millis(now_ms + 100)) else {
+                    // Every chunk records at least one packet, so a
+                    // flush can only be empty if all its seqs were
+                    // already covered by earlier reports.
+                    proptest::prop_assert!(
+                        chunk.iter().all(|&(seq, _)| seq < next_uncovered),
+                        "empty flush with novel seqs (chunk {chunk_idx})"
+                    );
+                    continue;
+                };
+                // Report seq numbers strictly increase.
+                if let Some(prev) = last_report_seq {
+                    proptest::prop_assert!(report.report_seq > prev);
+                }
+                last_report_seq = Some(report.report_seq);
+                // The report covers a contiguous range that starts
+                // exactly where the previous report ended.
+                proptest::prop_assert_eq!(
+                    report.packets.first().unwrap().seq,
+                    next_uncovered
+                );
+                for p in &report.packets {
+                    proptest::prop_assert_eq!(p.seq, next_uncovered, "non-contiguous report");
+                    proptest::prop_assert!(
+                        reported.insert(p.seq),
+                        "seq {} double-reported",
+                        p.seq
+                    );
+                    next_uncovered += 1;
+                }
+            }
+        }
     }
 }

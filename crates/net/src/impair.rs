@@ -1,0 +1,447 @@
+//! Reverse-path (receiver → sender) impairment model.
+//!
+//! Forward-path damage is what congestion control is *for*; reverse-path
+//! damage is what breaks it. Every control signal in the pipeline —
+//! transport-wide feedback reports, NACK batches, PLI keyframe requests —
+//! rides the reverse path, and production networks lose, delay, reorder,
+//! duplicate, and black-hole that traffic just like media. [`ReversePath`]
+//! models those faults deterministically so control-plane robustness can
+//! be tested and replayed exactly.
+//!
+//! The model composes, per message:
+//!
+//! 1. **Blackout windows**: scheduled intervals during which every message
+//!    is dropped (modem retrain, Wi-Fi roam, cellular handover). Checked
+//!    without consuming randomness so a schedule change never perturbs the
+//!    stochastic stream.
+//! 2. **Gilbert–Elliott burst loss**: a two-state (good/bad) channel; the
+//!    bad state drops messages with high probability, producing the
+//!    correlated loss runs real wireless links exhibit.
+//! 3. **I.i.d. loss**: independent Bernoulli loss, OR'd with the burst
+//!    process.
+//! 4. **Jitter**: half-normal extra delay per message. Unlike the forward
+//!    [`Link`](crate::Link), the reverse path deliberately does *not*
+//!    enforce FIFO delivery — jittered control messages may reorder, which
+//!    is exactly the case report-integrity logic must survive.
+//! 5. **Duplication**: with some probability a second copy is delivered at
+//!    an independently jittered time.
+//!
+//! A pass-through configuration (the default) consumes **zero** RNG draws
+//! and adds exactly the base delay, so enabling the plumbing without
+//! enabling impairments leaves existing experiments byte-identical.
+
+use ravel_sim::{Dur, Rng, Time};
+
+/// RNG substream tag for the reverse path (distinct from the forward
+/// link's `0x11F0`).
+const REVERSE_PATH_STREAM: u64 = 0x2EF0;
+
+/// A scheduled interval during which the reverse path delivers nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blackout {
+    /// First instant of the blackout (inclusive).
+    pub from: Time,
+    /// End of the blackout (exclusive).
+    pub until: Time,
+}
+
+impl Blackout {
+    /// Creates a blackout window; `from` must precede `until`.
+    pub fn new(from: Time, until: Time) -> Blackout {
+        assert!(from < until, "Blackout: empty window {from:?}..{until:?}");
+        Blackout { from, until }
+    }
+
+    /// True if `at` falls inside this window.
+    pub fn contains(&self, at: Time) -> bool {
+        self.from <= at && at < self.until
+    }
+}
+
+/// Parameters of a two-state Gilbert–Elliott loss channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-message probability of moving good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-message probability of moving bad → good.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the bad state (the good state is
+    /// lossless; combine with [`ReversePathConfig::loss`] for a lossy
+    /// good state).
+    pub bad_loss: f64,
+}
+
+impl GilbertElliott {
+    /// A moderately bursty channel: mean burst ≈ 5 messages, stationary
+    /// bad-state occupancy ≈ 9%.
+    pub fn bursty() -> GilbertElliott {
+        GilbertElliott {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.2,
+            bad_loss: 1.0,
+        }
+    }
+}
+
+/// The maximum number of scheduled blackout windows per session. Fixed so
+/// the config stays `Copy` and embeds directly in session configs.
+pub const MAX_BLACKOUTS: usize = 4;
+
+/// Reverse-path impairment configuration. The default is pass-through:
+/// no loss, no jitter, no duplication, no blackouts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReversePathConfig {
+    /// Independent per-message loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Optional burst-loss channel, OR'd with `loss`.
+    pub gilbert_elliott: Option<GilbertElliott>,
+    /// Standard deviation of half-normal extra delay (0 disables).
+    /// Jitter MAY reorder messages.
+    pub jitter_std: Dur,
+    /// Probability that a delivered message is delivered twice, the copy
+    /// at an independently jittered time.
+    pub duplicate_prob: f64,
+    /// Scheduled blackout windows (unused slots are `None`).
+    pub blackouts: [Option<Blackout>; MAX_BLACKOUTS],
+}
+
+impl Default for ReversePathConfig {
+    fn default() -> ReversePathConfig {
+        ReversePathConfig {
+            loss: 0.0,
+            gilbert_elliott: None,
+            jitter_std: Dur::ZERO,
+            duplicate_prob: 0.0,
+            blackouts: [None; MAX_BLACKOUTS],
+        }
+    }
+}
+
+impl ReversePathConfig {
+    /// A config with only i.i.d. loss.
+    pub fn with_loss(loss: f64) -> ReversePathConfig {
+        ReversePathConfig {
+            loss,
+            ..ReversePathConfig::default()
+        }
+    }
+
+    /// Adds a blackout window to the first free slot. Panics if all
+    /// [`MAX_BLACKOUTS`] slots are taken.
+    pub fn add_blackout(mut self, from: Time, until: Time) -> ReversePathConfig {
+        let slot = self
+            .blackouts
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("ReversePathConfig: all blackout slots in use");
+        *slot = Some(Blackout::new(from, until));
+        self
+    }
+
+    /// True if this config impairs nothing (the pass-through default).
+    pub fn is_passthrough(&self) -> bool {
+        self.loss == 0.0
+            && self.gilbert_elliott.is_none()
+            && self.jitter_std.is_zero()
+            && self.duplicate_prob == 0.0
+            && self.blackouts.iter().all(Option::is_none)
+    }
+}
+
+/// A seeded reverse-path impairment channel.
+///
+/// Each call to [`transit`](ReversePath::transit) decides the fate of one
+/// receiver → sender message sent at `now` and returns up to two arrival
+/// times (the second for a duplicate). The channel is deterministic: the
+/// same seed and the same call sequence reproduce the same outcomes.
+#[derive(Debug, Clone)]
+pub struct ReversePath {
+    cfg: ReversePathConfig,
+    base_delay: Dur,
+    rng: Rng,
+    /// Gilbert–Elliott channel state (starts good).
+    ge_bad: bool,
+    delivered: u64,
+    lost: u64,
+    duplicated: u64,
+    blackout_dropped: u64,
+}
+
+impl ReversePath {
+    /// Creates a reverse path with the given base one-way delay; `seed`
+    /// drives loss, jitter, and duplication via its own substream.
+    pub fn new(cfg: ReversePathConfig, base_delay: Dur, seed: u64) -> ReversePath {
+        assert!(
+            (0.0..1.0).contains(&cfg.loss),
+            "ReversePath: loss probability {} out of range",
+            cfg.loss
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.duplicate_prob),
+            "ReversePath: duplicate probability {} out of range",
+            cfg.duplicate_prob
+        );
+        if let Some(ge) = &cfg.gilbert_elliott {
+            assert!(
+                (0.0..=1.0).contains(&ge.p_good_to_bad)
+                    && (0.0..=1.0).contains(&ge.p_bad_to_good)
+                    && (0.0..=1.0).contains(&ge.bad_loss),
+                "ReversePath: Gilbert–Elliott probabilities out of range"
+            );
+        }
+        ReversePath {
+            cfg,
+            base_delay,
+            rng: Rng::substream(seed, REVERSE_PATH_STREAM),
+            ge_bad: false,
+            delivered: 0,
+            lost: 0,
+            duplicated: 0,
+            blackout_dropped: 0,
+        }
+    }
+
+    /// The configuration this path was built with.
+    pub fn config(&self) -> &ReversePathConfig {
+        &self.cfg
+    }
+
+    /// Messages delivered (duplicates not counted).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages lost to i.i.d. or burst loss.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Extra copies produced by duplication.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Messages dropped because they were sent inside a blackout window.
+    pub fn blackout_dropped(&self) -> u64 {
+        self.blackout_dropped
+    }
+
+    /// Decides the fate of one message sent at `now`: up to two arrival
+    /// times, in the order the copies were generated (a jittered
+    /// duplicate may precede the original in arrival order).
+    ///
+    /// Impairments only consume randomness when enabled, so a
+    /// pass-through config draws nothing and stays byte-identical with
+    /// code that never had a reverse path at all.
+    pub fn transit(&mut self, now: Time) -> [Option<Time>; 2] {
+        // Blackouts are schedule-driven, never stochastic.
+        if self.cfg.blackouts.iter().flatten().any(|b| b.contains(now)) {
+            self.blackout_dropped += 1;
+            return [None, None];
+        }
+
+        // Burst loss: advance the channel, then sample while bad.
+        let mut dropped = false;
+        if let Some(ge) = self.cfg.gilbert_elliott {
+            if self.ge_bad {
+                if self.rng.chance(ge.p_bad_to_good) {
+                    self.ge_bad = false;
+                }
+            } else if self.rng.chance(ge.p_good_to_bad) {
+                self.ge_bad = true;
+            }
+            if self.ge_bad && self.rng.chance(ge.bad_loss) {
+                dropped = true;
+            }
+        }
+
+        // Independent loss, OR'd with the burst process.
+        if !dropped && self.cfg.loss > 0.0 && self.rng.chance(self.cfg.loss) {
+            dropped = true;
+        }
+        if dropped {
+            self.lost += 1;
+            return [None, None];
+        }
+
+        let arrival = now + self.base_delay + self.jitter();
+        self.delivered += 1;
+
+        let mut out = [Some(arrival), None];
+        if self.cfg.duplicate_prob > 0.0 && self.rng.chance(self.cfg.duplicate_prob) {
+            out[1] = Some(now + self.base_delay + self.jitter());
+            self.duplicated += 1;
+        }
+        out
+    }
+
+    /// One half-normal jitter sample (zero without jitter configured).
+    fn jitter(&mut self) -> Dur {
+        if self.cfg.jitter_std.is_zero() {
+            return Dur::ZERO;
+        }
+        let j = self.rng.normal().abs() * self.cfg.jitter_std.as_secs_f64();
+        Dur::from_secs_f64(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_passthrough() {
+        assert!(ReversePathConfig::default().is_passthrough());
+        assert!(!ReversePathConfig::with_loss(0.1).is_passthrough());
+        assert!(!ReversePathConfig::default()
+            .add_blackout(Time::from_secs(1), Time::from_secs(2))
+            .is_passthrough());
+    }
+
+    #[test]
+    fn passthrough_adds_exactly_base_delay() {
+        // Identical behavior across seeds proves no RNG involvement.
+        for seed in [0u64, 1, 99] {
+            let mut rp = ReversePath::new(ReversePathConfig::default(), Dur::millis(20), seed);
+            for i in 0..1000u64 {
+                let now = Time::from_millis(i * 7);
+                assert_eq!(rp.transit(now), [Some(now + Dur::millis(20)), None]);
+            }
+            assert_eq!(rp.delivered(), 1000);
+            assert_eq!(rp.lost() + rp.duplicated() + rp.blackout_dropped(), 0);
+        }
+    }
+
+    #[test]
+    fn iid_loss_statistics() {
+        let mut rp = ReversePath::new(ReversePathConfig::with_loss(0.3), Dur::millis(20), 42);
+        let mut lost = 0;
+        for i in 0..10_000u64 {
+            if rp.transit(Time::from_millis(i))[0].is_none() {
+                lost += 1;
+            }
+        }
+        assert!((2700..3300).contains(&lost), "lost {lost}/10000");
+        assert_eq!(rp.lost(), lost);
+        assert_eq!(rp.delivered(), 10_000 - lost);
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        let cfg = ReversePathConfig {
+            gilbert_elliott: Some(GilbertElliott::bursty()),
+            ..ReversePathConfig::default()
+        };
+        let mut rp = ReversePath::new(cfg, Dur::millis(20), 7);
+        let mut runs = Vec::new();
+        let mut run = 0u32;
+        for i in 0..50_000u64 {
+            if rp.transit(Time::from_millis(i))[0].is_none() {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        let mean_run = runs.iter().sum::<u32>() as f64 / runs.len() as f64;
+        // An i.i.d. channel at the same overall rate has mean run ≈ 1.1;
+        // p_bad_to_good = 0.2 gives a geometric mean burst ≈ 5.
+        assert!(mean_run > 2.5, "mean loss run {mean_run:.2}, not bursty");
+        // Stationary bad occupancy 0.02 / 0.22 ≈ 9%.
+        let rate = rp.lost() as f64 / 50_000.0;
+        assert!((0.05..0.14).contains(&rate), "loss rate {rate:.3}");
+    }
+
+    #[test]
+    fn blackout_drops_only_inside_window() {
+        let cfg = ReversePathConfig::default()
+            .add_blackout(Time::from_secs(10), Time::from_secs(11))
+            .add_blackout(Time::from_secs(20), Time::from_secs(23));
+        let mut rp = ReversePath::new(cfg, Dur::millis(20), 0);
+        assert!(rp.transit(Time::from_millis(9_999))[0].is_some());
+        assert!(rp.transit(Time::from_secs(10))[0].is_none());
+        assert!(rp.transit(Time::from_millis(10_500))[0].is_none());
+        assert!(rp.transit(Time::from_secs(11))[0].is_some());
+        assert!(rp.transit(Time::from_millis(21_000))[0].is_none());
+        assert!(rp.transit(Time::from_secs(23))[0].is_some());
+        assert_eq!(rp.blackout_dropped(), 3);
+        assert_eq!(rp.lost(), 0);
+    }
+
+    #[test]
+    fn duplication_statistics() {
+        let cfg = ReversePathConfig {
+            duplicate_prob: 0.25,
+            ..ReversePathConfig::default()
+        };
+        let mut rp = ReversePath::new(cfg, Dur::millis(20), 3);
+        let mut copies = 0;
+        for i in 0..10_000u64 {
+            let out = rp.transit(Time::from_millis(i));
+            assert!(out[0].is_some());
+            if out[1].is_some() {
+                copies += 1;
+            }
+        }
+        assert!((2200..2800).contains(&copies), "copies {copies}/10000");
+        assert_eq!(rp.duplicated(), copies);
+    }
+
+    #[test]
+    fn jitter_reorders_messages() {
+        let cfg = ReversePathConfig {
+            jitter_std: Dur::millis(30),
+            ..ReversePathConfig::default()
+        };
+        let mut rp = ReversePath::new(cfg, Dur::millis(20), 11);
+        let mut arrivals = Vec::new();
+        for i in 0..200u64 {
+            // Sends 5 ms apart with 30 ms jitter std: reordering certain.
+            if let Some(a) = rp.transit(Time::from_millis(i * 5))[0] {
+                arrivals.push(a);
+            }
+        }
+        let reordered = arrivals.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(reordered > 0, "no reordering across 200 sends");
+        // And every arrival still respects the base delay.
+        for (i, a) in arrivals.iter().enumerate() {
+            assert!(*a >= Time::from_millis(i as u64 * 5) + Dur::millis(20));
+        }
+    }
+
+    #[test]
+    fn identical_seeds_replay_exactly() {
+        let cfg = ReversePathConfig {
+            loss: 0.2,
+            gilbert_elliott: Some(GilbertElliott::bursty()),
+            jitter_std: Dur::millis(10),
+            duplicate_prob: 0.1,
+            ..ReversePathConfig::default()
+        };
+        let mut a = ReversePath::new(cfg, Dur::millis(20), 123);
+        let mut b = ReversePath::new(cfg, Dur::millis(20), 123);
+        let mut c = ReversePath::new(cfg, Dur::millis(20), 124);
+        let mut diverged = false;
+        for i in 0..2000u64 {
+            let now = Time::from_millis(i * 3);
+            let out = a.transit(now);
+            assert_eq!(out, b.transit(now));
+            if out != c.transit(now) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "seed had no effect");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_bad_loss() {
+        ReversePath::new(ReversePathConfig::with_loss(1.5), Dur::millis(20), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn rejects_empty_blackout() {
+        Blackout::new(Time::from_secs(5), Time::from_secs(5));
+    }
+}

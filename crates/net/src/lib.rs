@@ -21,6 +21,12 @@
 //! * [`fec`] — FlexFEC-style XOR parity: one parity packet per group
 //!   recovers any single loss with zero round-trips, at a constant
 //!   bitrate overhead.
+//! * [`impair`] — reverse-path (receiver → sender) fault injection:
+//!   seeded i.i.d. and Gilbert–Elliott loss, jitter-induced reordering,
+//!   duplication, and scheduled blackouts applied to feedback, NACKs,
+//!   and PLIs.
+//! * [`pli`] — receiver-side Picture Loss Indication with exponential
+//!   retry until a post-request keyframe actually arrives.
 //!
 //! The link is modelled analytically (delivery times computed at send
 //! time against the capacity trace) rather than with per-byte events;
@@ -31,16 +37,20 @@
 
 pub mod fec;
 pub mod feedback;
+pub mod impair;
 pub mod link;
+pub mod pacer;
 pub mod packet;
 pub mod packetize;
-pub mod pacer;
+pub mod pli;
 pub mod rtx;
 
+pub use fec::{FecDecoder, FecEncoder};
 pub use feedback::{FeedbackBuilder, FeedbackReport, PacketResult};
+pub use impair::{Blackout, GilbertElliott, ReversePath, ReversePathConfig};
 pub use link::{Delivery, Link, LinkConfig};
+pub use pacer::Pacer;
 pub use packet::{MediaKind, Packet};
 pub use packetize::{FrameAssembler, Packetizer, ReassembledFrame};
-pub use pacer::Pacer;
-pub use fec::{FecDecoder, FecEncoder};
+pub use pli::PliRequester;
 pub use rtx::{NackBatch, NackGenerator, RtxBuffer};

@@ -169,7 +169,11 @@ mod tests {
             index,
             pts: Time::from_millis(index * 33),
             encoded_at: Time::from_millis(index * 33 + 5),
-            frame_type: if index == 0 { FrameType::I } else { FrameType::P },
+            frame_type: if index == 0 {
+                FrameType::I
+            } else {
+                FrameType::P
+            },
             size_bytes,
             qp: Qp::TYPICAL,
             ssim: 0.95,

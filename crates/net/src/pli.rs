@@ -1,0 +1,203 @@
+//! Receiver-side Picture Loss Indication with retry.
+//!
+//! A PLI is a request, not a guarantee: it travels the (lossy) reverse
+//! path, and the keyframe it provokes travels the (lossy) forward path.
+//! Fire-and-forget PLI therefore deadlocks decoders exactly when they
+//! need rescue most — during loss events. [`PliRequester`] keeps the
+//! request armed until a keyframe *encoded after the request* actually
+//! arrives, re-sending with exponential backoff in the meantime
+//! (mirroring the retry behavior of production RTCP agents).
+
+use ravel_sim::{Dur, Time};
+
+/// Default delay before the first retry of an unanswered PLI.
+pub const PLI_RETRY_INITIAL: Dur = Dur::millis(300);
+
+/// Ceiling on the PLI retry interval.
+pub const PLI_RETRY_MAX: Dur = Dur::millis(1200);
+
+/// Receiver-side PLI state machine: arm on damage, retry with backoff,
+/// disarm only when a post-request keyframe arrives.
+#[derive(Debug, Clone)]
+pub struct PliRequester {
+    initial_backoff: Dur,
+    max_backoff: Dur,
+    /// When the outstanding request was first armed (`None` = idle).
+    pending_since: Option<Time>,
+    /// Earliest instant the next PLI may be emitted.
+    next_send: Time,
+    /// Interval to wait after the next emission.
+    backoff: Dur,
+    sent: u64,
+}
+
+impl Default for PliRequester {
+    fn default() -> PliRequester {
+        PliRequester::new()
+    }
+}
+
+impl PliRequester {
+    /// Creates a requester with the default retry schedule
+    /// ([`PLI_RETRY_INITIAL`] doubling up to [`PLI_RETRY_MAX`]).
+    pub fn new() -> PliRequester {
+        PliRequester::with_backoff(PLI_RETRY_INITIAL, PLI_RETRY_MAX)
+    }
+
+    /// Creates a requester with a custom retry schedule.
+    pub fn with_backoff(initial: Dur, max: Dur) -> PliRequester {
+        assert!(!initial.is_zero(), "PliRequester: zero initial backoff");
+        assert!(max >= initial, "PliRequester: max backoff below initial");
+        PliRequester {
+            initial_backoff: initial,
+            max_backoff: max,
+            pending_since: None,
+            next_send: Time::ZERO,
+            backoff: initial,
+            sent: 0,
+        }
+    }
+
+    /// Arms a keyframe request (e.g. on an undecodable frame). A no-op
+    /// if a request is already outstanding — the retry schedule of the
+    /// original request keeps running.
+    pub fn request(&mut self, now: Time) {
+        if self.pending_since.is_none() {
+            self.pending_since = Some(now);
+            self.next_send = now;
+            self.backoff = self.initial_backoff;
+        }
+    }
+
+    /// True if a PLI should be emitted at `now`; emission advances the
+    /// retry schedule (next retry after the current backoff, which then
+    /// doubles up to the cap). Call once per poll tick.
+    pub fn poll(&mut self, now: Time) -> bool {
+        if self.pending_since.is_none() || now < self.next_send {
+            return false;
+        }
+        self.sent += 1;
+        self.next_send = now + self.backoff;
+        self.backoff = (self.backoff + self.backoff).min(self.max_backoff);
+        true
+    }
+
+    /// Observes an arriving keyframe that was *sent* at `send_time`.
+    /// Clears the outstanding request only if the keyframe postdates it;
+    /// a stale keyframe already in flight when the request was armed
+    /// does not count.
+    pub fn on_keyframe(&mut self, send_time: Time) {
+        if let Some(since) = self.pending_since {
+            if send_time >= since {
+                self.pending_since = None;
+                self.backoff = self.initial_backoff;
+            }
+        }
+    }
+
+    /// True if a request is outstanding (keyframe not yet arrived).
+    pub fn is_pending(&self) -> bool {
+        self.pending_since.is_some()
+    }
+
+    /// Total PLI messages emitted (including retries).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_immediately_when_armed() {
+        let mut pli = PliRequester::new();
+        assert!(!pli.poll(Time::from_millis(10)));
+        pli.request(Time::from_millis(10));
+        assert!(pli.is_pending());
+        assert!(pli.poll(Time::from_millis(10)));
+        assert_eq!(pli.sent(), 1);
+        // Not again until the backoff elapses.
+        assert!(!pli.poll(Time::from_millis(309)));
+        assert!(pli.poll(Time::from_millis(310)));
+        assert_eq!(pli.sent(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut pli = PliRequester::with_backoff(Dur::millis(300), Dur::millis(1200));
+        pli.request(Time::ZERO);
+        let mut now = Time::ZERO;
+        let mut gaps = Vec::new();
+        let mut last_fire = None;
+        while pli.sent() < 6 {
+            if pli.poll(now) {
+                if let Some(prev) = last_fire {
+                    gaps.push(now.since(prev).as_millis());
+                }
+                last_fire = Some(now);
+            }
+            now += Dur::millis(1);
+        }
+        assert_eq!(gaps, vec![300, 600, 1200, 1200, 1200]);
+    }
+
+    #[test]
+    fn keyframe_after_request_clears() {
+        let mut pli = PliRequester::new();
+        pli.request(Time::from_millis(100));
+        assert!(pli.poll(Time::from_millis(100)));
+        pli.on_keyframe(Time::from_millis(150));
+        assert!(!pli.is_pending());
+        assert!(!pli.poll(Time::from_millis(500)));
+    }
+
+    #[test]
+    fn stale_keyframe_does_not_clear() {
+        let mut pli = PliRequester::new();
+        pli.request(Time::from_millis(100));
+        // A keyframe sent before the request was armed is the one whose
+        // loss triggered the request — it cannot satisfy it.
+        pli.on_keyframe(Time::from_millis(99));
+        assert!(pli.is_pending());
+        pli.on_keyframe(Time::from_millis(100));
+        assert!(!pli.is_pending());
+    }
+
+    #[test]
+    fn rearming_resets_backoff() {
+        let mut pli = PliRequester::new();
+        pli.request(Time::ZERO);
+        assert!(pli.poll(Time::ZERO));
+        assert!(pli.poll(Time::from_millis(300)));
+        pli.on_keyframe(Time::from_millis(400));
+        // New incident: fires immediately, first retry back at 300 ms.
+        pli.request(Time::from_millis(1000));
+        assert!(pli.poll(Time::from_millis(1000)));
+        assert!(!pli.poll(Time::from_millis(1299)));
+        assert!(pli.poll(Time::from_millis(1300)));
+        assert_eq!(pli.sent(), 4);
+    }
+
+    #[test]
+    fn request_while_pending_is_noop() {
+        let mut pli = PliRequester::new();
+        pli.request(Time::from_millis(100));
+        assert!(pli.poll(Time::from_millis(100)));
+        // Re-requesting mid-flight must not reset the schedule to "now".
+        pli.request(Time::from_millis(300));
+        assert!(!pli.poll(Time::from_millis(300)));
+        assert!(pli.poll(Time::from_millis(400)));
+        // And the original arm time still governs keyframe matching: a
+        // keyframe sent before the first arm must not clear.
+        pli.on_keyframe(Time::from_millis(99));
+        assert!(pli.is_pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero initial backoff")]
+    fn rejects_zero_backoff() {
+        PliRequester::with_backoff(Dur::ZERO, Dur::millis(100));
+    }
+}

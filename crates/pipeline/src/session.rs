@@ -3,11 +3,12 @@
 use std::collections::BTreeMap;
 
 use ravel_codec::{Decoder, EncodedFrame, Encoder, EncoderConfig};
-use ravel_core::{AdaptiveController, FrameDecision};
+use ravel_core::{AdaptiveController, FeedbackWatchdog, FrameDecision, WatchdogConfig};
 use ravel_metrics::{FrameOutcomeKind, FrameRecord, LatencyRecorder};
 use ravel_net::{
     Delivery, FecDecoder, FecEncoder, FeedbackBuilder, FeedbackReport, FrameAssembler, Link,
-    LinkConfig, MediaKind, NackBatch, NackGenerator, Packet, Packetizer, Pacer, RtxBuffer,
+    LinkConfig, MediaKind, NackBatch, NackGenerator, Pacer, Packet, Packetizer, PliRequester,
+    ReversePath, ReversePathConfig, RtxBuffer,
 };
 use ravel_sim::{Dur, EventQueue, SeriesSet, Time};
 use ravel_trace::BandwidthTrace;
@@ -36,6 +37,14 @@ pub struct SessionConfig {
     pub feedback_interval: Dur,
     /// One-way delay of the (uncongested) reverse path.
     pub reverse_delay: Dur,
+    /// Impairments applied to ALL receiver → sender traffic (feedback
+    /// reports, NACKs, PLIs). The default is pass-through.
+    pub reverse_path: ReversePathConfig,
+    /// Feedback watchdog: blind-period rate backoff when no valid report
+    /// arrives within a timeout. `None` (the default) disables it —
+    /// the sender then transmits at the last commanded rate for the
+    /// whole blind period, which is the failure mode E17 measures.
+    pub watchdog: Option<WatchdogConfig>,
     /// Playout deadline: a frame arriving later than this after capture
     /// is decoded (keeping the reference chain healthy) but displayed
     /// stale — the libwebrtc jitter buffer's bounded-delay behaviour.
@@ -78,6 +87,8 @@ impl SessionConfig {
             link: LinkConfig::typical(),
             feedback_interval: Dur::millis(50),
             reverse_delay: Dur::millis(20),
+            reverse_path: ReversePathConfig::default(),
+            watchdog: None,
             max_playout_delay: Dur::millis(600),
             enable_rtx: true,
             enable_fec: false,
@@ -97,6 +108,32 @@ const DECODE_RENDER_DELAY: Dur = Dur::millis(5);
 /// How long after capture stops the session keeps draining in-flight
 /// media and feedback.
 const DRAIN_GRACE: Dur = Dur::secs(2);
+
+/// Fraction of the current video target the RTX token bucket refills at.
+/// libwebrtc similarly bounds retransmission bitrate so congestion losses
+/// cannot trigger a self-sustaining RTX storm.
+const RTX_RATE_FRACTION: f64 = 0.1;
+
+/// Tokens one retransmitted packet costs: a generous bound on the wire
+/// size of an MTU packet (1250 B = 10 kbit).
+const RTX_GRANT_BITS: f64 = 10_000.0;
+
+/// Cap on accumulated RTX tokens — at most ~13 back-to-back
+/// retransmissions after an idle stretch.
+const RTX_BURST_BITS: f64 = 128_000.0;
+
+/// Tokens available at session start (half a burst: enough to repair an
+/// early loss without funding a storm).
+const RTX_INITIAL_TOKENS_BITS: f64 = 64_000.0;
+
+/// The pacer never drains slower than this, even if the encoder target
+/// collapses — matching libwebrtc's minimum pacing rate, which keeps
+/// feedback flowing so recovery stays possible.
+const PACER_FLOOR_BPS: f64 = 100_000.0;
+
+/// Sender-side PLI rate limit: requests inside this window coalesce into
+/// one IDR, so a lossy burst cannot trigger an IDR storm.
+const PLI_MIN_INTERVAL: Dur = Dur::millis(300);
 
 /// What the session produced.
 #[derive(Debug, Clone)]
@@ -128,6 +165,16 @@ pub struct SessionResult {
     pub nacks_sent: u64,
     /// VBV underflows at the encoder.
     pub vbv_underflows: u64,
+    /// Reverse-path messages lost (stochastic loss + blackout drops).
+    pub reverse_lost: u64,
+    /// Reverse-path messages duplicated in transit.
+    pub reverse_duplicates: u64,
+    /// Feedback reports the sender discarded as duplicate or stale.
+    pub reports_discarded: u64,
+    /// Watchdog degradation steps fired (0 without a watchdog).
+    pub watchdog_timeouts: u64,
+    /// PLI messages the receiver emitted (including retries).
+    pub plis_sent: u64,
 }
 
 /// Per-captured-frame sender-side record for the display post-pass.
@@ -157,6 +204,10 @@ enum Event {
     AudioTick,
     /// A NACK batch reached the sender.
     NackArrive(NackBatch),
+    /// A receiver PLI reached the sender.
+    PliArrive,
+    /// The feedback watchdog checks its deadline.
+    WatchdogTick,
 }
 
 /// Runs one session over `trace` and returns its measurements.
@@ -197,11 +248,8 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
     let mut rtx_buffer = RtxBuffer::new(Dur::SECOND, 2048);
     let mut nack_gen = NackGenerator::new(Dur::millis(30), 5, cfg.max_playout_delay);
     let mut fec_encoder = cfg.enable_fec.then(|| FecEncoder::new(cfg.fec_group_size));
-    // RTX token bucket: retransmissions may use at most ~10% of the
-    // current video target (libwebrtc similarly bounds RTX bitrate).
-    // Without this, congestion losses trigger NACKs whose retransmissions
-    // re-congest the link — a self-sustaining RTX storm.
-    let mut rtx_tokens_bits: f64 = 64_000.0;
+    // RTX token bucket (see the RTX_* constants).
+    let mut rtx_tokens_bits: f64 = RTX_INITIAL_TOKENS_BITS;
     let mut rtx_tokens_updated = Time::ZERO;
     let mut fec_decoder = FecDecoder::new();
     // The simulation's omniscient view of sent video packets, used to
@@ -215,11 +263,25 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
     let mut series = SeriesSet::new();
 
     let mut last_pli = Time::ZERO;
+    // All receiver → sender traffic crosses the (possibly impaired)
+    // reverse path; the receiver keeps PLI requests alive until a
+    // post-request keyframe actually lands.
+    let mut reverse = ReversePath::new(cfg.reverse_path, cfg.reverse_delay, cfg.seed);
+    let mut pli = PliRequester::new();
+    // Report integrity: the sender processes each report at most once and
+    // never lets a reordered (stale) report reach GCC/the drop detector.
+    let mut last_report_seq: Option<u64> = None;
+    let mut reports_discarded = 0u64;
+    let mut watchdog = cfg.watchdog.map(FeedbackWatchdog::new);
+    let mut blind_skip_toggle = false;
     let mut queue = EventQueue::new();
     queue.push(Time::ZERO, Event::Capture);
     queue.push(Time::ZERO + cfg.feedback_interval, Event::FeedbackFlush);
     if cfg.enable_rtx {
         queue.push(Time::ZERO + NACK_POLL_EVERY, Event::NackPoll);
+    }
+    if watchdog.is_some() {
+        queue.push(Time::ZERO + cfg.feedback_interval, Event::WatchdogTick);
     }
     const AUDIO_TICK: Dur = Dur::millis(20);
     /// Audio packets carry frame indexes in a disjoint namespace so they
@@ -244,9 +306,24 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
             Event::Capture => {
                 let frame = source.next_frame();
                 debug_assert_eq!(frame.pts, now, "capture clock drift");
-                let decision = match controller.as_mut() {
-                    Some(ctl) => ctl.on_frame(&frame, now, &mut encoder),
-                    None => FrameDecision::Encode,
+                // While the feedback loop is blind, optionally skip every
+                // other frame (both schemes): at a given target rate this
+                // halves the data fired into an unobservable network.
+                let blind_skip = watchdog
+                    .as_ref()
+                    .is_some_and(|wd| wd.is_degraded() && wd.config().skip_while_blind)
+                    && {
+                        blind_skip_toggle = !blind_skip_toggle;
+                        blind_skip_toggle
+                    };
+                let decision = if blind_skip {
+                    encoder.skip_frame();
+                    FrameDecision::Skip
+                } else {
+                    match controller.as_mut() {
+                        Some(ctl) => ctl.on_frame(&frame, now, &mut encoder),
+                        None => FrameDecision::Encode,
+                    }
                 };
                 match decision {
                     FrameDecision::Skip => {
@@ -284,8 +361,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     for p in packets {
                         sent_video.insert(p.seq, p);
                         with_parity.push(p);
-                        if let Some(parity) =
-                            fec.on_media_packet(&p, || packetizer.take_seq(), now)
+                        if let Some(parity) = fec.on_media_packet(&p, || packetizer.take_seq(), now)
                         {
                             with_parity.push(parity);
                         }
@@ -318,6 +394,10 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
             }
             Event::Arrival(packet) => {
                 feedback.on_packet(&packet, now);
+                // A keyframe sent after the outstanding PLI satisfies it.
+                if packet.kind == MediaKind::Video && packet.is_keyframe {
+                    pli.on_keyframe(packet.send_time);
+                }
                 if cfg.enable_rtx {
                     nack_gen.on_packet(packet.seq, now);
                 }
@@ -327,6 +407,9 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     for seq in fec_decoder.on_media_packet(packet.seq) {
                         if let Some(rec) = sent_video.get(&seq).copied() {
                             nack_gen.on_packet(seq, now);
+                            if rec.is_keyframe {
+                                pli.on_keyframe(rec.send_time);
+                            }
                             if let Some(done) = assembler.push(&rec, now) {
                                 completed.insert(done.frame_index, done.complete_at);
                             }
@@ -335,13 +418,15 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 }
                 match packet.kind {
                     MediaKind::Audio => {
-                        audio_latencies
-                            .push((packet.pts, now.saturating_since(packet.pts)));
+                        audio_latencies.push((packet.pts, now.saturating_since(packet.pts)));
                     }
                     MediaKind::Fec => {
                         for seq in fec_decoder.on_parity_packet(&packet) {
                             if let Some(rec) = sent_video.get(&seq).copied() {
                                 nack_gen.on_packet(seq, now);
+                                if rec.is_keyframe {
+                                    pli.on_keyframe(rec.send_time);
+                                }
                                 if let Some(done) = assembler.push(&rec, now) {
                                     completed.insert(done.frame_index, done.complete_at);
                                 }
@@ -357,7 +442,23 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
             }
             Event::FeedbackFlush => {
                 if let Some(report) = feedback.flush(now) {
-                    queue.push(now + cfg.reverse_delay, Event::FeedbackArrive(report));
+                    // Reported losses mean some frame will be
+                    // undecodable: arm (or keep alive) the keyframe
+                    // request. It stays armed until a post-request
+                    // keyframe actually arrives.
+                    if report.lost_count() > 0 {
+                        pli.request(now);
+                    }
+                    for at in reverse.transit(now).into_iter().flatten() {
+                        queue.push(at, Event::FeedbackArrive(report.clone()));
+                    }
+                }
+                // PLI emission (first send and backoff retries) shares
+                // the feedback cadence — and the impaired reverse path.
+                if pli.poll(now) {
+                    for at in reverse.transit(now).into_iter().flatten() {
+                        queue.push(at, Event::PliArrive);
+                    }
                 }
                 let next = now + cfg.feedback_interval;
                 if next <= hard_end {
@@ -396,7 +497,9 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
             }
             Event::NackPoll => {
                 if let Some(batch) = nack_gen.poll(now) {
-                    queue.push(now + cfg.reverse_delay, Event::NackArrive(batch));
+                    for at in reverse.transit(now).into_iter().flatten() {
+                        queue.push(at, Event::NackArrive(batch.clone()));
+                    }
                 }
                 let next = now + NACK_POLL_EVERY;
                 if next <= hard_end {
@@ -404,20 +507,19 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 }
             }
             Event::NackArrive(batch) => {
-                // Refill the RTX bucket at 10% of the current target,
-                // capped at one bucket's burst.
+                // Refill the RTX bucket, capped at one burst.
                 let elapsed = now.saturating_since(rtx_tokens_updated);
                 rtx_tokens_updated = now;
                 rtx_tokens_bits = (rtx_tokens_bits
-                    + 0.1 * encoder.target_bps() * elapsed.as_secs_f64())
-                .min(128_000.0);
+                    + RTX_RATE_FRACTION * encoder.target_bps() * elapsed.as_secs_f64())
+                .min(RTX_BURST_BITS);
                 let affordable: Vec<u64> = batch
                     .seqs
                     .iter()
                     .copied()
                     .take_while(|_| {
-                        if rtx_tokens_bits >= 10_000.0 {
-                            rtx_tokens_bits -= 10_000.0;
+                        if rtx_tokens_bits >= RTX_GRANT_BITS {
+                            rtx_tokens_bits -= RTX_GRANT_BITS;
                             true
                         } else {
                             false
@@ -437,15 +539,18 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 }
             }
             Event::FeedbackArrive(report) => {
-                // PLI-style recovery (standard WebRTC behaviour, present
-                // in BOTH schemes): reported losses mean some frame will
-                // be undecodable, so request a keyframe — rate-limited so
-                // a lossy burst doesn't produce an IDR storm.
-                if report.lost_count() > 0
-                    && now.saturating_since(last_pli) >= Dur::millis(300)
-                {
-                    encoder.force_idr();
-                    last_pli = now;
+                // Report integrity: a duplicated or reordered reverse
+                // path may deliver a report twice, or deliver an older
+                // report after a newer one. Both would corrupt GCC's
+                // inter-arrival model and the drop detector's windows —
+                // discard them before any estimator sees them.
+                if last_report_seq.is_some_and(|last| report.report_seq <= last) {
+                    reports_discarded += 1;
+                    continue;
+                }
+                last_report_seq = Some(report.report_seq);
+                if let Some(wd) = watchdog.as_mut() {
+                    wd.on_valid_report(now);
                 }
                 let gcc_target = cc.on_feedback(&report, now);
                 match controller.as_mut() {
@@ -457,7 +562,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                         encoder.set_target_bitrate(gcc_target);
                     }
                 }
-                pacer.set_target_bitrate(encoder.target_bps().max(100_000.0));
+                pacer.set_target_bitrate(encoder.target_bps().max(PACER_FLOOR_BPS));
                 if cfg.record_series {
                     series.push("target_bps", now, encoder.target_bps());
                     series.push("gcc_target_bps", now, gcc_target);
@@ -470,21 +575,47 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                         series.push("gcc_detector", now, state);
                         series.push("gcc_trend_ms", now, gcc.trend_ms());
                     }
-                    series.push(
-                        "capacity_bps",
-                        now,
-                        link.trace().rate_bps(now),
-                    );
-                    series.push(
-                        "link_queue_ms",
-                        now,
-                        link.queue_delay(now).as_millis_f64(),
-                    );
-                    series.push(
-                        "pacer_queue_ms",
-                        now,
-                        pacer.drain_time().as_millis_f64(),
-                    );
+                    series.push("capacity_bps", now, link.trace().rate_bps(now));
+                    series.push("link_queue_ms", now, link.queue_delay(now).as_millis_f64());
+                    series.push("pacer_queue_ms", now, pacer.drain_time().as_millis_f64());
+                }
+            }
+            Event::PliArrive => {
+                // Sender-side IDR generation, rate-limited so a burst of
+                // (possibly duplicated) PLIs coalesces into one keyframe.
+                if now.saturating_since(last_pli) >= PLI_MIN_INTERVAL {
+                    encoder.force_idr();
+                    last_pli = now;
+                }
+            }
+            Event::WatchdogTick => {
+                if let Some(wd) = watchdog.as_mut() {
+                    // Capture ends at `capture_end`; the receiver goes
+                    // quiet once the pipe drains, so missing feedback in
+                    // the drain tail is expected, not a blind episode.
+                    if now <= capture_end && wd.poll(now) {
+                        // No valid report within the timeout: back the
+                        // target off toward the floor. The baseline gets
+                        // the same production-equivalent cut through the
+                        // slow path; the adaptive controller routes it
+                        // through its Degraded phase (fast reconfigure +
+                        // Recover hand-off when feedback resumes).
+                        let target = wd.apply_backoff(encoder.target_bps());
+                        match controller.as_mut() {
+                            Some(ctl) => ctl.on_feedback_timeout(target, now, &mut encoder),
+                            None => encoder.set_target_bitrate(target),
+                        }
+                        pacer.set_target_bitrate(encoder.target_bps().max(PACER_FLOOR_BPS));
+                        if cfg.record_series {
+                            // FeedbackArrive cannot log while blind, so
+                            // the decay is recorded here.
+                            series.push("target_bps", now, encoder.target_bps());
+                        }
+                    }
+                    let next = now + cfg.feedback_interval;
+                    if next <= capture_end {
+                        queue.push(next, Event::WatchdogTick);
+                    }
                 }
             }
         }
@@ -513,16 +644,14 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
             }
             SentFrame::Encoded { frame, temporal } => {
                 let complete_at = completed.get(&idx).copied();
-                let latency = complete_at
-                    .map(|c| (c + DECODE_RENDER_DELAY).saturating_since(frame.pts));
-                let late = latency
-                    .map(|l| l > cfg.max_playout_delay)
-                    .unwrap_or(false);
+                let latency =
+                    complete_at.map(|c| (c + DECODE_RENDER_DELAY).saturating_since(frame.pts));
+                let late = latency.map(|l| l > cfg.max_playout_delay).unwrap_or(false);
                 let outcome = if late {
                     // Blew the playout deadline: decoded for reference,
                     // displayed stale.
-                    let staleness = latency.expect("late implies arrived")
-                        / frame_interval(cfg.fps);
+                    let staleness =
+                        latency.expect("late implies arrived") / frame_interval(cfg.fps);
                     decoder.feed_late(frame, staleness, *temporal)
                 } else if complete_at.is_none() && frame.temporal_layer == 1 {
                     // A lost enhancement-layer frame: nothing references
@@ -555,7 +684,9 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                         series.push(
                             "frame_latency_ms",
                             frame.pts,
-                            (c + DECODE_RENDER_DELAY).saturating_since(frame.pts).as_millis_f64(),
+                            (c + DECODE_RENDER_DELAY)
+                                .saturating_since(frame.pts)
+                                .as_millis_f64(),
                         );
                     }
                 }
@@ -577,6 +708,11 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
         audio_latencies,
         nacks_sent: nack_gen.nacks_sent(),
         vbv_underflows: encoder.vbv_underflows(),
+        reverse_lost: reverse.lost() + reverse.blackout_dropped(),
+        reverse_duplicates: reverse.duplicated(),
+        reports_discarded,
+        watchdog_timeouts: watchdog.map(|wd| wd.timeouts()).unwrap_or(0),
+        plis_sent: pli.sent(),
     }
 }
 
@@ -670,10 +806,7 @@ mod tests {
     #[test]
     fn drop_spikes_baseline_latency() {
         let cfg = short_cfg(Scheme::baseline());
-        let result = run_session(
-            StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)),
-            cfg,
-        );
+        let result = run_session(StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)), cfg);
         // Skip the first seconds: GCC's startup probe transient.
         let before = result
             .recorder
@@ -709,10 +842,7 @@ mod tests {
     #[test]
     fn session_counters_consistent() {
         let cfg = short_cfg(Scheme::adaptive());
-        let result = run_session(
-            StepTrace::sudden_drop(4e6, 0.5e6, Time::from_secs(10)),
-            cfg,
-        );
+        let result = run_session(StepTrace::sudden_drop(4e6, 0.5e6, Time::from_secs(10)), cfg);
         assert_eq!(
             result.recorder.records().len() as u64,
             result.frames_captured
@@ -724,10 +854,7 @@ mod tests {
     fn series_recorded_when_enabled() {
         let mut cfg = short_cfg(Scheme::adaptive());
         cfg.record_series = true;
-        let result = run_session(
-            StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)),
-            cfg,
-        );
+        let result = run_session(StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)), cfg);
         for name in [
             "target_bps",
             "gcc_target_bps",
@@ -738,7 +865,11 @@ mod tests {
             "frame_latency_ms",
         ] {
             assert!(
-                result.series.get(name).map(|s| !s.is_empty()).unwrap_or(false),
+                result
+                    .series
+                    .get(name)
+                    .map(|s| !s.is_empty())
+                    .unwrap_or(false),
                 "series {name} missing"
             );
         }
@@ -767,8 +898,7 @@ mod tests {
             .map(|&(_, l)| l)
             .collect();
         assert!(!settled.is_empty());
-        let mean_ms = settled.iter().map(|l| l.as_millis_f64()).sum::<f64>()
-            / settled.len() as f64;
+        let mean_ms = settled.iter().map(|l| l.as_millis_f64()).sum::<f64>() / settled.len() as f64;
         assert!(mean_ms < 60.0, "settled audio latency {mean_ms:.1}ms");
     }
 

@@ -227,7 +227,7 @@ mod tests {
         s.push(ms(0), 10.0); // held for 10ms
         s.push(ms(10), 0.0); // held for 30ms
         s.push(ms(40), 99.0); // terminal sample, zero width
-        // (10 * 10ms + 0 * 30ms) / 40ms = 2.5
+                              // (10 * 10ms + 0 * 30ms) / 40ms = 2.5
         assert!((s.time_weighted_mean() - 2.5).abs() < 1e-9);
     }
 

@@ -75,9 +75,7 @@ impl<T: BandwidthTrace> Shifted<T> {
 
 impl<T: BandwidthTrace> BandwidthTrace for Shifted<T> {
     fn rate_bps(&self, at: Time) -> f64 {
-        let inner_at = Time::from_micros(
-            at.as_micros().saturating_sub(self.offset.as_micros()),
-        );
+        let inner_at = Time::from_micros(at.as_micros().saturating_sub(self.offset.as_micros()));
         self.inner.rate_bps(inner_at)
     }
 }

@@ -4,15 +4,16 @@
 //! `samples` array of `[seconds, bits_per_second]` pairs — so traces
 //! exported from mahimahi/pantheon-style capture tools convert with a
 //! one-liner. Samples are interpreted as a step function (each rate holds
-//! until the next sample).
+//! until the next sample). Parsing uses the crate-local JSON module, so
+//! loading traces works in offline builds with no external dependencies.
 
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
 use ravel_sim::Time;
-use serde::{Deserialize, Serialize};
 
+use crate::json;
 use crate::{BandwidthTrace, StepTrace};
 
 /// Errors loading a trace file.
@@ -21,7 +22,7 @@ pub enum TraceFileError {
     /// Filesystem-level failure.
     Io(std::io::Error),
     /// The file is not valid trace JSON.
-    Parse(serde_json::Error),
+    Parse(String),
     /// The file parsed but violates trace invariants.
     Invalid(String),
 }
@@ -44,23 +45,6 @@ impl From<std::io::Error> for TraceFileError {
     }
 }
 
-impl From<serde_json::Error> for TraceFileError {
-    fn from(e: serde_json::Error) -> Self {
-        TraceFileError::Parse(e)
-    }
-}
-
-/// Serialized form of a trace file.
-#[derive(Debug, Serialize, Deserialize)]
-struct TraceFile {
-    /// Optional human-readable provenance note.
-    #[serde(default)]
-    note: String,
-    /// `[seconds_from_start, bits_per_second]` pairs, strictly increasing
-    /// in time.
-    samples: Vec<(f64, f64)>,
-}
-
 /// A capacity trace loaded from (or saved to) a JSON file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FileTrace {
@@ -77,13 +61,36 @@ impl FileTrace {
 
     /// Parses a trace from JSON text.
     pub fn from_json(text: &str) -> Result<FileTrace, TraceFileError> {
-        let file: TraceFile = serde_json::from_str(text)?;
-        if file.samples.is_empty() {
+        let doc = json::parse(text).map_err(TraceFileError::Parse)?;
+        let note = match doc.get("note") {
+            None => String::new(),
+            Some(v) => v
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| TraceFileError::Parse("\"note\" is not a string".into()))?,
+        };
+        let samples = doc
+            .get("samples")
+            .ok_or_else(|| TraceFileError::Parse("missing \"samples\" array".into()))?
+            .as_array()
+            .ok_or_else(|| TraceFileError::Parse("\"samples\" is not an array".into()))?;
+        if samples.is_empty() {
             return Err(TraceFileError::Invalid("no samples".into()));
         }
-        let mut points = Vec::with_capacity(file.samples.len());
+        let mut points = Vec::with_capacity(samples.len());
         let mut last_us: Option<u64> = None;
-        for &(secs, bps) in &file.samples {
+        for sample in samples {
+            let pair = sample.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                TraceFileError::Parse("sample is not a [seconds, bps] pair".into())
+            })?;
+            let (secs, bps) = match (pair[0].as_f64(), pair[1].as_f64()) {
+                (Some(s), Some(b)) => (s, b),
+                _ => {
+                    return Err(TraceFileError::Parse(
+                        "sample entries must be numbers".into(),
+                    ))
+                }
+            };
             if !secs.is_finite() || secs < 0.0 {
                 return Err(TraceFileError::Invalid(format!("bad timestamp {secs}")));
             }
@@ -103,19 +110,14 @@ impl FileTrace {
         }
         Ok(FileTrace {
             path: StepTrace::new(points),
-            note: file.note,
+            note,
         })
     }
 
     /// Builds a trace directly from `(seconds, bps)` samples (used by
     /// tools that synthesize traces and then save them).
     pub fn from_samples(note: &str, samples: &[(f64, f64)]) -> Result<FileTrace, TraceFileError> {
-        let file = TraceFile {
-            note: note.to_owned(),
-            samples: samples.to_vec(),
-        };
-        let json = serde_json::to_string(&file).expect("trace serialization is infallible");
-        FileTrace::from_json(&json)
+        FileTrace::from_json(&render_json(note, samples))
     }
 
     /// Serializes this trace to JSON.
@@ -126,11 +128,7 @@ impl FileTrace {
             .iter()
             .map(|&(t, r)| (t.as_secs_f64(), r))
             .collect();
-        let file = TraceFile {
-            note: self.note.clone(),
-            samples,
-        };
-        serde_json::to_string_pretty(&file).expect("trace serialization is infallible")
+        render_json(&self.note, &samples)
     }
 
     /// Saves this trace to a JSON file.
@@ -150,6 +148,27 @@ impl FileTrace {
     }
 }
 
+/// Renders the on-disk JSON form. `f64`'s `Display` prints the shortest
+/// representation that parses back to the same value, so round-trips
+/// are exact.
+fn render_json(note: &str, samples: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"note\": ");
+    json::write_string(&mut out, note);
+    out.push_str(",\n  \"samples\": [\n");
+    for (i, &(secs, bps)) in samples.iter().enumerate() {
+        out.push_str("    [");
+        out.push_str(&format!("{secs}, {bps}"));
+        out.push(']');
+        if i + 1 < samples.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 impl BandwidthTrace for FileTrace {
     fn rate_bps(&self, at: Time) -> f64 {
         self.path.rate_bps(at)
@@ -162,11 +181,8 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let t = FileTrace::from_samples(
-            "unit test",
-            &[(0.0, 4e6), (10.0, 1e6), (30.0, 4e6)],
-        )
-        .unwrap();
+        let t =
+            FileTrace::from_samples("unit test", &[(0.0, 4e6), (10.0, 1e6), (30.0, 4e6)]).unwrap();
         let json = t.to_json();
         let t2 = FileTrace::from_json(&json).unwrap();
         assert_eq!(t, t2);
@@ -193,8 +209,7 @@ mod tests {
 
     #[test]
     fn rejects_unsorted() {
-        let err =
-            FileTrace::from_json(r#"{"samples": [[1.0, 5.0], [1.0, 6.0]]}"#).unwrap_err();
+        let err = FileTrace::from_json(r#"{"samples": [[1.0, 5.0], [1.0, 6.0]]}"#).unwrap_err();
         assert!(err.to_string().contains("strictly increasing"));
     }
 
@@ -211,6 +226,21 @@ mod tests {
     }
 
     #[test]
+    fn rejects_wrong_shapes() {
+        for bad in [
+            r#"{"samples": 5}"#,
+            r#"{"samples": [[1.0]]}"#,
+            r#"{"samples": [[1.0, 2.0, 3.0]]}"#,
+            r#"{"samples": [["a", 2.0]]}"#,
+            r#"{"note": 7, "samples": [[0.0, 1.0]]}"#,
+            r#"[1, 2]"#,
+        ] {
+            let err = FileTrace::from_json(bad).unwrap_err();
+            assert!(matches!(err, TraceFileError::Parse(_)), "{bad}");
+        }
+    }
+
+    #[test]
     fn missing_file_is_io_error() {
         let err = FileTrace::load(Path::new("/nonexistent/ravel.json")).unwrap_err();
         assert!(matches!(err, TraceFileError::Io(_)));
@@ -220,5 +250,12 @@ mod tests {
     fn note_defaults_empty() {
         let t = FileTrace::from_json(r#"{"samples": [[0.0, 1.0]]}"#).unwrap();
         assert_eq!(t.note(), "");
+    }
+
+    #[test]
+    fn note_with_special_characters_roundtrips() {
+        let t = FileTrace::from_samples("a\"b\\c\nd", &[(0.0, 1.0)]).unwrap();
+        let t2 = FileTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t2.note(), "a\"b\\c\nd");
     }
 }

@@ -84,7 +84,10 @@ impl StepTrace {
     /// The canonical single sudden drop: `before` bps until `drop_at`,
     /// then `after` bps forever.
     pub fn sudden_drop(before: f64, after: f64, drop_at: Time) -> StepTrace {
-        assert!(drop_at > Time::ZERO, "sudden_drop: drop at t=0 is a constant");
+        assert!(
+            drop_at > Time::ZERO,
+            "sudden_drop: drop at t=0 is a constant"
+        );
         StepTrace::new(vec![(Time::ZERO, before), (drop_at, after)])
     }
 
@@ -166,10 +169,7 @@ mod tests {
         let c = ConstantTrace::new(5e6);
         assert_eq!(c.rate_bps(Time::ZERO), 5e6);
         assert_eq!(c.rate_bps(Time::from_secs(1000)), 5e6);
-        assert_eq!(
-            c.mean_rate_bps(Time::ZERO, Dur::secs(10), Dur::SECOND),
-            5e6
-        );
+        assert_eq!(c.mean_rate_bps(Time::ZERO, Dur::secs(10), Dur::SECOND), 5e6);
     }
 
     #[test]
@@ -221,9 +221,9 @@ mod tests {
     fn largest_drop_at_finds_deepest_step() {
         let t = StepTrace::new(vec![
             (Time::ZERO, 4e6),
-            (Time::from_secs(5), 3e6),   // -1M
-            (Time::from_secs(10), 1e6),  // -2M <- largest
-            (Time::from_secs(20), 4e6),  // up
+            (Time::from_secs(5), 3e6),  // -1M
+            (Time::from_secs(10), 1e6), // -2M <- largest
+            (Time::from_secs(20), 4e6), // up
         ]);
         assert_eq!(t.largest_drop_at(), Some(Time::from_secs(10)));
         let flat = ConstantTrace::new(1.0);

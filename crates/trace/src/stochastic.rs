@@ -94,7 +94,10 @@ impl CellularProfile {
                 "CellularProfile: transition row {i} sums to {sum}"
             );
         }
-        assert!(!self.sample_every.is_zero(), "CellularProfile: zero sample step");
+        assert!(
+            !self.sample_every.is_zero(),
+            "CellularProfile: zero sample step"
+        );
     }
 }
 
@@ -242,9 +245,7 @@ mod tests {
                 .states_bps
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    (a.1 - r).abs().partial_cmp(&(b.1 - r).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.1 - r).abs().partial_cmp(&(b.1 - r).abs()).unwrap())
                 .unwrap();
             seen[idx] = true;
         }

@@ -77,7 +77,12 @@ pub struct VideoSource {
 impl VideoSource {
     /// Creates a source emitting `fps` frames per second at `resolution`,
     /// with complexity dynamics from `profile`, seeded by `seed`.
-    pub fn new(profile: ContentProfile, resolution: Resolution, fps: u32, seed: u64) -> VideoSource {
+    pub fn new(
+        profile: ContentProfile,
+        resolution: Resolution,
+        fps: u32,
+        seed: u64,
+    ) -> VideoSource {
         profile.validate();
         assert!(fps > 0, "VideoSource: zero fps");
         let frame_interval = Dur::micros(1_000_000 / fps as u64);

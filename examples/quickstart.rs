@@ -31,9 +31,7 @@ fn main() {
         cfg.duration = Dur::secs(30);
         let result = run_session(mk_trace(), cfg);
         // Measure the window around the drop, where the schemes differ.
-        let s = result
-            .recorder
-            .summarize(drop_at, drop_at + Dur::secs(8));
+        let s = result.recorder.summarize(drop_at, drop_at + Dur::secs(8));
         table.row_owned(vec![
             scheme.name(),
             format!("{:.1}", s.mean_latency_ms),

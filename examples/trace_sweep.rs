@@ -57,7 +57,10 @@ fn main() {
         ]);
     }
 
-    println!("LTE-like stochastic traces, {}s sessions:", duration.as_micros() / 1_000_000);
+    println!(
+        "LTE-like stochastic traces, {}s sessions:",
+        duration.as_micros() / 1_000_000
+    );
     println!("{}", table.render());
     println!(
         "aggregate mean latency: baseline {:.1} ms vs adaptive {:.1} ms ({:.1}% reduction)",

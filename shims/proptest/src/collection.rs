@@ -1,0 +1,100 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::{Strategy, TestRng};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose elements come from `element` and whose
+/// length lies in `size` (half-open, like proptest's `1..80`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` targeting a size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates ordered sets; if the element domain is too small to reach
+/// the drawn size, the set saturates at what the domain allows.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty btree_set size range");
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut set = BTreeSet::new();
+        // Bounded attempts so a small element domain cannot loop forever.
+        let max_attempts = target * 30 + 100;
+        for _ in 0..max_attempts {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = vec(0u64..10, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_deduplicated_and_bounded() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = btree_set(0u64..200, 1..120).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 120);
+            assert!(s.iter().all(|&x| x < 200));
+        }
+    }
+
+    #[test]
+    fn btree_set_saturates_small_domains() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = btree_set(0u64..3, 100..101).generate(&mut rng);
+        assert!(s.len() <= 3);
+    }
+}

@@ -1,0 +1,446 @@
+//! Vendored stand-in for the subset of the `proptest` 1.x API this
+//! workspace consumes.
+//!
+//! The build environment has no registry access, so the property tests
+//! link against this minimal re-implementation instead of crates.io
+//! proptest. It keeps the same surface — the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assume!`] macros, the [`Strategy`] trait
+//! with `prop_map`, range and tuple strategies, and
+//! [`collection::vec`] / [`collection::btree_set`] — so test sources
+//! are unchanged and the real crate can be swapped back in with a
+//! one-line manifest change.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking: a failing case prints the generated input verbatim;
+//! - the case seed is derived deterministically from the test name, so
+//!   every run explores the same inputs (good for CI reproducibility);
+//! - fewer cases by default (64 vs 256) to keep tier-1 test time low.
+
+use std::fmt;
+
+pub mod collection;
+pub mod prelude;
+
+/// Deterministic xoshiro256** generator used to produce test cases.
+///
+/// Standalone copy of the same algorithm `ravel-sim` uses, so this
+/// crate stays dependency-free (it sits below `ravel-sim` in the
+/// dependency graph for some consumers).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the full 256-bit state from one u64 via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range handed to TestRng::below");
+        // Widening-multiply range reduction; bias is negligible for
+        // test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform f64 in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty integer range strategy {:?}",
+                        self
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty float range strategy {:?}",
+            self
+        );
+        self.start + (self.end - self.start) * rng.uniform()
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.uniform() as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per property.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (not a failure).
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => f.write_str("rejected by prop_assume!"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Outcome of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property: generates cases until `config.cases` pass or
+/// one fails. The seed is derived from `name`, so runs are repeatable.
+///
+/// This is the engine behind the [`proptest!`] macro; call sites never
+/// invoke it directly.
+pub fn run_property<V: fmt::Debug>(
+    config: &ProptestConfig,
+    name: &str,
+    generate: &dyn Fn(&mut TestRng) -> V,
+    check: &dyn Fn(V) -> TestCaseResult,
+) {
+    let mut rng = TestRng::seed_from_u64(fnv1a(name.as_bytes()));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let value = generate(&mut rng);
+        let repr = format!("{value:?}");
+        match check(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property '{name}': too many cases rejected by prop_assume! ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed after {passed} passing case(s): {msg}\n    input: {repr}"
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// Mirrors proptest's macro for the forms used in this workspace,
+/// including an optional leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)+
+    ) => {
+        $crate::__proptest_cases! { ($config) $($rest)+ }
+    };
+    ( $($rest:tt)+ ) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)+ }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($binding:pat in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(
+                    &config,
+                    stringify!($name),
+                    &|rng| ($($crate::Strategy::generate(&($strategy), rng),)+),
+                    &|values| {
+                        let ($($binding,)+) = values;
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// Like `assert!`, but fails the current case instead of panicking
+/// directly (the runner attaches the generated input to the panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        left,
+                        right
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        left,
+                        right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::seed_from_u64(7);
+        let mut b = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&i));
+            let f = (-2.0f64..3.5).generate(&mut rng);
+            assert!((-2.0..3.5).contains(&f));
+            let (a, b) = ((0u64..4), (1.0f64..2.0)).generate(&mut rng);
+            assert!(a < 4 && (1.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let doubled = (1u64..10).prop_map(|x| x * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 32,
+            ..ProptestConfig::default()
+        })]
+
+        #[test]
+        fn macro_binds_and_asserts(a in 0u64..100, b in 0.0f64..1.0) {
+            crate::prop_assume!(a > 0);
+            crate::prop_assert!(a < 100, "a out of range: {a}");
+            crate::prop_assert_eq!(a, a);
+            crate::prop_assert!((0.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn macro_handles_mut_and_collections(
+            mut xs in crate::collection::vec(0u64..50, 1..20),
+        ) {
+            xs.sort_unstable();
+            crate::prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics_with_input() {
+        run_property(
+            &ProptestConfig {
+                cases: 4,
+                ..ProptestConfig::default()
+            },
+            "always_fails",
+            &|rng| rng.below(10),
+            &|v| {
+                prop_assert!(v > 100, "v too small: {v}");
+                Ok(())
+            },
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Glob-importable prelude matching `proptest::prelude::*` for the
+//! names this workspace uses.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    TestCaseResult,
+};

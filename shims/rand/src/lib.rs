@@ -1,0 +1,78 @@
+//! Vendored stand-in for the subset of the `rand` 0.8 API this
+//! workspace consumes.
+//!
+//! The build environment has no registry access, so instead of pulling
+//! `rand` from crates.io we vendor the one trait the codebase actually
+//! uses: [`RngCore`], implemented by `ravel-sim`'s own xoshiro256**
+//! generator so it composes with generic `RngCore` consumers. The
+//! trait signatures match `rand` 0.8 exactly; swapping the real crate
+//! back in is a one-line manifest change.
+
+use std::fmt;
+
+/// Error type carried by [`RngCore::try_fill_bytes`].
+///
+/// Deterministic in-memory generators never fail, so this is an empty
+/// marker matching `rand::Error`'s role in the 0.8 API.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core trait implemented by random number generators.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let mut rng: Box<dyn RngCore> = Box::new(Counter(0));
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u32(), 2);
+        let mut buf = [0u8; 4];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [3, 4, 5, 6]);
+        assert!(format!("{Error}").contains("random"));
+    }
+}

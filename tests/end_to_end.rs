@@ -4,9 +4,7 @@
 use ravel::core::AdaptiveConfig;
 use ravel::pipeline::{run_session, Scheme, SessionConfig};
 use ravel::sim::{Dur, Time};
-use ravel::trace::{
-    BandwidthTrace, CellularProfile, ConstantTrace, StepTrace, StochasticTrace,
-};
+use ravel::trace::{BandwidthTrace, CellularProfile, ConstantTrace, StepTrace, StochasticTrace};
 use ravel::video::ContentClass;
 
 const DROP_AT: Time = Time::from_secs(10);
@@ -79,7 +77,11 @@ fn no_adaptation_on_a_stable_link() {
     assert_eq!(result.drops_handled, 0, "false positive on stable link");
     assert_eq!(result.frames_skipped, 0);
     let s = result.recorder.summarize_all();
-    assert!(s.mean_latency_ms < 120.0, "stable-link latency {}", s.mean_latency_ms);
+    assert!(
+        s.mean_latency_ms < 120.0,
+        "stable-link latency {}",
+        s.mean_latency_ms
+    );
 }
 
 #[test]
@@ -103,9 +105,8 @@ fn adaptive_never_worse_on_upward_step() {
 
 #[test]
 fn deep_drop_with_recovery_round_trip() {
-    let trace = || {
-        StepTrace::drop_and_recover(4e6, 0.5e6, Time::from_secs(10), Time::from_secs(18))
-    };
+    let trace =
+        || StepTrace::drop_and_recover(4e6, 0.5e6, Time::from_secs(10), Time::from_secs(18));
     let mut cfg = drop_cfg(Scheme::adaptive());
     cfg.duration = Dur::secs(35);
     let result = run_session(trace(), cfg);
@@ -157,8 +158,14 @@ fn ablation_ordering_holds() {
     let baseline = run_with(None);
     let fast_qp = run_with(Some(AdaptiveConfig::fast_qp_only()));
     let full = run_with(Some(AdaptiveConfig::default()));
-    assert!(fast_qp < baseline, "fast-qp did not help: {fast_qp} vs {baseline}");
-    assert!(full < fast_qp, "full config did not beat fast-qp: {full} vs {fast_qp}");
+    assert!(
+        fast_qp < baseline,
+        "fast-qp did not help: {fast_qp} vs {baseline}"
+    );
+    assert!(
+        full < fast_qp,
+        "full config did not beat fast-qp: {full} vs {fast_qp}"
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Failure injection: the pipeline must survive hostile conditions
 //! without panicking, hanging, or producing nonsense accounting.
 
+use ravel::core::WatchdogConfig;
+use ravel::net::{GilbertElliott, ReversePathConfig};
 use ravel::pipeline::{run_session, Scheme, SessionConfig};
 use ravel::sim::{Dur, Time};
 use ravel::trace::{ConstantTrace, StepTrace};
@@ -20,7 +22,11 @@ fn assert_sane(result: &ravel::pipeline::SessionResult) {
         result.frames_captured
     );
     for r in result.recorder.records() {
-        assert!((0.0..=1.0).contains(&r.ssim), "SSIM out of range: {}", r.ssim);
+        assert!(
+            (0.0..=1.0).contains(&r.ssim),
+            "SSIM out of range: {}",
+            r.ssim
+        );
         if let Some(l) = r.latency {
             // Nothing can arrive faster than propagation + render.
             assert!(
@@ -111,10 +117,7 @@ fn heavy_loss_without_rtx_survives() {
 fn jittery_link_never_reorders_into_panic() {
     let mut c = cfg(Scheme::adaptive());
     c.link.jitter_std = Dur::millis(15);
-    let result = run_session(
-        StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)),
-        c,
-    );
+    let result = run_session(StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)), c);
     assert_sane(&result);
 }
 
@@ -122,10 +125,7 @@ fn jittery_link_never_reorders_into_panic() {
 fn tiny_bottleneck_queue() {
     let mut c = cfg(Scheme::baseline());
     c.link.queue_capacity_bytes = 10_000; // < 8 MTU packets
-    let result = run_session(
-        StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)),
-        c,
-    );
+    let result = run_session(StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)), c);
     assert_sane(&result);
     assert!(result.queue_drops > 0, "tiny queue never dropped");
 }
@@ -151,10 +151,7 @@ fn low_resolution_capture() {
     let mut c = cfg(Scheme::adaptive());
     c.resolution = Resolution::P360;
     c.start_rate_bps = 1e6;
-    let result = run_session(
-        StepTrace::sudden_drop(1e6, 0.3e6, Time::from_secs(10)),
-        c,
-    );
+    let result = run_session(StepTrace::sudden_drop(1e6, 0.3e6, Time::from_secs(10)), c);
     assert_sane(&result);
 }
 
@@ -202,6 +199,173 @@ fn repeated_drops_in_quick_succession() {
         tail.mean_latency_ms < 300.0,
         "staircase never stabilized: {:.0}ms",
         tail.mean_latency_ms
+    );
+}
+
+// --- Control-plane (reverse-path) fault injection ---------------------
+
+/// The canonical E17 drop: 4→1 Mbps at 10 s, 20 s session.
+fn drop_trace() -> StepTrace {
+    StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10))
+}
+
+fn watchdog_for(cfg: &SessionConfig) -> WatchdogConfig {
+    WatchdogConfig::for_timing(cfg.feedback_interval, cfg.reverse_delay * 2)
+}
+
+#[test]
+fn feedback_blackout_no_panic_sane_accounting() {
+    // 30% feedback loss plus a 1 s feedback blackout starting exactly at
+    // the capacity drop: both schemes, watchdog on, must complete with
+    // sane accounting.
+    for scheme in [Scheme::baseline(), Scheme::adaptive()] {
+        let mut c = cfg(scheme);
+        c.reverse_path = ReversePathConfig::with_loss(0.3)
+            .add_blackout(Time::from_secs(10), Time::from_secs(11));
+        c.watchdog = Some(watchdog_for(&c));
+        let result = run_session(drop_trace(), c);
+        assert_sane(&result);
+        assert!(
+            result.reverse_lost > 0,
+            "{}: impaired reverse path lost nothing",
+            scheme.name()
+        );
+        assert!(
+            result.watchdog_timeouts > 0,
+            "{}: watchdog never fired through a 1 s blackout",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn duplicate_storm_discards_replayed_reports() {
+    // Nearly every feedback report and NACK batch arrives twice. The
+    // report_seq gate must discard the replays and the session must not
+    // double-process its way into nonsense.
+    let mut c = cfg(Scheme::adaptive());
+    c.reverse_path = ReversePathConfig {
+        duplicate_prob: 0.9,
+        ..ReversePathConfig::default()
+    };
+    let result = run_session(drop_trace(), c);
+    assert_sane(&result);
+    assert!(result.reverse_duplicates > 0, "no duplicates injected");
+    assert!(
+        result.reports_discarded > 0,
+        "duplicated reports were not discarded"
+    );
+    // A clean-forward-path session under pure control-plane duplication
+    // must still deliver reasonable quality.
+    let s = result.recorder.summarize_all();
+    assert!(s.mean_ssim > 0.5, "quality collapsed: {}", s.mean_ssim);
+}
+
+#[test]
+fn reordered_reports_are_discarded_not_processed() {
+    // Reverse-path jitter well above the base delay reorders reports in
+    // flight; stale ones (report_seq <= last seen) must be dropped
+    // before they reach GCC or the drop detector.
+    let mut c = cfg(Scheme::adaptive());
+    c.reverse_path = ReversePathConfig {
+        jitter_std: Dur::millis(30),
+        ..ReversePathConfig::default()
+    };
+    let result = run_session(drop_trace(), c);
+    assert_sane(&result);
+    assert!(
+        result.reports_discarded > 0,
+        "30 ms reverse jitter produced no out-of-order reports"
+    );
+}
+
+#[test]
+fn send_rate_decays_toward_floor_while_blind() {
+    // A 3 s total feedback blackout: the watchdog must walk the target
+    // down exponentially toward its floor while the loop is blind.
+    let mut c = cfg(Scheme::adaptive());
+    c.record_series = true;
+    c.reverse_path =
+        ReversePathConfig::default().add_blackout(Time::from_secs(10), Time::from_secs(13));
+    let wd = watchdog_for(&c);
+    c.watchdog = Some(wd);
+    let result = run_session(drop_trace(), c);
+    assert_sane(&result);
+    assert!(result.watchdog_timeouts >= 10, "too few blind steps");
+    let target = result.series.get("target_bps").expect("series recorded");
+    let early = target.mean_in(Time::from_secs(10), Time::from_millis(10_500));
+    let late = target.mean_in(Time::from_millis(12_500), Time::from_secs(13));
+    assert!(
+        late < early,
+        "target did not decay while blind: {early} -> {late}"
+    );
+    assert!(
+        late >= wd.floor_bps,
+        "target fell through the floor: {late}"
+    );
+    assert!(
+        late <= wd.floor_bps * 2.0,
+        "3 s of backoff never approached the floor: {late}"
+    );
+}
+
+#[test]
+fn impaired_reverse_path_is_deterministic() {
+    // Identical seeds and fault schedule => byte-identical results, even
+    // with every impairment mechanism engaged at once.
+    let mk = || {
+        let mut c = cfg(Scheme::adaptive());
+        c.reverse_path = ReversePathConfig {
+            loss: 0.1,
+            gilbert_elliott: Some(GilbertElliott::bursty()),
+            jitter_std: Dur::millis(5),
+            duplicate_prob: 0.2,
+            ..ReversePathConfig::default()
+        }
+        .add_blackout(Time::from_secs(10), Time::from_secs(11));
+        c.watchdog = Some(watchdog_for(&c));
+        c
+    };
+    let a = run_session(drop_trace(), mk());
+    let b = run_session(drop_trace(), mk());
+    assert_eq!(a.recorder.records(), b.recorder.records());
+    assert_eq!(a.reverse_lost, b.reverse_lost);
+    assert_eq!(a.reverse_duplicates, b.reverse_duplicates);
+    assert_eq!(a.reports_discarded, b.reports_discarded);
+    assert_eq!(a.watchdog_timeouts, b.watchdog_timeouts);
+    assert_eq!(a.plis_sent, b.plis_sent);
+    assert_eq!(a.retransmissions, b.retransmissions);
+}
+
+#[test]
+fn watchdog_improves_p95_latency_under_blind_drop() {
+    // The acceptance condition: 30% feedback loss + 1 s blackout over
+    // the 4→1 Mbps drop. Cutting the rate while blind must strictly
+    // reduce post-drop p95 latency versus flying blind at full rate.
+    let mk = |watchdog: bool| {
+        let mut c = cfg(Scheme::adaptive());
+        c.reverse_path = ReversePathConfig::with_loss(0.3)
+            .add_blackout(Time::from_secs(10), Time::from_secs(11));
+        if watchdog {
+            c.watchdog = Some(watchdog_for(&c));
+        }
+        run_session(drop_trace(), c)
+    };
+    let without = mk(false);
+    let with = mk(true);
+    assert_sane(&without);
+    assert_sane(&with);
+    let w_without = without
+        .recorder
+        .summarize(Time::from_secs(10), Time::from_secs(18));
+    let w_with = with
+        .recorder
+        .summarize(Time::from_secs(10), Time::from_secs(18));
+    assert!(
+        w_with.p95_latency_ms < w_without.p95_latency_ms,
+        "watchdog did not improve blind p95: {:.1} vs {:.1}",
+        w_with.p95_latency_ms,
+        w_without.p95_latency_ms
     );
 }
 

@@ -7,7 +7,7 @@
 use ravel::core::AdaptiveConfig;
 use ravel::pipeline::{run_session, Scheme, SessionConfig, SessionResult};
 use ravel::sim::{Dur, Time};
-use ravel::trace::{BandwidthTrace, CellularProfile, StochasticTrace, StepTrace};
+use ravel::trace::{BandwidthTrace, CellularProfile, StepTrace, StochasticTrace};
 
 fn kitchen_sink_cfg(scheme: Scheme) -> SessionConfig {
     let mut cfg = SessionConfig::default_with(scheme);
@@ -51,8 +51,13 @@ fn all_features_on_stochastic_trace() {
             scheme.name()
         );
         let s = result.recorder.summarize_all();
+        // Threshold recalibrated (0.6 → 0.55) after fixing the
+        // FeedbackBuilder double-reporting bug: late RTX repairs used to
+        // be reported twice, inflating GCC's delivered-rate estimate and
+        // with it the baseline's sending rate/quality on lossy traces.
+        // See EXPERIMENTS.md "Reproduction notes".
         assert!(
-            s.mean_ssim > 0.6,
+            s.mean_ssim > 0.55,
             "{}: quality collapsed under combined features: {}",
             scheme.name(),
             s.mean_ssim
@@ -67,8 +72,12 @@ fn all_features_on_clean_drop_adaptive_still_wins() {
     let a = run_session(mk(), kitchen_sink_cfg(Scheme::adaptive()));
     assert_invariants(&b);
     assert_invariants(&a);
-    let bw = b.recorder.summarize(Time::from_secs(10), Time::from_secs(18));
-    let aw = a.recorder.summarize(Time::from_secs(10), Time::from_secs(18));
+    let bw = b
+        .recorder
+        .summarize(Time::from_secs(10), Time::from_secs(18));
+    let aw = a
+        .recorder
+        .summarize(Time::from_secs(10), Time::from_secs(18));
     assert!(
         aw.mean_latency_ms < bw.mean_latency_ms,
         "adaptive lost with all features on: {} vs {}",
@@ -80,10 +89,8 @@ fn all_features_on_clean_drop_adaptive_still_wins() {
 #[test]
 fn all_features_deterministic() {
     let mk = || {
-        StochasticTrace::generate(&CellularProfile::wifi_like(), Dur::secs(20), 5).clamped(
-            0.3e6,
-            8e6,
-        )
+        StochasticTrace::generate(&CellularProfile::wifi_like(), Dur::secs(20), 5)
+            .clamped(0.3e6, 8e6)
     };
     let mut cfg = kitchen_sink_cfg(Scheme::adaptive());
     cfg.duration = Dur::secs(20);
