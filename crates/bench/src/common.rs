@@ -1,29 +1,14 @@
-//! Shared experiment plumbing: canonical scenario constants and session
-//! helpers.
+//! Shared experiment plumbing: canonical scenario constants (now owned
+//! by `ravel-harness`, re-exported here for compatibility) and serial
+//! session helpers for the Criterion targets.
 
-use ravel_metrics::LatencySummary;
 use ravel_pipeline::{run_session, Scheme, SessionConfig, SessionResult};
-use ravel_sim::{Dur, Time};
 use ravel_trace::{BandwidthTrace, StepTrace};
 use ravel_video::ContentClass;
 
-/// The canonical drop instant: 10 s into the session, after GCC has
-/// converged.
-pub const DROP_AT: Time = Time::from_secs(10);
-
-/// The post-drop measurement window length.
-pub const POST_WINDOW: Dur = Dur::secs(8);
-
-/// The canonical pre-drop rate.
-pub const PRE_RATE: f64 = 4e6;
-
-/// Canonical session length for drop experiments.
-pub const SESSION_LEN: Dur = Dur::secs(40);
-
-/// The `[DROP_AT, DROP_AT + POST_WINDOW)` measurement window.
-pub fn window_after(result: &SessionResult) -> LatencySummary {
-    result.recorder.summarize(DROP_AT, DROP_AT + POST_WINDOW)
-}
+pub use ravel_harness::{
+    fmt_reduction, pct_change, window_after, DROP_AT, POST_WINDOW, PRE_RATE, SESSION_LEN,
+};
 
 /// Runs one drop session: `PRE_RATE` falling to `after_bps` at
 /// [`DROP_AT`], under `scheme` and `content`.
@@ -45,21 +30,6 @@ pub fn run_with<T: BandwidthTrace>(
     cfg.duration = SESSION_LEN;
     adjust(&mut cfg);
     run_session(trace, cfg)
-}
-
-/// Percent change from `base` to `new`, negative = improvement
-/// (reduction).
-pub fn pct_change(base: f64, new: f64) -> f64 {
-    if base == 0.0 {
-        0.0
-    } else {
-        (new - base) / base * 100.0
-    }
-}
-
-/// Formats a reduction (positive percentage = reduced by that much).
-pub fn fmt_reduction(base: f64, new: f64) -> String {
-    format!("{:.2}%", -pct_change(base, new))
 }
 
 #[cfg(test)]

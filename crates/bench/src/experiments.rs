@@ -1,732 +1,124 @@
 //! The experiment implementations (see DESIGN.md §5).
+//!
+//! As of the parallel-harness refactor these are thin fronts over
+//! [`ravel_harness::experiments`]: each experiment lives there as a
+//! flat cell grid plus a deterministic assembly function, and the
+//! functions here run that grid on a work-stealing pool sized to the
+//! host (output is byte-identical at any worker count, so the public
+//! contract — same binary, same numbers — is unchanged while
+//! `cargo bench`/`cargo test` get the speedup for free).
 
-use ravel_core::AdaptiveConfig;
+use ravel_harness::{default_jobs, experiments as grids, Experiment};
 use ravel_metrics::Table;
-use ravel_pipeline::{CcKind, Scheme};
-use ravel_sim::{Dur, Time};
-use ravel_trace::{CellularProfile, StepTrace, StochasticTrace};
-use ravel_video::ContentClass;
 
-use crate::common::{
-    fmt_reduction, pct_change, run_drop, run_with, window_after, DROP_AT, PRE_RATE, SESSION_LEN,
-};
+pub use ravel_harness::E1_AFTER_BPS;
 
-/// The drop severities of the headline table: 4 Mbps falling to 2, 1.5
-/// and 1 Mbps (2×, 2.7× and 4×) — the conditions whose measured
-/// reductions bracket the paper's 28.66%–78.87% band.
-pub const E1_AFTER_BPS: [f64; 3] = [2e6, 1.5e6, 1e6];
+fn run_table(e: Experiment) -> Table {
+    e.run(default_jobs()).output.into_table()
+}
 
 /// E1 — headline latency: per-frame G2G latency in the post-drop window,
 /// baseline vs. adaptive, across drop severities and two content
 /// classes.
 pub fn e1_headline_latency() -> Table {
-    let mut t = Table::new(&[
-        "content",
-        "drop",
-        "base_mean_ms",
-        "adpt_mean_ms",
-        "mean_reduction",
-        "base_p95_ms",
-        "adpt_p95_ms",
-        "p95_reduction",
-    ]);
-    for content in [ContentClass::TalkingHead, ContentClass::Gaming] {
-        for after in E1_AFTER_BPS {
-            let b = window_after(&run_drop(Scheme::baseline(), content, after));
-            let a = window_after(&run_drop(Scheme::adaptive(), content, after));
-            t.row_owned(vec![
-                content.to_string(),
-                format!("4->{:.1}Mbps", after / 1e6),
-                format!("{:.1}", b.mean_latency_ms),
-                format!("{:.1}", a.mean_latency_ms),
-                fmt_reduction(b.mean_latency_ms, a.mean_latency_ms),
-                format!("{:.1}", b.p95_latency_ms),
-                format!("{:.1}", a.p95_latency_ms),
-                fmt_reduction(b.p95_latency_ms, a.p95_latency_ms),
-            ]);
-        }
-    }
-    t
+    run_table(grids::e1())
 }
 
 /// E2 — headline quality: session-wide mean SSIM (and PSNR of displayed
 /// frames), baseline vs. adaptive, same conditions as E1.
 pub fn e2_headline_quality() -> Table {
-    let mut t = Table::new(&[
-        "content",
-        "drop",
-        "base_ssim",
-        "adpt_ssim",
-        "ssim_delta",
-        "base_psnr_db",
-        "adpt_psnr_db",
-        "freeze_base",
-        "freeze_adpt",
-    ]);
-    for content in [ContentClass::TalkingHead, ContentClass::Gaming] {
-        for after in E1_AFTER_BPS {
-            let rb = run_drop(Scheme::baseline(), content, after);
-            let ra = run_drop(Scheme::adaptive(), content, after);
-            let b = rb.recorder.summarize_all();
-            let a = ra.recorder.summarize_all();
-            t.row_owned(vec![
-                content.to_string(),
-                format!("4->{:.1}Mbps", after / 1e6),
-                format!("{:.4}", b.mean_ssim),
-                format!("{:.4}", a.mean_ssim),
-                format!("{:+.2}%", pct_change(b.mean_ssim, a.mean_ssim)),
-                format!("{:.1}", b.mean_psnr_db),
-                format!("{:.1}", a.mean_psnr_db),
-                format!("{:.1}%", b.freeze_ratio() * 100.0),
-                format!("{:.1}%", a.freeze_ratio() * 100.0),
-            ]);
-        }
-    }
-    t
+    run_table(grids::e2())
 }
 
 /// E3 — the motivating time-series figure: capacity, encoder target,
 /// send rate, bottleneck queue and frame latency around the drop, for
-/// both schemes. Returns CSV text (one block per scheme).
+/// both schemes. Returns CSV text (one block per scheme); the window is
+/// derived from [`ravel_harness::DROP_AT`] (−2 s .. +10 s).
 pub fn e3_timeseries() -> String {
-    let mut out = String::new();
-    for scheme in [Scheme::baseline(), Scheme::adaptive()] {
-        let result = run_with(
-            scheme,
-            StepTrace::sudden_drop(PRE_RATE, 1e6, DROP_AT),
-            |cfg| cfg.record_series = true,
-        );
-        out.push_str(&format!("# scheme={}\n", scheme.name()));
-        out.push_str("time_s,capacity_mbps,target_mbps,send_mbps,queue_ms,latency_ms\n");
-        let get = |name: &str| result.series.get(name).expect("series recorded");
-        let (cap, tgt, snd, q, lat) = (
-            get("capacity_bps"),
-            get("target_bps"),
-            get("send_rate_bps"),
-            get("link_queue_ms"),
-            get("frame_latency_ms"),
-        );
-        for step in 0..120u64 {
-            let t = Time::from_millis(8_000 + step * 100);
-            let w = Time::from_millis(8_000 + (step + 1) * 100);
-            out.push_str(&format!(
-                "{:.1},{:.3},{:.3},{:.3},{:.1},{:.1}\n",
-                t.as_secs_f64(),
-                cap.mean_in(t, w) / 1e6,
-                tgt.mean_in(t, w) / 1e6,
-                snd.mean_in(t, w) / 1e6,
-                q.mean_in(t, w),
-                lat.mean_in(t, w),
-            ));
-        }
-        out.push('\n');
+    match grids::e3().run(default_jobs()).output {
+        ravel_harness::Output::Text(csv) => csv,
+        ravel_harness::Output::Table(_) => unreachable!("e3 emits CSV"),
     }
-    out
 }
 
 /// E4 — latency reduction vs. drop magnitude (figure series): ratios
 /// from 1.25× to 8×.
 pub fn e4_drop_magnitude_sweep() -> Table {
-    let mut t = Table::new(&[
-        "drop_ratio",
-        "after_mbps",
-        "base_mean_ms",
-        "adpt_mean_ms",
-        "mean_reduction",
-        "p95_reduction",
-    ]);
-    for ratio in [1.25, 1.6, 2.0, 2.7, 4.0, 8.0] {
-        let after = PRE_RATE / ratio;
-        let b = window_after(&run_drop(
-            Scheme::baseline(),
-            ContentClass::TalkingHead,
-            after,
-        ));
-        let a = window_after(&run_drop(
-            Scheme::adaptive(),
-            ContentClass::TalkingHead,
-            after,
-        ));
-        t.row_owned(vec![
-            format!("{ratio:.2}x"),
-            format!("{:.2}", after / 1e6),
-            format!("{:.1}", b.mean_latency_ms),
-            format!("{:.1}", a.mean_latency_ms),
-            fmt_reduction(b.mean_latency_ms, a.mean_latency_ms),
-            fmt_reduction(b.p95_latency_ms, a.p95_latency_ms),
-        ]);
-    }
-    t
+    run_table(grids::e4())
 }
 
-/// E5 — adaptation benefit vs. feedback RTT (figure series). The
-/// detector cannot beat the feedback loop; as RTT grows the baseline
-/// worsens and the adaptive gain shifts.
+/// E5 — adaptation benefit vs. feedback RTT (figure series).
 pub fn e5_rtt_sweep() -> Table {
-    let mut t = Table::new(&[
-        "rtt_ms",
-        "base_mean_ms",
-        "adpt_mean_ms",
-        "mean_reduction",
-        "adpt_p95_ms",
-    ]);
-    for rtt_ms in [10u64, 20, 40, 80, 160] {
-        let run = |scheme| {
-            let result = run_with(
-                scheme,
-                StepTrace::sudden_drop(PRE_RATE, 1e6, DROP_AT),
-                |cfg| {
-                    cfg.link.propagation = Dur::millis(rtt_ms / 2);
-                    cfg.reverse_delay = Dur::millis(rtt_ms / 2);
-                },
-            );
-            window_after(&result)
-        };
-        let b = run(Scheme::baseline());
-        let a = run(Scheme::adaptive());
-        t.row_owned(vec![
-            rtt_ms.to_string(),
-            format!("{:.1}", b.mean_latency_ms),
-            format!("{:.1}", a.mean_latency_ms),
-            fmt_reduction(b.mean_latency_ms, a.mean_latency_ms),
-            format!("{:.1}", a.p95_latency_ms),
-        ]);
-    }
-    t
+    run_table(grids::e5())
 }
 
 /// E6 — content sensitivity: all four content classes through the
 /// canonical 4→1 Mbps drop.
 pub fn e6_content_sensitivity() -> Table {
-    let mut t = Table::new(&[
-        "content",
-        "base_mean_ms",
-        "adpt_mean_ms",
-        "mean_reduction",
-        "base_ssim",
-        "adpt_ssim",
-        "ssim_delta",
-    ]);
-    for content in ContentClass::ALL {
-        let rb = run_drop(Scheme::baseline(), content, 1e6);
-        let ra = run_drop(Scheme::adaptive(), content, 1e6);
-        let bw = window_after(&rb);
-        let aw = window_after(&ra);
-        let ball = rb.recorder.summarize_all();
-        let aall = ra.recorder.summarize_all();
-        t.row_owned(vec![
-            content.to_string(),
-            format!("{:.1}", bw.mean_latency_ms),
-            format!("{:.1}", aw.mean_latency_ms),
-            fmt_reduction(bw.mean_latency_ms, aw.mean_latency_ms),
-            format!("{:.4}", ball.mean_ssim),
-            format!("{:.4}", aall.mean_ssim),
-            format!("{:+.2}%", pct_change(ball.mean_ssim, aall.mean_ssim)),
-        ]);
-    }
-    t
+    run_table(grids::e6())
 }
 
 /// E7 — mechanism ablation on moderate (4→1) and deep (4→0.5) drops.
 pub fn e7_ablation() -> Table {
-    let levels: [(&str, Option<AdaptiveConfig>); 5] = [
-        ("baseline", None),
-        ("fast-qp", Some(AdaptiveConfig::fast_qp_only())),
-        ("+vbv", Some(AdaptiveConfig::fast_qp_and_vbv())),
-        ("+skip", Some(AdaptiveConfig::without_ladder())),
-        ("full", Some(AdaptiveConfig::default())),
-    ];
-    let mut t = Table::new(&[
-        "mechanisms",
-        "drop",
-        "mean_ms",
-        "p95_ms",
-        "sess_ssim",
-        "skips",
-    ]);
-    for after in [1e6, 0.5e6] {
-        for (name, adaptive) in levels {
-            let scheme = match adaptive {
-                None => Scheme::baseline(),
-                Some(cfg) => Scheme::adaptive_with(cfg),
-            };
-            let result = run_drop(scheme, ContentClass::TalkingHead, after);
-            let w = window_after(&result);
-            let all = result.recorder.summarize_all();
-            t.row_owned(vec![
-                name.to_string(),
-                format!("4->{:.1}Mbps", after / 1e6),
-                format!("{:.1}", w.mean_latency_ms),
-                format!("{:.1}", w.p95_latency_ms),
-                format!("{:.4}", all.mean_ssim),
-                result.frames_skipped.to_string(),
-            ]);
-        }
-    }
-    t
+    run_table(grids::e7())
 }
 
 /// E8 — congestion-controller comparison: the adaptive controller on
 /// top of GCC vs. GCC alone vs. the loss-only and fixed-rate strawmen.
 pub fn e8_cc_comparison() -> Table {
-    let schemes = [
-        Scheme::baseline(),
-        Scheme::adaptive(),
-        Scheme {
-            cc: CcKind::NaiveAimd,
-            adaptive: None,
-        },
-        Scheme {
-            cc: CcKind::NaiveAimd,
-            adaptive: Some(AdaptiveConfig::default()),
-        },
-        Scheme {
-            cc: CcKind::Fixed,
-            adaptive: None,
-        },
-    ];
-    let mut t = Table::new(&[
-        "scheme",
-        "mean_ms",
-        "p95_ms",
-        "sess_ssim",
-        "freeze_%",
-        "queue_drops",
-    ]);
-    for scheme in schemes {
-        let result = run_drop(scheme, ContentClass::TalkingHead, 1e6);
-        let w = window_after(&result);
-        let all = result.recorder.summarize_all();
-        t.row_owned(vec![
-            scheme.name(),
-            format!("{:.1}", w.mean_latency_ms),
-            format!("{:.1}", w.p95_latency_ms),
-            format!("{:.4}", all.mean_ssim),
-            format!("{:.1}%", all.freeze_ratio() * 100.0),
-            result.queue_drops.to_string(),
-        ]);
-    }
-    t
+    run_table(grids::e8())
 }
 
 /// E9 — robustness across seeded stochastic LTE-like traces: per-seed
-/// mean latency plus aggregate CDF points.
+/// mean latency plus aggregate MEAN row.
 pub fn e9_stochastic(seeds: u64) -> Table {
-    let profile = CellularProfile::lte_like();
-    let mut t = Table::new(&[
-        "seed",
-        "base_mean_ms",
-        "adpt_mean_ms",
-        "base_p95_ms",
-        "adpt_p95_ms",
-        "drops_handled",
-    ]);
-    let mut base_sum = 0.0;
-    let mut adpt_sum = 0.0;
-    for seed in 0..seeds {
-        let trace = || StochasticTrace::generate(&profile, SESSION_LEN, seed);
-        let run = |scheme| {
-            run_with(scheme, trace(), |cfg| {
-                cfg.seed = seed;
-            })
-        };
-        let rb = run(Scheme::baseline());
-        let ra = run(Scheme::adaptive());
-        let b = rb.recorder.summarize_all();
-        let a = ra.recorder.summarize_all();
-        base_sum += b.mean_latency_ms;
-        adpt_sum += a.mean_latency_ms;
-        t.row_owned(vec![
-            seed.to_string(),
-            format!("{:.1}", b.mean_latency_ms),
-            format!("{:.1}", a.mean_latency_ms),
-            format!("{:.1}", b.p95_latency_ms),
-            format!("{:.1}", a.p95_latency_ms),
-            ra.drops_handled.to_string(),
-        ]);
-    }
-    t.row_owned(vec![
-        "MEAN".to_string(),
-        format!("{:.1}", base_sum / seeds as f64),
-        format!("{:.1}", adpt_sum / seeds as f64),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-    t
+    run_table(grids::e9(seeds))
 }
 
 /// E11 — lossy-link robustness: random wireless loss on top of the
 /// canonical drop, with NACK/RTX on (production behaviour) and off
-/// (ablation). Tables the interaction between the paper's mechanism and
-/// standard loss recovery.
+/// (ablation).
 pub fn e11_loss_robustness() -> Table {
-    let mut t = Table::new(&[
-        "loss",
-        "rtx",
-        "scheme",
-        "mean_ms",
-        "sess_ssim",
-        "freeze_%",
-        "retransmissions",
-    ]);
-    for loss in [0.0, 0.01, 0.03, 0.05] {
-        for rtx in [true, false] {
-            for scheme in [Scheme::baseline(), Scheme::adaptive()] {
-                let result = run_with(
-                    scheme,
-                    StepTrace::sudden_drop(PRE_RATE, 1e6, DROP_AT),
-                    |cfg| {
-                        cfg.link.random_loss = loss;
-                        cfg.enable_rtx = rtx;
-                    },
-                );
-                let w = window_after(&result);
-                let all = result.recorder.summarize_all();
-                t.row_owned(vec![
-                    format!("{:.0}%", loss * 100.0),
-                    if rtx { "on" } else { "off" }.to_string(),
-                    scheme.name(),
-                    format!("{:.1}", w.mean_latency_ms),
-                    format!("{:.4}", all.mean_ssim),
-                    format!("{:.1}%", all.freeze_ratio() * 100.0),
-                    result.retransmissions.to_string(),
-                ]);
-            }
-        }
-    }
-    t
+    run_table(grids::e11())
 }
 
 /// E12 — temporal-scalability extension: hierarchical-P (2 layers) vs
-/// plain IPPP under the canonical and deep drops. Two layers cost a
-/// little steady-state quality (layer-0 prediction distance) but make
-/// drain-phase frame drops freeze-safe.
+/// plain IPPP under the canonical and deep drops.
 pub fn e12_temporal_layers() -> Table {
-    let mut t = Table::new(&[
-        "layers",
-        "scheme",
-        "drop",
-        "mean_ms",
-        "p95_ms",
-        "sess_ssim",
-        "skips",
-    ]);
-    for after in [1e6, 0.5e6] {
-        for layers in [1u8, 2] {
-            for scheme in [Scheme::baseline(), Scheme::adaptive()] {
-                let result = run_with(
-                    scheme,
-                    StepTrace::sudden_drop(PRE_RATE, after, DROP_AT),
-                    |cfg| cfg.temporal_layers = layers,
-                );
-                let w = window_after(&result);
-                let all = result.recorder.summarize_all();
-                t.row_owned(vec![
-                    layers.to_string(),
-                    scheme.name(),
-                    format!("4->{:.1}Mbps", after / 1e6),
-                    format!("{:.1}", w.mean_latency_ms),
-                    format!("{:.1}", w.p95_latency_ms),
-                    format!("{:.4}", all.mean_ssim),
-                    result.frames_skipped.to_string(),
-                ]);
-            }
-        }
-    }
-    t
+    run_table(grids::e12())
 }
 
 /// E13 — audio protection: an Opus-style 32 kbps audio flow shares the
-/// bottleneck; per-packet audio latency in the post-drop window shows
-/// how video overshoot collateral-damages audio, and how much the
-/// adaptive controller protects it.
+/// bottleneck with the video.
 pub fn e13_audio_protection() -> Table {
-    let mut t = Table::new(&[
-        "drop",
-        "scheme",
-        "audio_delivered",
-        "audio_mean_ms",
-        "audio_p95_ms",
-        "video_mean_ms",
-    ]);
-    for after in E1_AFTER_BPS {
-        for scheme in [Scheme::baseline(), Scheme::adaptive()] {
-            let result = run_with(
-                scheme,
-                StepTrace::sudden_drop(PRE_RATE, after, DROP_AT),
-                |cfg| cfg.enable_audio = true,
-            );
-            let mut lat: Vec<f64> = result
-                .audio_latencies
-                .iter()
-                .filter(|&&(at, _)| at >= DROP_AT && at < DROP_AT + crate::common::POST_WINDOW)
-                .map(|&(_, l)| l.as_millis_f64())
-                .collect();
-            lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
-            let p95 = lat
-                .get(((lat.len() as f64) * 0.95) as usize)
-                .copied()
-                .unwrap_or(0.0);
-            // One audio packet every 20 ms was *sent* in the window;
-            // delivery below 100% means the bottleneck queue (full of
-            // video) drop-tailed the rest.
-            let sent = crate::common::POST_WINDOW.as_millis() / 20;
-            let delivered_pct = lat.len() as f64 / sent as f64 * 100.0;
-            let video = window_after(&result);
-            t.row_owned(vec![
-                format!("4->{:.1}Mbps", after / 1e6),
-                scheme.name(),
-                format!("{delivered_pct:.1}%"),
-                format!("{mean:.1}"),
-                format!("{p95:.1}"),
-                format!("{:.1}", video.mean_latency_ms),
-            ]);
-        }
-    }
-    t
+    run_table(grids::e13())
 }
 
 /// E14 — loss-recovery strategies compared: RTX (1 RTT), FEC (0 RTT,
-/// constant overhead), both, or neither, on a lossy link through the
-/// canonical drop (adaptive scheme).
+/// constant overhead), both, or neither.
 pub fn e14_loss_recovery_strategies() -> Table {
-    let mut t = Table::new(&[
-        "loss",
-        "recovery",
-        "mean_ms",
-        "sess_ssim",
-        "freeze_%",
-        "rtx",
-        "fec_recovered",
-    ]);
-    for loss in [0.02, 0.05] {
-        for (name, rtx, fec) in [
-            ("none", false, false),
-            ("rtx", true, false),
-            ("fec", false, true),
-            ("rtx+fec", true, true),
-        ] {
-            let result = run_with(
-                Scheme::adaptive(),
-                StepTrace::sudden_drop(PRE_RATE, 1e6, DROP_AT),
-                |cfg| {
-                    cfg.link.random_loss = loss;
-                    cfg.enable_rtx = rtx;
-                    cfg.enable_fec = fec;
-                },
-            );
-            let w = window_after(&result);
-            let all = result.recorder.summarize_all();
-            t.row_owned(vec![
-                format!("{:.0}%", loss * 100.0),
-                name.to_string(),
-                format!("{:.1}", w.mean_latency_ms),
-                format!("{:.4}", all.mean_ssim),
-                format!("{:.1}%", all.freeze_ratio() * 100.0),
-                result.retransmissions.to_string(),
-                result.fec_recovered.to_string(),
-            ]);
-        }
-    }
-    t
+    run_table(grids::e14())
 }
 
-/// E15 — control-architecture comparison: the paper's drop-triggered
-/// state machine vs. Salsify-flavoured continuous per-frame control vs.
-/// baseline, across a clean drop, a stochastic trace, and a steady link
-/// (where continuous control's conservatism costs quality).
+/// E15 — control-architecture comparison: drop-triggered state machine
+/// vs. Salsify-flavoured continuous per-frame control vs. baseline.
 pub fn e15_control_architectures() -> Table {
-    let mut t = Table::new(&["scenario", "scheme", "mean_ms", "p95_ms", "sess_ssim"]);
-    let schemes: [(&str, Scheme); 3] = [
-        ("baseline", Scheme::baseline()),
-        ("drop-triggered", Scheme::adaptive()),
-        (
-            "continuous",
-            Scheme::adaptive_with(ravel_core::AdaptiveConfig::continuous()),
-        ),
-    ];
-    // Scenario 1: canonical clean drop.
-    for (name, scheme) in schemes {
-        let result = run_drop(scheme, ContentClass::TalkingHead, 1e6);
-        let w = window_after(&result);
-        let all = result.recorder.summarize_all();
-        t.row_owned(vec![
-            "clean-drop".into(),
-            name.into(),
-            format!("{:.1}", w.mean_latency_ms),
-            format!("{:.1}", w.p95_latency_ms),
-            format!("{:.4}", all.mean_ssim),
-        ]);
-    }
-    // Scenario 2: stochastic LTE-like trace.
-    for (name, scheme) in schemes {
-        let trace = StochasticTrace::generate(&CellularProfile::lte_like(), SESSION_LEN, 7);
-        let result = run_with(scheme, trace, |_| {});
-        let all = result.recorder.summarize_all();
-        t.row_owned(vec![
-            "lte-trace".into(),
-            name.into(),
-            format!("{:.1}", all.mean_latency_ms),
-            format!("{:.1}", all.p95_latency_ms),
-            format!("{:.4}", all.mean_ssim),
-        ]);
-    }
-    // Scenario 3: steady 4.5 Mbps link (no drops at all).
-    for (name, scheme) in schemes {
-        let result = run_with(scheme, ravel_trace::ConstantTrace::new(4.5e6), |_| {});
-        let all = result.recorder.summarize_all();
-        t.row_owned(vec![
-            "steady-link".into(),
-            name.into(),
-            format!("{:.1}", all.mean_latency_ms),
-            format!("{:.1}", all.p95_latency_ms),
-            format!("{:.4}", all.mean_ssim),
-        ]);
-    }
-    t
+    run_table(grids::e15())
 }
 
-/// E16 — recovery speed: after the capacity comes back (drop-and-
-/// recover trace), how fast does each scheme climb back to the pre-drop
-/// rate? Reports the delivered video rate in successive 2-second windows
-/// after recovery, plus time-to-90%-of-pre-drop.
+/// E16 — recovery speed: after the capacity comes back, how fast does
+/// each scheme climb back to the pre-drop rate?
 pub fn e16_recovery_probing() -> Table {
-    use ravel_sim::Time;
-    let recover_at = Time::from_secs(18);
-    let schemes: [(&str, Scheme); 3] = [
-        ("baseline", Scheme::baseline()),
-        ("adaptive", Scheme::adaptive()),
-        (
-            "adaptive+probing",
-            Scheme::adaptive_with(AdaptiveConfig::with_probing()),
-        ),
-    ];
-    let mut t = Table::new(&[
-        "scheme",
-        "rate@+2s",
-        "rate@+6s",
-        "rate@+12s",
-        "t90_s",
-        "sess_ssim",
-    ]);
-    for (name, scheme) in schemes {
-        let result = run_with(
-            scheme,
-            StepTrace::drop_and_recover(PRE_RATE, 1e6, DROP_AT, recover_at),
-            |cfg| {
-                cfg.record_series = true;
-                cfg.duration = Dur::secs(45);
-            },
-        );
-        let send = result.series.get("send_rate_bps").expect("series");
-        let rate_at = |offset_s: u64| {
-            send.mean_in(
-                recover_at + Dur::secs(offset_s),
-                recover_at + Dur::secs(offset_s + 2),
-            ) / 1e6
-        };
-        // Time until the 2s-smoothed send rate first reaches 90% of the
-        // pre-drop 4 Mbps (capped at the session tail).
-        let mut t90 = f64::NAN;
-        for s in 0..25u64 {
-            if send.mean_in(recover_at + Dur::secs(s), recover_at + Dur::secs(s + 2))
-                >= 0.9 * PRE_RATE
-            {
-                t90 = s as f64;
-                break;
-            }
-        }
-        let all = result.recorder.summarize_all();
-        t.row_owned(vec![
-            name.to_string(),
-            format!("{:.2}M", rate_at(2)),
-            format!("{:.2}M", rate_at(6)),
-            format!("{:.2}M", rate_at(12)),
-            if t90.is_nan() {
-                ">25".to_string()
-            } else {
-                format!("{t90:.0}")
-            },
-            format!("{:.4}", all.mean_ssim),
-        ]);
-    }
-    t
+    run_table(grids::e16())
 }
 
 /// E17 — control-plane robustness: the canonical 4→1 Mbps drop with the
-/// *reverse* path impaired at the same time. Sweeps i.i.d. feedback
-/// loss {0, 10, 30, 50}% crossed with a feedback blackout of
-/// {0, 1, 3} s starting exactly at the drop instant (the worst case:
-/// capacity falls the moment the sender goes blind), for baseline vs.
-/// adaptive, each with and without the [`FeedbackWatchdog`].
-///
-/// Reports post-drop-window p50/p95 latency, session SSIM, watchdog
-/// degradation steps, and reverse-path accounting. The headline
-/// acceptance condition (30% loss + 1 s blackout) is the row pair where
-/// `adaptive+wd` must beat `adaptive` on p95.
+/// *reverse* path impaired at the same time, baseline vs. adaptive,
+/// each with and without the [`FeedbackWatchdog`].
 ///
 /// [`FeedbackWatchdog`]: ravel_core::FeedbackWatchdog
 pub fn e17_control_plane() -> Table {
-    use ravel_core::WatchdogConfig;
-    use ravel_net::ReversePathConfig;
-
-    let schemes: [(&str, Scheme); 2] = [
-        ("baseline", Scheme::baseline()),
-        ("adaptive", Scheme::adaptive()),
-    ];
-    let mut t = Table::new(&[
-        "fb_loss",
-        "blackout_s",
-        "scheme",
-        "watchdog",
-        "p50_ms",
-        "p95_ms",
-        "sess_ssim",
-        "wd_steps",
-        "discarded",
-        "rev_lost",
-    ]);
-    for loss in [0.0, 0.1, 0.3, 0.5] {
-        for blackout_s in [0u64, 1, 3] {
-            for (name, scheme) in schemes {
-                for wd_on in [false, true] {
-                    let result = run_with(
-                        scheme,
-                        StepTrace::sudden_drop(PRE_RATE, 1e6, DROP_AT),
-                        |cfg| {
-                            let mut rp = ReversePathConfig::with_loss(loss);
-                            if blackout_s > 0 {
-                                rp = rp.add_blackout(DROP_AT, DROP_AT + Dur::secs(blackout_s));
-                            }
-                            cfg.reverse_path = rp;
-                            if wd_on {
-                                cfg.watchdog = Some(WatchdogConfig::for_timing(
-                                    cfg.feedback_interval,
-                                    cfg.reverse_delay * 2,
-                                ));
-                            }
-                        },
-                    );
-                    let w = window_after(&result);
-                    t.row_owned(vec![
-                        format!("{:.0}%", loss * 100.0),
-                        blackout_s.to_string(),
-                        name.to_string(),
-                        if wd_on { "on" } else { "off" }.to_string(),
-                        format!("{:.1}", w.p50_latency_ms),
-                        format!("{:.1}", w.p95_latency_ms),
-                        format!("{:.4}", result.recorder.summarize_all().mean_ssim),
-                        result.watchdog_timeouts.to_string(),
-                        result.reports_discarded.to_string(),
-                        result.reverse_lost.to_string(),
-                    ]);
-                }
-            }
-        }
-    }
-    t
+    run_table(grids::e17())
 }
 
 #[cfg(test)]

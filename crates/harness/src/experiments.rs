@@ -1,0 +1,1398 @@
+//! E1–E17 (DESIGN.md §5) expressed as harness grids.
+//!
+//! Every experiment is two pure pieces:
+//!
+//! * **expansion** — a flat `Vec<Cell>` covering the experiment's full
+//!   cross-product, generated in a fixed nested-loop order, and
+//! * **assembly** — a function that folds the per-cell results (in cell
+//!   order) back into the paper-style table or CSV.
+//!
+//! Because cells are independent and assembly only sees results in cell
+//! order, the rendered output is byte-identical at any `--jobs` count.
+//! (E10 is a Criterion microbench of controller overhead, not a session
+//! grid, so it stays in `ravel-bench`'s bench targets.)
+
+use ravel_core::{AdaptiveConfig, WatchdogConfig};
+use ravel_metrics::{LatencySummary, Table};
+use ravel_net::ReversePathConfig;
+use ravel_pipeline::{CcKind, Scheme, SessionConfig, SessionResult};
+use ravel_sim::{Dur, Time};
+use ravel_video::ContentClass;
+
+use crate::cell::{Cell, TraceSpec};
+use crate::pool::{run_cells, CellRun};
+
+/// The canonical drop instant: 10 s into the session, after GCC has
+/// converged.
+pub const DROP_AT: Time = Time::from_secs(10);
+
+/// The post-drop measurement window length.
+pub const POST_WINDOW: Dur = Dur::secs(8);
+
+/// The canonical pre-drop rate.
+pub const PRE_RATE: f64 = 4e6;
+
+/// Canonical session length for drop experiments.
+pub const SESSION_LEN: Dur = Dur::secs(40);
+
+/// The drop severities of the headline table: 4 Mbps falling to 2, 1.5
+/// and 1 Mbps (2×, 2.7× and 4×) — the conditions whose measured
+/// reductions bracket the paper's 28.66%–78.87% band.
+pub const E1_AFTER_BPS: [f64; 3] = [2e6, 1.5e6, 1e6];
+
+/// The `[DROP_AT, DROP_AT + POST_WINDOW)` measurement window.
+pub fn window_after(result: &SessionResult) -> LatencySummary {
+    result.recorder.summarize(DROP_AT, DROP_AT + POST_WINDOW)
+}
+
+/// Percent change from `base` to `new`, negative = improvement
+/// (reduction).
+pub fn pct_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Formats a reduction (positive percentage = reduced by that much).
+pub fn fmt_reduction(base: f64, new: f64) -> String {
+    format!("{:.2}%", -pct_change(base, new))
+}
+
+/// What an experiment's assembly produces.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// A paper-style table.
+    Table(Table),
+    /// Raw CSV text (the E3 figure series).
+    Text(String),
+}
+
+impl Output {
+    /// Renders for terminal display.
+    pub fn render(&self) -> String {
+        match self {
+            Output::Table(t) => t.render(),
+            Output::Text(s) => s.clone(),
+        }
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        match self {
+            Output::Table(t) => t.to_csv(),
+            Output::Text(s) => s.clone(),
+        }
+    }
+
+    /// The table, if this output is one.
+    pub fn table(&self) -> Option<&Table> {
+        match self {
+            Output::Table(t) => Some(t),
+            Output::Text(_) => None,
+        }
+    }
+
+    /// Unwraps the table variant (experiments whose output is known to
+    /// be tabular).
+    pub fn into_table(self) -> Table {
+        match self {
+            Output::Table(t) => t,
+            Output::Text(_) => panic!("experiment output is text, not a table"),
+        }
+    }
+}
+
+/// Folds per-cell results (in cell order) into an experiment's output.
+pub type AssembleFn = fn(&Experiment, &[CellRun]) -> Output;
+
+/// One experiment: an id, a cell grid, and an assembly function.
+pub struct Experiment {
+    /// Short id, e.g. `"e1"`.
+    pub id: &'static str,
+    /// One-line description for `--list` and report headers.
+    pub title: &'static str,
+    /// The flat cell grid, in deterministic expansion order.
+    pub cells: Vec<Cell>,
+    assemble_fn: AssembleFn,
+}
+
+impl Experiment {
+    /// Builds a custom experiment from a cell grid and an assembly
+    /// function (the registry's E1–E17 use this same shape).
+    pub fn new(
+        id: &'static str,
+        title: &'static str,
+        cells: Vec<Cell>,
+        assemble_fn: AssembleFn,
+    ) -> Experiment {
+        Experiment {
+            id,
+            title,
+            cells,
+            assemble_fn,
+        }
+    }
+
+    /// Folds per-cell results (in cell order) into the experiment's
+    /// output.
+    pub fn assemble(&self, runs: &[CellRun]) -> Output {
+        assert_eq!(
+            runs.len(),
+            self.cells.len(),
+            "{}: expected {} cell results, got {}",
+            self.id,
+            self.cells.len(),
+            runs.len()
+        );
+        (self.assemble_fn)(self, runs)
+    }
+
+    /// Runs the whole grid on `jobs` workers and assembles the output.
+    pub fn run(&self, jobs: usize) -> ExperimentRun {
+        let cells = run_cells(&self.cells, jobs);
+        ExperimentRun {
+            id: self.id,
+            title: self.title,
+            output: self.assemble(&cells),
+            cells,
+        }
+    }
+}
+
+/// A finished experiment: its output plus per-cell accounting.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Short id, e.g. `"e1"`.
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// The assembled table/CSV.
+    pub output: Output,
+    /// Per-cell results in cell order.
+    pub cells: Vec<CellRun>,
+}
+
+/// Runs several experiments through ONE shared pool (cells from all
+/// experiments interleave freely across workers), then assembles each
+/// experiment from its own slice of the results.
+pub fn run_suite(experiments: &[Experiment], jobs: usize) -> Vec<ExperimentRun> {
+    let all: Vec<Cell> = experiments
+        .iter()
+        .flat_map(|e| e.cells.iter().cloned())
+        .collect();
+    let mut runs = run_cells(&all, jobs).into_iter();
+    experiments
+        .iter()
+        .map(|e| {
+            let cells: Vec<CellRun> = runs.by_ref().take(e.cells.len()).collect();
+            ExperimentRun {
+                id: e.id,
+                title: e.title,
+                output: e.assemble(&cells),
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// Sequential cursor over cell results, consumed in expansion order.
+struct Runs<'a> {
+    runs: &'a [CellRun],
+    i: usize,
+}
+
+impl<'a> Runs<'a> {
+    fn new(runs: &'a [CellRun]) -> Runs<'a> {
+        Runs { runs, i: 0 }
+    }
+
+    fn next(&mut self) -> &'a SessionResult {
+        let r = &self.runs[self.i].result;
+        self.i += 1;
+        r
+    }
+}
+
+/// A canonical-drop cell: `PRE_RATE → after_bps` at [`DROP_AT`].
+fn drop_cell(scheme: Scheme, content: ContentClass, after_bps: f64) -> Cell {
+    let mut cfg = SessionConfig::default_with(scheme);
+    cfg.content = content;
+    cfg.duration = SESSION_LEN;
+    Cell {
+        label: format!("{content}/4->{:.2}M/{}", after_bps / 1e6, scheme.name()),
+        trace: TraceSpec::SuddenDrop {
+            pre_bps: PRE_RATE,
+            after_bps,
+            at: DROP_AT,
+        },
+        cfg,
+    }
+}
+
+/// A cell over an arbitrary trace with config tweaks applied by
+/// `adjust` (the parallel twin of `ravel-bench`'s `run_with`).
+fn cell_with(
+    label: String,
+    scheme: Scheme,
+    trace: TraceSpec,
+    adjust: impl FnOnce(&mut SessionConfig),
+) -> Cell {
+    let mut cfg = SessionConfig::default_with(scheme);
+    cfg.duration = SESSION_LEN;
+    adjust(&mut cfg);
+    Cell { label, trace, cfg }
+}
+
+fn canonical_drop() -> TraceSpec {
+    TraceSpec::SuddenDrop {
+        pre_bps: PRE_RATE,
+        after_bps: 1e6,
+        at: DROP_AT,
+    }
+}
+
+const BASE_ADPT: [&str; 2] = ["base", "adpt"];
+
+fn base_adpt() -> [Scheme; 2] {
+    [Scheme::baseline(), Scheme::adaptive()]
+}
+
+/// E1 — headline latency: per-frame G2G latency in the post-drop
+/// window, baseline vs. adaptive, across drop severities and two
+/// content classes.
+pub fn e1() -> Experiment {
+    let mut cells = Vec::new();
+    for content in [ContentClass::TalkingHead, ContentClass::Gaming] {
+        for after in E1_AFTER_BPS {
+            for scheme in base_adpt() {
+                cells.push(drop_cell(scheme, content, after));
+            }
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "content",
+            "drop",
+            "base_mean_ms",
+            "adpt_mean_ms",
+            "mean_reduction",
+            "base_p95_ms",
+            "adpt_p95_ms",
+            "p95_reduction",
+        ]);
+        for content in [ContentClass::TalkingHead, ContentClass::Gaming] {
+            for after in E1_AFTER_BPS {
+                let b = window_after(rs.next());
+                let a = window_after(rs.next());
+                t.row_owned(vec![
+                    content.to_string(),
+                    format!("4->{:.1}Mbps", after / 1e6),
+                    format!("{:.1}", b.mean_latency_ms),
+                    format!("{:.1}", a.mean_latency_ms),
+                    fmt_reduction(b.mean_latency_ms, a.mean_latency_ms),
+                    format!("{:.1}", b.p95_latency_ms),
+                    format!("{:.1}", a.p95_latency_ms),
+                    fmt_reduction(b.p95_latency_ms, a.p95_latency_ms),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e1",
+        title: "headline post-drop G2G latency, baseline vs adaptive",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E2 — headline quality: session-wide mean SSIM (and PSNR of displayed
+/// frames), baseline vs. adaptive, same grid as E1.
+pub fn e2() -> Experiment {
+    let mut cells = Vec::new();
+    for content in [ContentClass::TalkingHead, ContentClass::Gaming] {
+        for after in E1_AFTER_BPS {
+            for scheme in base_adpt() {
+                cells.push(drop_cell(scheme, content, after));
+            }
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "content",
+            "drop",
+            "base_ssim",
+            "adpt_ssim",
+            "ssim_delta",
+            "base_psnr_db",
+            "adpt_psnr_db",
+            "freeze_base",
+            "freeze_adpt",
+        ]);
+        for content in [ContentClass::TalkingHead, ContentClass::Gaming] {
+            for after in E1_AFTER_BPS {
+                let b = rs.next().recorder.summarize_all();
+                let a = rs.next().recorder.summarize_all();
+                t.row_owned(vec![
+                    content.to_string(),
+                    format!("4->{:.1}Mbps", after / 1e6),
+                    format!("{:.4}", b.mean_ssim),
+                    format!("{:.4}", a.mean_ssim),
+                    format!("{:+.2}%", pct_change(b.mean_ssim, a.mean_ssim)),
+                    format!("{:.1}", b.mean_psnr_db),
+                    format!("{:.1}", a.mean_psnr_db),
+                    format!("{:.1}%", b.freeze_ratio() * 100.0),
+                    format!("{:.1}%", a.freeze_ratio() * 100.0),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e2",
+        title: "headline session quality (SSIM/PSNR/freezes)",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E3 — the motivating time-series figure: capacity, encoder target,
+/// send rate, bottleneck queue and frame latency around the drop, for
+/// both schemes, as CSV (one block per scheme).
+///
+/// The measurement window is derived from [`DROP_AT`]
+/// (`DROP_AT − 2 s .. DROP_AT + 10 s` in 100 ms steps) rather than
+/// hardcoded, so moving the canonical drop instant moves the figure
+/// with it.
+pub fn e3() -> Experiment {
+    let cells = base_adpt()
+        .into_iter()
+        .map(|scheme| {
+            cell_with(scheme.name(), scheme, canonical_drop(), |cfg| {
+                cfg.record_series = true;
+            })
+        })
+        .collect();
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut out = String::new();
+        let window_start = DROP_AT - Dur::secs(2);
+        for scheme in base_adpt() {
+            let result = rs.next();
+            out.push_str(&format!("# scheme={}\n", scheme.name()));
+            out.push_str("time_s,capacity_mbps,target_mbps,send_mbps,queue_ms,latency_ms\n");
+            let get = |name: &str| result.series.get(name).expect("series recorded");
+            let (cap, tgt, snd, q, lat) = (
+                get("capacity_bps"),
+                get("target_bps"),
+                get("send_rate_bps"),
+                get("link_queue_ms"),
+                get("frame_latency_ms"),
+            );
+            for step in 0..120u64 {
+                let t = window_start + Dur::millis(step * 100);
+                let w = window_start + Dur::millis((step + 1) * 100);
+                out.push_str(&format!(
+                    "{:.1},{:.3},{:.3},{:.3},{:.1},{:.1}\n",
+                    t.as_secs_f64(),
+                    cap.mean_in(t, w) / 1e6,
+                    tgt.mean_in(t, w) / 1e6,
+                    snd.mean_in(t, w) / 1e6,
+                    q.mean_in(t, w),
+                    lat.mean_in(t, w),
+                ));
+            }
+            out.push('\n');
+        }
+        Output::Text(out)
+    }
+    Experiment {
+        id: "e3",
+        title: "time series around the drop (motivating figure)",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+const E4_RATIOS: [f64; 6] = [1.25, 1.6, 2.0, 2.7, 4.0, 8.0];
+
+/// E4 — latency reduction vs. drop magnitude (figure series): ratios
+/// from 1.25× to 8×.
+pub fn e4() -> Experiment {
+    let mut cells = Vec::new();
+    for ratio in E4_RATIOS {
+        for scheme in base_adpt() {
+            cells.push(drop_cell(
+                scheme,
+                ContentClass::TalkingHead,
+                PRE_RATE / ratio,
+            ));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "drop_ratio",
+            "after_mbps",
+            "base_mean_ms",
+            "adpt_mean_ms",
+            "mean_reduction",
+            "p95_reduction",
+        ]);
+        for ratio in E4_RATIOS {
+            let after = PRE_RATE / ratio;
+            let b = window_after(rs.next());
+            let a = window_after(rs.next());
+            t.row_owned(vec![
+                format!("{ratio:.2}x"),
+                format!("{:.2}", after / 1e6),
+                format!("{:.1}", b.mean_latency_ms),
+                format!("{:.1}", a.mean_latency_ms),
+                fmt_reduction(b.mean_latency_ms, a.mean_latency_ms),
+                fmt_reduction(b.p95_latency_ms, a.p95_latency_ms),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e4",
+        title: "latency reduction vs drop magnitude",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+const E5_RTTS_MS: [u64; 5] = [10, 20, 40, 80, 160];
+
+/// E5 — adaptation benefit vs. feedback RTT (figure series).
+pub fn e5() -> Experiment {
+    let mut cells = Vec::new();
+    for rtt_ms in E5_RTTS_MS {
+        for (tag, scheme) in BASE_ADPT.into_iter().zip(base_adpt()) {
+            cells.push(cell_with(
+                format!("rtt{rtt_ms}ms/{tag}"),
+                scheme,
+                canonical_drop(),
+                |cfg| {
+                    cfg.link.propagation = Dur::millis(rtt_ms / 2);
+                    cfg.reverse_delay = Dur::millis(rtt_ms / 2);
+                },
+            ));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "rtt_ms",
+            "base_mean_ms",
+            "adpt_mean_ms",
+            "mean_reduction",
+            "adpt_p95_ms",
+        ]);
+        for rtt_ms in E5_RTTS_MS {
+            let b = window_after(rs.next());
+            let a = window_after(rs.next());
+            t.row_owned(vec![
+                rtt_ms.to_string(),
+                format!("{:.1}", b.mean_latency_ms),
+                format!("{:.1}", a.mean_latency_ms),
+                fmt_reduction(b.mean_latency_ms, a.mean_latency_ms),
+                format!("{:.1}", a.p95_latency_ms),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e5",
+        title: "adaptation benefit vs feedback RTT",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E6 — content sensitivity: all four content classes through the
+/// canonical 4→1 Mbps drop.
+pub fn e6() -> Experiment {
+    let mut cells = Vec::new();
+    for content in ContentClass::ALL {
+        for scheme in base_adpt() {
+            cells.push(drop_cell(scheme, content, 1e6));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "content",
+            "base_mean_ms",
+            "adpt_mean_ms",
+            "mean_reduction",
+            "base_ssim",
+            "adpt_ssim",
+            "ssim_delta",
+        ]);
+        for content in ContentClass::ALL {
+            let rb = rs.next();
+            let ra = rs.next();
+            let bw = window_after(rb);
+            let aw = window_after(ra);
+            let ball = rb.recorder.summarize_all();
+            let aall = ra.recorder.summarize_all();
+            t.row_owned(vec![
+                content.to_string(),
+                format!("{:.1}", bw.mean_latency_ms),
+                format!("{:.1}", aw.mean_latency_ms),
+                fmt_reduction(bw.mean_latency_ms, aw.mean_latency_ms),
+                format!("{:.4}", ball.mean_ssim),
+                format!("{:.4}", aall.mean_ssim),
+                format!("{:+.2}%", pct_change(ball.mean_ssim, aall.mean_ssim)),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e6",
+        title: "content-class sensitivity (4->1 Mbps)",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+fn e7_levels() -> [(&'static str, Scheme); 5] {
+    [
+        ("baseline", Scheme::baseline()),
+        (
+            "fast-qp",
+            Scheme::adaptive_with(AdaptiveConfig::fast_qp_only()),
+        ),
+        (
+            "+vbv",
+            Scheme::adaptive_with(AdaptiveConfig::fast_qp_and_vbv()),
+        ),
+        (
+            "+skip",
+            Scheme::adaptive_with(AdaptiveConfig::without_ladder()),
+        ),
+        ("full", Scheme::adaptive_with(AdaptiveConfig::default())),
+    ]
+}
+
+/// E7 — mechanism ablation on moderate (4→1) and deep (4→0.5) drops.
+pub fn e7() -> Experiment {
+    let mut cells = Vec::new();
+    for after in [1e6, 0.5e6] {
+        for (name, scheme) in e7_levels() {
+            let mut cell = drop_cell(scheme, ContentClass::TalkingHead, after);
+            cell.label = format!("{name}/4->{:.1}M", after / 1e6);
+            cells.push(cell);
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "mechanisms",
+            "drop",
+            "mean_ms",
+            "p95_ms",
+            "sess_ssim",
+            "skips",
+        ]);
+        for after in [1e6, 0.5e6] {
+            for (name, _) in e7_levels() {
+                let result = rs.next();
+                let w = window_after(result);
+                let all = result.recorder.summarize_all();
+                t.row_owned(vec![
+                    name.to_string(),
+                    format!("4->{:.1}Mbps", after / 1e6),
+                    format!("{:.1}", w.mean_latency_ms),
+                    format!("{:.1}", w.p95_latency_ms),
+                    format!("{:.4}", all.mean_ssim),
+                    result.frames_skipped.to_string(),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e7",
+        title: "mechanism ablation (fast-QP, VBV, skip, ladder)",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+fn e8_schemes() -> [Scheme; 5] {
+    [
+        Scheme::baseline(),
+        Scheme::adaptive(),
+        Scheme {
+            cc: CcKind::NaiveAimd,
+            adaptive: None,
+        },
+        Scheme {
+            cc: CcKind::NaiveAimd,
+            adaptive: Some(AdaptiveConfig::default()),
+        },
+        Scheme {
+            cc: CcKind::Fixed,
+            adaptive: None,
+        },
+    ]
+}
+
+/// E8 — congestion-controller comparison: the adaptive controller on
+/// top of GCC vs. GCC alone vs. the loss-only and fixed-rate strawmen.
+pub fn e8() -> Experiment {
+    let cells = e8_schemes()
+        .into_iter()
+        .map(|scheme| drop_cell(scheme, ContentClass::TalkingHead, 1e6))
+        .collect();
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "scheme",
+            "mean_ms",
+            "p95_ms",
+            "sess_ssim",
+            "freeze_%",
+            "queue_drops",
+        ]);
+        for scheme in e8_schemes() {
+            let result = rs.next();
+            let w = window_after(result);
+            let all = result.recorder.summarize_all();
+            t.row_owned(vec![
+                scheme.name(),
+                format!("{:.1}", w.mean_latency_ms),
+                format!("{:.1}", w.p95_latency_ms),
+                format!("{:.4}", all.mean_ssim),
+                format!("{:.1}%", all.freeze_ratio() * 100.0),
+                result.queue_drops.to_string(),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e8",
+        title: "congestion-controller comparison",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E9 — robustness across seeded stochastic LTE-like traces: per-seed
+/// mean latency plus an aggregate MEAN row.
+pub fn e9(seeds: u64) -> Experiment {
+    let mut cells = Vec::new();
+    for seed in 0..seeds {
+        for (tag, scheme) in BASE_ADPT.into_iter().zip(base_adpt()) {
+            cells.push(cell_with(
+                format!("seed{seed}/{tag}"),
+                scheme,
+                TraceSpec::LteLike {
+                    seed,
+                    len: SESSION_LEN,
+                },
+                |cfg| {
+                    cfg.seed = seed;
+                },
+            ));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let seeds = (runs.len() / 2) as u64;
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "seed",
+            "base_mean_ms",
+            "adpt_mean_ms",
+            "base_p95_ms",
+            "adpt_p95_ms",
+            "drops_handled",
+        ]);
+        let mut base_sum = 0.0;
+        let mut adpt_sum = 0.0;
+        for seed in 0..seeds {
+            let rb = rs.next();
+            let ra = rs.next();
+            let b = rb.recorder.summarize_all();
+            let a = ra.recorder.summarize_all();
+            base_sum += b.mean_latency_ms;
+            adpt_sum += a.mean_latency_ms;
+            t.row_owned(vec![
+                seed.to_string(),
+                format!("{:.1}", b.mean_latency_ms),
+                format!("{:.1}", a.mean_latency_ms),
+                format!("{:.1}", b.p95_latency_ms),
+                format!("{:.1}", a.p95_latency_ms),
+                ra.drops_handled.to_string(),
+            ]);
+        }
+        t.row_owned(vec![
+            "MEAN".to_string(),
+            format!("{:.1}", base_sum / seeds as f64),
+            format!("{:.1}", adpt_sum / seeds as f64),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e9",
+        title: "robustness across seeded LTE-like traces",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E11 — lossy-link robustness: random wireless loss on top of the
+/// canonical drop, with NACK/RTX on and off.
+pub fn e11() -> Experiment {
+    let mut cells = Vec::new();
+    for loss in [0.0, 0.01, 0.03, 0.05] {
+        for rtx in [true, false] {
+            for (tag, scheme) in BASE_ADPT.into_iter().zip(base_adpt()) {
+                cells.push(cell_with(
+                    format!(
+                        "loss{:.0}%/rtx-{}/{tag}",
+                        loss * 100.0,
+                        if rtx { "on" } else { "off" }
+                    ),
+                    scheme,
+                    canonical_drop(),
+                    |cfg| {
+                        cfg.link.random_loss = loss;
+                        cfg.enable_rtx = rtx;
+                    },
+                ));
+            }
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "loss",
+            "rtx",
+            "scheme",
+            "mean_ms",
+            "sess_ssim",
+            "freeze_%",
+            "retransmissions",
+        ]);
+        for loss in [0.0, 0.01, 0.03, 0.05] {
+            for rtx in [true, false] {
+                for scheme in base_adpt() {
+                    let result = rs.next();
+                    let w = window_after(result);
+                    let all = result.recorder.summarize_all();
+                    t.row_owned(vec![
+                        format!("{:.0}%", loss * 100.0),
+                        if rtx { "on" } else { "off" }.to_string(),
+                        scheme.name(),
+                        format!("{:.1}", w.mean_latency_ms),
+                        format!("{:.4}", all.mean_ssim),
+                        format!("{:.1}%", all.freeze_ratio() * 100.0),
+                        result.retransmissions.to_string(),
+                    ]);
+                }
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e11",
+        title: "lossy links with NACK/RTX on/off",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E12 — temporal-scalability extension: hierarchical-P (2 layers) vs
+/// plain IPPP under the canonical and deep drops.
+pub fn e12() -> Experiment {
+    let mut cells = Vec::new();
+    for after in [1e6, 0.5e6] {
+        for layers in [1u8, 2] {
+            for (tag, scheme) in BASE_ADPT.into_iter().zip(base_adpt()) {
+                cells.push(cell_with(
+                    format!("4->{:.1}M/L{layers}/{tag}", after / 1e6),
+                    scheme,
+                    TraceSpec::SuddenDrop {
+                        pre_bps: PRE_RATE,
+                        after_bps: after,
+                        at: DROP_AT,
+                    },
+                    |cfg| cfg.temporal_layers = layers,
+                ));
+            }
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "layers",
+            "scheme",
+            "drop",
+            "mean_ms",
+            "p95_ms",
+            "sess_ssim",
+            "skips",
+        ]);
+        for after in [1e6, 0.5e6] {
+            for layers in [1u8, 2] {
+                for scheme in base_adpt() {
+                    let result = rs.next();
+                    let w = window_after(result);
+                    let all = result.recorder.summarize_all();
+                    t.row_owned(vec![
+                        layers.to_string(),
+                        scheme.name(),
+                        format!("4->{:.1}Mbps", after / 1e6),
+                        format!("{:.1}", w.mean_latency_ms),
+                        format!("{:.1}", w.p95_latency_ms),
+                        format!("{:.4}", all.mean_ssim),
+                        result.frames_skipped.to_string(),
+                    ]);
+                }
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e12",
+        title: "temporal scalability (1 vs 2 layers)",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E13 — audio protection: an Opus-style 32 kbps audio flow shares the
+/// bottleneck; post-drop per-packet audio latency shows how video
+/// overshoot collateral-damages audio.
+pub fn e13() -> Experiment {
+    let mut cells = Vec::new();
+    for after in E1_AFTER_BPS {
+        for (tag, scheme) in BASE_ADPT.into_iter().zip(base_adpt()) {
+            cells.push(cell_with(
+                format!("4->{:.1}M/{tag}", after / 1e6),
+                scheme,
+                TraceSpec::SuddenDrop {
+                    pre_bps: PRE_RATE,
+                    after_bps: after,
+                    at: DROP_AT,
+                },
+                |cfg| cfg.enable_audio = true,
+            ));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "drop",
+            "scheme",
+            "audio_delivered",
+            "audio_mean_ms",
+            "audio_p95_ms",
+            "video_mean_ms",
+        ]);
+        for after in E1_AFTER_BPS {
+            for scheme in base_adpt() {
+                let result = rs.next();
+                let mut lat: Vec<f64> = result
+                    .audio_latencies
+                    .iter()
+                    .filter(|&&(at, _)| at >= DROP_AT && at < DROP_AT + POST_WINDOW)
+                    .map(|&(_, l)| l.as_millis_f64())
+                    .collect();
+                lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+                let p95 = lat
+                    .get(((lat.len() as f64) * 0.95) as usize)
+                    .copied()
+                    .unwrap_or(0.0);
+                // One audio packet every 20 ms was *sent* in the window;
+                // delivery below 100% means the bottleneck queue (full of
+                // video) drop-tailed the rest.
+                let sent = POST_WINDOW.as_millis() / 20;
+                let delivered_pct = lat.len() as f64 / sent as f64 * 100.0;
+                let video = window_after(result);
+                t.row_owned(vec![
+                    format!("4->{:.1}Mbps", after / 1e6),
+                    scheme.name(),
+                    format!("{delivered_pct:.1}%"),
+                    format!("{mean:.1}"),
+                    format!("{p95:.1}"),
+                    format!("{:.1}", video.mean_latency_ms),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e13",
+        title: "audio protection under video overshoot",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+const E14_STRATEGIES: [(&str, bool, bool); 4] = [
+    ("none", false, false),
+    ("rtx", true, false),
+    ("fec", false, true),
+    ("rtx+fec", true, true),
+];
+
+/// E14 — loss-recovery strategies compared: RTX, FEC, both, or neither,
+/// on a lossy link through the canonical drop (adaptive scheme).
+pub fn e14() -> Experiment {
+    let mut cells = Vec::new();
+    for loss in [0.02, 0.05] {
+        for (name, rtx, fec) in E14_STRATEGIES {
+            cells.push(cell_with(
+                format!("loss{:.0}%/{name}", loss * 100.0),
+                Scheme::adaptive(),
+                canonical_drop(),
+                |cfg| {
+                    cfg.link.random_loss = loss;
+                    cfg.enable_rtx = rtx;
+                    cfg.enable_fec = fec;
+                },
+            ));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "loss",
+            "recovery",
+            "mean_ms",
+            "sess_ssim",
+            "freeze_%",
+            "rtx",
+            "fec_recovered",
+        ]);
+        for loss in [0.02, 0.05] {
+            for (name, _, _) in E14_STRATEGIES {
+                let result = rs.next();
+                let w = window_after(result);
+                let all = result.recorder.summarize_all();
+                t.row_owned(vec![
+                    format!("{:.0}%", loss * 100.0),
+                    name.to_string(),
+                    format!("{:.1}", w.mean_latency_ms),
+                    format!("{:.4}", all.mean_ssim),
+                    format!("{:.1}%", all.freeze_ratio() * 100.0),
+                    result.retransmissions.to_string(),
+                    result.fec_recovered.to_string(),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e14",
+        title: "loss-recovery strategies (RTX/FEC)",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+fn e15_schemes() -> [(&'static str, Scheme); 3] {
+    [
+        ("baseline", Scheme::baseline()),
+        ("drop-triggered", Scheme::adaptive()),
+        (
+            "continuous",
+            Scheme::adaptive_with(AdaptiveConfig::continuous()),
+        ),
+    ]
+}
+
+fn e15_scenarios() -> [(&'static str, TraceSpec); 3] {
+    [
+        ("clean-drop", canonical_drop()),
+        (
+            "lte-trace",
+            TraceSpec::LteLike {
+                seed: 7,
+                len: SESSION_LEN,
+            },
+        ),
+        ("steady-link", TraceSpec::Constant(4.5e6)),
+    ]
+}
+
+/// E15 — control-architecture comparison: the paper's drop-triggered
+/// state machine vs. Salsify-flavoured continuous per-frame control vs.
+/// baseline, across a clean drop, a stochastic trace, and a steady
+/// link.
+pub fn e15() -> Experiment {
+    let mut cells = Vec::new();
+    for (scenario, trace) in e15_scenarios() {
+        for (name, scheme) in e15_schemes() {
+            cells.push(cell_with(
+                format!("{scenario}/{name}"),
+                scheme,
+                trace,
+                |_| {},
+            ));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&["scenario", "scheme", "mean_ms", "p95_ms", "sess_ssim"]);
+        for (scenario, _) in e15_scenarios() {
+            for (name, _) in e15_schemes() {
+                let result = rs.next();
+                // The clean drop is summarized in the post-drop window;
+                // the trace/steady scenarios session-wide.
+                let s = if scenario == "clean-drop" {
+                    window_after(result)
+                } else {
+                    result.recorder.summarize_all()
+                };
+                let ssim = result.recorder.summarize_all().mean_ssim;
+                t.row_owned(vec![
+                    scenario.into(),
+                    name.into(),
+                    format!("{:.1}", s.mean_latency_ms),
+                    format!("{:.1}", s.p95_latency_ms),
+                    format!("{:.4}", ssim),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e15",
+        title: "control architectures (drop-triggered vs continuous)",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E16's recovery instant.
+const E16_RECOVER_AT: Time = Time::from_secs(18);
+
+fn e16_schemes() -> [(&'static str, Scheme); 3] {
+    [
+        ("baseline", Scheme::baseline()),
+        ("adaptive", Scheme::adaptive()),
+        (
+            "adaptive+probing",
+            Scheme::adaptive_with(AdaptiveConfig::with_probing()),
+        ),
+    ]
+}
+
+/// E16 — recovery speed: after the capacity comes back, how fast does
+/// each scheme climb back to the pre-drop rate?
+pub fn e16() -> Experiment {
+    let cells = e16_schemes()
+        .into_iter()
+        .map(|(name, scheme)| {
+            cell_with(
+                name.to_string(),
+                scheme,
+                TraceSpec::DropRecover {
+                    pre_bps: PRE_RATE,
+                    after_bps: 1e6,
+                    at: DROP_AT,
+                    recover_at: E16_RECOVER_AT,
+                },
+                |cfg| {
+                    cfg.record_series = true;
+                    cfg.duration = Dur::secs(45);
+                },
+            )
+        })
+        .collect();
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "scheme",
+            "rate@+2s",
+            "rate@+6s",
+            "rate@+12s",
+            "t90_s",
+            "sess_ssim",
+        ]);
+        for (name, _) in e16_schemes() {
+            let result = rs.next();
+            let send = result.series.get("send_rate_bps").expect("series");
+            let rate_at = |offset_s: u64| {
+                send.mean_in(
+                    E16_RECOVER_AT + Dur::secs(offset_s),
+                    E16_RECOVER_AT + Dur::secs(offset_s + 2),
+                ) / 1e6
+            };
+            // Time until the 2s-smoothed send rate first reaches 90% of
+            // the pre-drop 4 Mbps (capped at the session tail).
+            let mut t90 = f64::NAN;
+            for s in 0..25u64 {
+                if send.mean_in(
+                    E16_RECOVER_AT + Dur::secs(s),
+                    E16_RECOVER_AT + Dur::secs(s + 2),
+                ) >= 0.9 * PRE_RATE
+                {
+                    t90 = s as f64;
+                    break;
+                }
+            }
+            let all = result.recorder.summarize_all();
+            t.row_owned(vec![
+                name.to_string(),
+                format!("{:.2}M", rate_at(2)),
+                format!("{:.2}M", rate_at(6)),
+                format!("{:.2}M", rate_at(12)),
+                if t90.is_nan() {
+                    ">25".to_string()
+                } else {
+                    format!("{t90:.0}")
+                },
+                format!("{:.4}", all.mean_ssim),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e16",
+        title: "recovery speed after the drop clears",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+const E17_LOSSES: [f64; 4] = [0.0, 0.1, 0.3, 0.5];
+const E17_BLACKOUTS_S: [u64; 3] = [0, 1, 3];
+
+/// E17 — control-plane robustness: the canonical drop with the
+/// *reverse* path impaired at the same time (i.i.d. feedback loss ×
+/// blackout at the drop instant), baseline vs. adaptive, each with and
+/// without the feedback watchdog.
+pub fn e17() -> Experiment {
+    let mut cells = Vec::new();
+    for loss in E17_LOSSES {
+        for blackout_s in E17_BLACKOUTS_S {
+            for (tag, scheme) in [
+                ("baseline", Scheme::baseline()),
+                ("adaptive", Scheme::adaptive()),
+            ] {
+                for wd_on in [false, true] {
+                    cells.push(cell_with(
+                        format!(
+                            "fb{:.0}%/bo{blackout_s}s/{tag}/wd-{}",
+                            loss * 100.0,
+                            if wd_on { "on" } else { "off" }
+                        ),
+                        scheme,
+                        canonical_drop(),
+                        |cfg| {
+                            let mut rp = ReversePathConfig::with_loss(loss);
+                            if blackout_s > 0 {
+                                rp = rp.add_blackout(DROP_AT, DROP_AT + Dur::secs(blackout_s));
+                            }
+                            cfg.reverse_path = rp;
+                            if wd_on {
+                                cfg.watchdog = Some(WatchdogConfig::for_timing(
+                                    cfg.feedback_interval,
+                                    cfg.reverse_delay * 2,
+                                ));
+                            }
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "fb_loss",
+            "blackout_s",
+            "scheme",
+            "watchdog",
+            "p50_ms",
+            "p95_ms",
+            "sess_ssim",
+            "wd_steps",
+            "discarded",
+            "rev_lost",
+        ]);
+        for loss in E17_LOSSES {
+            for blackout_s in E17_BLACKOUTS_S {
+                for name in ["baseline", "adaptive"] {
+                    for wd_on in [false, true] {
+                        let result = rs.next();
+                        let w = window_after(result);
+                        t.row_owned(vec![
+                            format!("{:.0}%", loss * 100.0),
+                            blackout_s.to_string(),
+                            name.to_string(),
+                            if wd_on { "on" } else { "off" }.to_string(),
+                            format!("{:.1}", w.p50_latency_ms),
+                            format!("{:.1}", w.p95_latency_ms),
+                            format!("{:.4}", result.recorder.summarize_all().mean_ssim),
+                            result.watchdog_timeouts.to_string(),
+                            result.reports_discarded.to_string(),
+                            result.reverse_lost.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e17",
+        title: "control-plane robustness under feedback impairment",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// Seeds E9 runs with when invoked through the full-suite registry.
+pub const E9_DEFAULT_SEEDS: u64 = 10;
+
+/// The full registry, in canonical order. E10 (a Criterion microbench,
+/// not a session grid) is intentionally absent.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        e1(),
+        e2(),
+        e3(),
+        e4(),
+        e5(),
+        e6(),
+        e7(),
+        e8(),
+        e9(E9_DEFAULT_SEEDS),
+        e11(),
+        e12(),
+        e13(),
+        e14(),
+        e15(),
+        e16(),
+        e17(),
+    ]
+}
+
+/// Resolves a comma-separated id list (`"e1,e4,e17"`, or `"all"`) to
+/// experiments in canonical order.
+pub fn select(ids: &str) -> Result<Vec<Experiment>, String> {
+    if ids.trim().eq_ignore_ascii_case("all") {
+        return Ok(all());
+    }
+    let wanted: Vec<&str> = ids
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if wanted.is_empty() {
+        return Err("no experiment ids given".into());
+    }
+    let registry = all();
+    let mut out = Vec::new();
+    for id in &wanted {
+        if id.eq_ignore_ascii_case("e10") {
+            return Err(
+                "e10 is a Criterion microbench (cargo bench -p ravel-bench --bench e10_overhead), \
+                 not a harness grid"
+                    .into(),
+            );
+        }
+        match registry.iter().position(|e| e.id.eq_ignore_ascii_case(id)) {
+            Some(i) => {
+                if !out.contains(&i) {
+                    out.push(i);
+                }
+            }
+            None => {
+                return Err(format!(
+                    "unknown experiment '{id}' (valid: {}, or 'all')",
+                    registry.iter().map(|e| e.id).collect::<Vec<_>>().join(",")
+                ))
+            }
+        }
+    }
+    out.sort_unstable();
+    let mut registry: Vec<Option<Experiment>> = registry.into_iter().map(Some).collect();
+    Ok(out
+        .into_iter()
+        .map(|i| registry[i].take().expect("dedup above"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn expansions_cover_the_full_cross_product_without_duplicates() {
+        let expected: [(&str, usize); 16] = [
+            ("e1", 2 * 3 * 2),
+            ("e2", 2 * 3 * 2),
+            ("e3", 2),
+            ("e4", 6 * 2),
+            ("e5", 5 * 2),
+            ("e6", 4 * 2),
+            ("e7", 2 * 5),
+            ("e8", 5),
+            ("e9", E9_DEFAULT_SEEDS as usize * 2),
+            ("e11", 4 * 2 * 2),
+            ("e12", 2 * 2 * 2),
+            ("e13", 3 * 2),
+            ("e14", 2 * 4),
+            ("e15", 3 * 3),
+            ("e16", 3),
+            ("e17", 4 * 3 * 2 * 2),
+        ];
+        let registry = all();
+        assert_eq!(registry.len(), expected.len());
+        for (exp, (id, cells)) in registry.iter().zip(expected) {
+            assert_eq!(exp.id, id, "registry order");
+            assert_eq!(exp.cells.len(), cells, "{id}: cell count");
+            let labels: HashSet<&str> = exp.cells.iter().map(|c| c.label.as_str()).collect();
+            assert_eq!(labels.len(), exp.cells.len(), "{id}: duplicate labels");
+        }
+    }
+
+    #[test]
+    fn e1_grid_covers_both_schemes_per_condition() {
+        let exp = e1();
+        // Every (content, severity) pair must contribute exactly one
+        // baseline and one adaptive cell, in that order.
+        for pair in exp.cells.chunks(2) {
+            assert!(pair[0].cfg.scheme.adaptive.is_none());
+            assert!(pair[1].cfg.scheme.adaptive.is_some());
+            assert_eq!(pair[0].cfg.content, pair[1].cfg.content);
+            assert_eq!(pair[0].trace, pair[1].trace);
+        }
+    }
+
+    #[test]
+    fn select_parses_ids_and_rejects_unknowns() {
+        let picked = select("e4, e1").unwrap();
+        // Canonical order, independent of request order.
+        assert_eq!(picked[0].id, "e1");
+        assert_eq!(picked[1].id, "e4");
+        assert_eq!(select("all").unwrap().len(), 16);
+        assert!(select("e10").is_err());
+        assert!(select("e99").is_err());
+        assert!(select("").is_err());
+    }
+
+    #[test]
+    fn assemble_rejects_wrong_result_count() {
+        let exp = e16();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exp.assemble(&[])));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ravel-harness — the parallel deterministic experiment harness
+//!
+//! The E1–E17 evaluation grid (DESIGN.md §5) is embarrassingly parallel:
+//! every `(scheme, content, drop severity, seed)` cell is an independent,
+//! seed-deterministic session. This crate exploits that:
+//!
+//! * [`Cell`] / [`TraceSpec`] — one grid cell: a full session config
+//!   plus a `Send`-able trace description.
+//! * [`run_cells`] — a std-only work-stealing pool (`std::thread::scope`
+//!   plus one atomic job counter) that runs cells on `--jobs N` workers
+//!   and returns results in *cell order*, so aggregated output is
+//!   byte-identical at any thread count.
+//! * [`experiments`] — E1–E17 ported to expansion + assembly form, plus
+//!   the [`experiments::select`] registry the CLI uses.
+//! * [`report`] — the `BENCH_harness.json` perf/quality report
+//!   (per-cell wall-clock, simulated-seconds/sec throughput, p50/p95
+//!   latency, SSIM), serialized with the workspace's hand-rolled JSON.
+//!
+//! The binary (`cargo run --release -p ravel-harness -- --jobs 8`)
+//! prints the deterministic tables to stdout, timing to stderr, and the
+//! JSON report to `BENCH_harness.json`.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod experiments;
+pub mod pool;
+pub mod report;
+
+pub use cell::{Cell, TraceSpec};
+pub use experiments::{
+    fmt_reduction, pct_change, run_suite, window_after, Experiment, ExperimentRun, Output, DROP_AT,
+    E1_AFTER_BPS, POST_WINDOW, PRE_RATE, SESSION_LEN,
+};
+pub use pool::{run_cells, CellRun};
+pub use report::{render_json, RunReport};
+
+/// A sensible default worker count: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,138 @@
+//! CLI for the parallel experiment harness.
+//!
+//! ```text
+//! cargo run --release -p ravel-harness -- --jobs 8 --experiments e1,e2
+//! ```
+//!
+//! Deterministic output (experiment tables) goes to stdout — two runs
+//! over the same grid diff clean regardless of `--jobs`. Timing goes to
+//! stderr, and the structured report to `--out` (default
+//! `BENCH_harness.json`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ravel_harness::{default_jobs, experiments, render_json, run_suite, RunReport};
+
+const USAGE: &str = "\
+ravel-harness — run the E1-E17 grid on a deterministic thread pool
+
+USAGE:
+    ravel-harness [OPTIONS]
+
+OPTIONS:
+    --jobs N             worker threads (default: all cores)
+    --experiments LIST   comma-separated ids, e.g. e1,e4,e17 (default: all)
+    --out PATH           JSON report path (default: BENCH_harness.json)
+    --no-json            skip writing the JSON report
+    --list               list experiments and their cell counts, then exit
+    --help               this text
+";
+
+struct Args {
+    jobs: usize,
+    experiments: String,
+    out: String,
+    write_json: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: default_jobs(),
+        experiments: "all".to_string(),
+        out: "BENCH_harness.json".to_string(),
+        write_json: true,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects a positive integer".to_string())?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--experiments" | "-e" => args.experiments = value("--experiments")?,
+            "--out" | "-o" => args.out = value("--out")?,
+            "--no-json" => args.write_json = false,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let selected = match experiments::select(&args.experiments) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for e in &selected {
+            println!("{:<4} {:>3} cells  {}", e.id, e.cells.len(), e.title);
+        }
+        let total: usize = selected.iter().map(|e| e.cells.len()).sum();
+        println!("     {total:>3} cells total");
+        return ExitCode::SUCCESS;
+    }
+
+    let total_cells: usize = selected.iter().map(|e| e.cells.len()).sum();
+    eprintln!(
+        "running {} experiments / {} cells on {} workers...",
+        selected.len(),
+        total_cells,
+        args.jobs
+    );
+
+    let started = Instant::now();
+    let runs = run_suite(&selected, args.jobs);
+    let report = RunReport {
+        jobs: args.jobs,
+        total_wall: started.elapsed(),
+        experiments: runs,
+    };
+
+    for run in &report.experiments {
+        println!("=== {}: {} ===", run.id, run.title);
+        println!("{}", run.output.render());
+    }
+
+    eprintln!(
+        "{} cells, {:.0} simulated seconds in {:.2} s wall ({:.1} sim-s/s, jobs={})",
+        total_cells,
+        report.sim_seconds(),
+        report.total_wall.as_secs_f64(),
+        report.sim_rate(),
+        report.jobs
+    );
+
+    if args.write_json {
+        let json = render_json(&report, true);
+        if let Err(e) = std::fs::write(&args.out, json) {
+            eprintln!("error: writing {}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {}", args.out);
+    }
+    ExitCode::SUCCESS
+}

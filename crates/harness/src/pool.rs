@@ -1,0 +1,130 @@
+//! The work-stealing cell pool.
+//!
+//! Cells are independent and seed-deterministic, so the pool can hand
+//! them to any worker in any order: workers claim the next unclaimed
+//! index from a shared atomic counter (work stealing degenerates to
+//! work sharing because every job is sizeable), and results are written
+//! back into their cell's slot. The returned vector is therefore in
+//! *cell order*, not completion order — aggregated output is
+//! byte-identical whether the grid ran on 1 thread or 64.
+//!
+//! std-only by design: `std::thread::scope` plus one `AtomicUsize` and
+//! one `Mutex`; no registry dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ravel_pipeline::SessionResult;
+
+use crate::cell::Cell;
+
+/// One finished cell: its measurements plus wall-clock accounting for
+/// the perf report. Everything except `wall` is deterministic.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The cell's label, copied for report assembly.
+    pub label: String,
+    /// Simulated session length in seconds (capture phase).
+    pub sim_secs: f64,
+    /// Host wall-clock the session took (nondeterministic; excluded
+    /// from byte-compared output).
+    pub wall: Duration,
+    /// The full session measurements.
+    pub result: SessionResult,
+}
+
+/// Runs every cell on `jobs` worker threads and returns results in cell
+/// order. `jobs` is clamped to `[1, cells.len()]`; `jobs = 1` runs the
+/// grid serially on one spawned worker, which is the determinism
+/// reference the tests compare against.
+pub fn run_cells(cells: &[Cell], jobs: usize) -> Vec<CellRun> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, cells.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellRun>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let cell = &cells[i];
+                let started = Instant::now();
+                let result = cell.run();
+                let run = CellRun {
+                    label: cell.label.clone(),
+                    sim_secs: cell.cfg.duration.as_secs_f64(),
+                    wall: started.elapsed(),
+                    result,
+                };
+                slots.lock().expect("pool slots poisoned")[i] = Some(run);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("pool slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every cell index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::TraceSpec;
+    use ravel_pipeline::{Scheme, SessionConfig};
+    use ravel_sim::Dur;
+
+    fn tiny_grid() -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for (i, scheme) in [Scheme::baseline(), Scheme::adaptive()]
+            .into_iter()
+            .enumerate()
+        {
+            for (j, rate) in [2e6, 3e6].into_iter().enumerate() {
+                let mut cfg = SessionConfig::default_with(scheme);
+                cfg.duration = Dur::secs(4);
+                cells.push(Cell {
+                    label: format!("{}/{}", i, j),
+                    trace: TraceSpec::Constant(rate),
+                    cfg,
+                });
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn results_come_back_in_cell_order_regardless_of_jobs() {
+        let cells = tiny_grid();
+        let serial = run_cells(&cells, 1);
+        for jobs in [2, 8] {
+            let parallel = run_cells(&cells, jobs);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.result.recorder.records(), b.result.recorder.records());
+                assert_eq!(a.result.frames_captured, b.result.frames_captured);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_cells(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_clamped() {
+        let cells = tiny_grid();
+        let runs = run_cells(&cells[..1], 64);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "0/0");
+        assert!(runs[0].sim_secs > 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The structured perf/quality report (`BENCH_harness.json`).
+//!
+//! Serialized with the workspace's hand-rolled JSON module
+//! ([`ravel_trace::json`]) so offline builds never need serde. Schema
+//! (version 1):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "jobs": 8,
+//!   "total_wall_ms": 12345.678,          // omitted when timing is off
+//!   "sim_seconds": 7560.0,
+//!   "sim_seconds_per_second": 612.3,     // omitted when timing is off
+//!   "experiments": [
+//!     {
+//!       "id": "e1",
+//!       "title": "...",
+//!       "cells": [
+//!         {
+//!           "label": "talking-head/4->2.00M/gcc",
+//!           "sim_secs": 40.0,
+//!           "wall_ms": 812.402,           // omitted when timing is off
+//!           "mean_ms": 123.4,            // session-wide mean G2G latency
+//!           "p50_ms": 98.7,
+//!           "p95_ms": 310.0,
+//!           "ssim": 0.9312
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Wall-clock fields are host-dependent, so [`render_json`] can omit
+//! them (`with_timing = false`); everything that remains is
+//! byte-identical for a given grid regardless of `--jobs`, which is
+//! what the determinism tests and the CI gate compare.
+
+use std::time::Duration;
+
+use ravel_trace::json::Json;
+
+use crate::experiments::ExperimentRun;
+use crate::pool::CellRun;
+
+/// Report schema version.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// A whole harness invocation: every experiment that ran, plus pool
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Worker thread count the grid ran with.
+    pub jobs: usize,
+    /// Wall-clock of the whole suite (pool start to last assembly).
+    pub total_wall: Duration,
+    /// Finished experiments in canonical order.
+    pub experiments: Vec<ExperimentRun>,
+}
+
+impl RunReport {
+    /// Total simulated seconds across every cell.
+    pub fn sim_seconds(&self) -> f64 {
+        self.experiments
+            .iter()
+            .flat_map(|e| &e.cells)
+            .map(|c| c.sim_secs)
+            .sum()
+    }
+
+    /// Simulated-seconds-per-wall-second throughput of the whole run.
+    pub fn sim_rate(&self) -> f64 {
+        let wall = self.total_wall.as_secs_f64();
+        if wall > 0.0 {
+            self.sim_seconds() / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Rounds to 3 decimals so JSON numbers stay short and stable.
+fn r3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
+    let all = cell.result.recorder.summarize_all();
+    let mut fields = vec![
+        ("label".to_string(), Json::Str(cell.label.clone())),
+        ("sim_secs".to_string(), Json::Num(r3(cell.sim_secs))),
+    ];
+    if with_timing {
+        fields.push((
+            "wall_ms".to_string(),
+            Json::Num(r3(cell.wall.as_secs_f64() * 1e3)),
+        ));
+    }
+    fields.extend([
+        ("mean_ms".to_string(), Json::Num(r3(all.mean_latency_ms))),
+        ("p50_ms".to_string(), Json::Num(r3(all.p50_latency_ms))),
+        ("p95_ms".to_string(), Json::Num(r3(all.p95_latency_ms))),
+        ("ssim".to_string(), Json::Num(r3(all.mean_ssim))),
+    ]);
+    Json::Obj(fields)
+}
+
+/// Serializes the report. With `with_timing = false` every wall-clock
+/// field is omitted and the result is deterministic for a given grid.
+pub fn render_json(report: &RunReport, with_timing: bool) -> String {
+    let mut fields = vec![
+        ("schema".to_string(), Json::Num(SCHEMA_VERSION)),
+        ("jobs".to_string(), Json::Num(report.jobs as f64)),
+    ];
+    if with_timing {
+        fields.push((
+            "total_wall_ms".to_string(),
+            Json::Num(r3(report.total_wall.as_secs_f64() * 1e3)),
+        ));
+    }
+    fields.push((
+        "sim_seconds".to_string(),
+        Json::Num(r3(report.sim_seconds())),
+    ));
+    if with_timing {
+        fields.push((
+            "sim_seconds_per_second".to_string(),
+            Json::Num(r3(report.sim_rate())),
+        ));
+    }
+    let experiments = report
+        .experiments
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("id".to_string(), Json::Str(e.id.to_string())),
+                ("title".to_string(), Json::Str(e.title.to_string())),
+                (
+                    "cells".to_string(),
+                    Json::Arr(e.cells.iter().map(|c| cell_json(c, with_timing)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    fields.push(("experiments".to_string(), Json::Arr(experiments)));
+    let mut out = Json::Obj(fields).render();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{e16, run_suite};
+    use ravel_trace::json::parse;
+
+    #[test]
+    fn report_parses_and_has_per_cell_metrics() {
+        let exps = [e16()];
+        let runs = run_suite(&exps, 4);
+        let report = RunReport {
+            jobs: 4,
+            total_wall: Duration::from_millis(500),
+            experiments: runs,
+        };
+        let timed = render_json(&report, true);
+        let doc = parse(&timed).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+        let exps_json = doc.get("experiments").and_then(Json::as_array).unwrap();
+        assert_eq!(exps_json.len(), 1);
+        let cells = exps_json[0].get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(cells.len(), 3);
+        assert!(cells[0].get("wall_ms").is_some());
+        assert!(cells[0].get("p95_ms").and_then(Json::as_f64).is_some());
+        assert_eq!(cells[0].get("sim_secs").and_then(Json::as_f64), Some(45.0));
+
+        // Timing-free rendering drops every wall-clock field.
+        let bare = render_json(&report, false);
+        let doc = parse(&bare).unwrap();
+        assert!(doc.get("total_wall_ms").is_none());
+        assert!(doc.get("sim_seconds_per_second").is_none());
+        let cells = doc.get("experiments").and_then(Json::as_array).unwrap()[0]
+            .get("cells")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(cells[0].get("wall_ms").is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! The harness determinism gate: the same grid must produce
+//! byte-identical tables and JSON at any `--jobs` count.
+
+use std::time::Duration;
+
+use ravel_harness::{
+    experiments, render_json, run_suite, Cell, Experiment, ExperimentRun, Output, RunReport,
+    TraceSpec,
+};
+use ravel_metrics::Table;
+use ravel_pipeline::{Scheme, SessionConfig};
+use ravel_sim::{Dur, Time};
+
+/// A small but non-trivial grid: 2 schemes × 2 drop severities over a
+/// short session, exercising the same expansion/assembly machinery as
+/// the full suite while staying fast enough for `cargo test`.
+fn smoke_grid() -> Experiment {
+    let mut cells = Vec::new();
+    for after_bps in [2e6, 1e6] {
+        for scheme in [Scheme::baseline(), Scheme::adaptive()] {
+            let mut cfg = SessionConfig::default_with(scheme);
+            cfg.duration = Dur::secs(8);
+            cells.push(Cell {
+                label: format!("4->{:.0}M/{}", after_bps / 1e6, scheme.name()),
+                trace: TraceSpec::SuddenDrop {
+                    pre_bps: 4e6,
+                    after_bps,
+                    at: Time::from_secs(3),
+                },
+                cfg,
+            });
+        }
+    }
+    fn assemble(exp: &Experiment, runs: &[ravel_harness::CellRun]) -> Output {
+        let mut t = Table::new(&["cell", "mean_ms", "p95_ms", "ssim", "frames"]);
+        for (cell, run) in exp.cells.iter().zip(runs) {
+            let s = run.result.recorder.summarize_all();
+            t.row_owned(vec![
+                cell.label.clone(),
+                format!("{:.2}", s.mean_latency_ms),
+                format!("{:.2}", s.p95_latency_ms),
+                format!("{:.4}", s.mean_ssim),
+                run.result.frames_captured.to_string(),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment::new("smoke", "determinism smoke grid", cells, assemble)
+}
+
+fn run_at(jobs: usize) -> (String, String) {
+    let exps = [smoke_grid()];
+    let runs: Vec<ExperimentRun> = run_suite(&exps, jobs);
+    let rendered: String = runs
+        .iter()
+        .map(|r| format!("=== {} ===\n{}", r.id, r.output.render()))
+        .collect();
+    let report = RunReport {
+        jobs,
+        total_wall: Duration::ZERO,
+        experiments: runs,
+    };
+    (rendered, render_json(&report, false))
+}
+
+#[test]
+fn output_is_byte_identical_across_job_counts() {
+    let (table_1, _) = run_at(1);
+    assert!(table_1.contains("4->1M/gcc+adaptive"), "{table_1}");
+    for jobs in [2, 8] {
+        let (table_n, _) = run_at(jobs);
+        assert_eq!(
+            table_1, table_n,
+            "tables diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn timing_free_json_is_byte_identical_across_job_counts() {
+    // `jobs` is part of the report header, so compare the grids at equal
+    // jobs after exercising different pool widths — plus cross-width
+    // with the header stripped.
+    let (_, json_1) = run_at(1);
+    let (_, json_8) = run_at(8);
+    let strip = |s: &str| {
+        s.replacen("\"jobs\":1,", "", 1)
+            .replacen("\"jobs\":8,", "", 1)
+    };
+    assert_eq!(strip(&json_1), strip(&json_8));
+
+    let (_, json_1_again) = run_at(1);
+    assert_eq!(json_1, json_1_again);
+}
+
+#[test]
+fn full_registry_assembles_from_out_of_order_pool() {
+    // E5 is one of the cheaper real grids that still has config tweaks
+    // per cell (RTT sweep); it must survive a wide pool byte-for-byte.
+    let exps = [experiments::e5()];
+    let serial = run_suite(&exps, 1);
+    let parallel = run_suite(&exps, 8);
+    assert_eq!(serial[0].output.render(), parallel[0].output.render());
+}

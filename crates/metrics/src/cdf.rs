@@ -107,6 +107,8 @@ pub struct Histogram {
     /// Samples below `lo` / at-or-above the last bin edge.
     underflow: u64,
     overflow: u64,
+    /// Non-finite samples (NaN, ±inf), rejected rather than binned.
+    rejected: u64,
 }
 
 impl Histogram {
@@ -120,11 +122,18 @@ impl Histogram {
             counts: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            rejected: 0,
         }
     }
 
-    /// Adds one sample.
+    /// Adds one sample. Non-finite samples are counted as rejected
+    /// instead of being binned: `((NaN - lo) / w) as usize` is 0, so
+    /// without the guard NaN would silently inflate bin 0.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         if x < self.lo {
             self.underflow += 1;
             return;
@@ -145,6 +154,11 @@ impl Histogram {
     /// Samples below range / at-or-above range.
     pub fn outliers(&self) -> (u64, u64) {
         (self.underflow, self.overflow)
+    }
+
+    /// Non-finite samples rejected by [`Histogram::push`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// `(bin_center, count)` pairs.
@@ -232,6 +246,21 @@ mod tests {
     #[should_panic(expected = "zero bins")]
     fn rejects_zero_bins() {
         Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_binned() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(f64::NAN);
+        h.push(f64::INFINITY);
+        h.push(f64::NEG_INFINITY);
+        // Regression: NaN used to land in bin 0 via `as usize`.
+        assert_eq!(h.counts(), &[0, 0, 0, 0, 0]);
+        assert_eq!(h.outliers(), (0, 0));
+        assert_eq!(h.rejected(), 3);
+        h.push(0.5);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.rejected(), 3);
     }
 
     proptest::proptest! {

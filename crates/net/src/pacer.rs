@@ -111,8 +111,11 @@ impl Pacer {
             let mut p = *front;
             self.queue.pop_front();
             self.queued_bytes -= p.size_bytes;
-            let released_at = slot.max(p.send_time).min(now).max(slot);
-            p.send_time = if released_at < now { released_at } else { now };
+            // The loop guard guarantees `slot <= now`, so the release
+            // stamp is simply the slot — unless the packet carries a
+            // later pre-stamped `send_time`, which must never be moved
+            // backward (it would corrupt delay measurement downstream).
+            p.send_time = slot.max(p.send_time);
             // Next slot: this packet's serialization time at the
             // effective (possibly backlog-boosted) rate.
             let tx = Dur::for_bits(p.size_bits(), self.effective_rate_bps());
@@ -204,6 +207,24 @@ mod tests {
         for p in pacer.release(now) {
             assert!(p.send_time <= now);
         }
+    }
+
+    #[test]
+    fn pre_stamped_send_time_is_never_moved_backward() {
+        // Packets enter the pacer stamped with their encode-completion
+        // time (see `Packetizer`); the release stamp may only move that
+        // forward to the pacing slot, never backward.
+        let mut pacer = Pacer::new(1e6, 2.5);
+        let mut a = pkt(0, 1250);
+        a.send_time = Time::from_millis(3); // later than its 0 ms slot
+        let mut b = pkt(1, 1250);
+        b.send_time = Time::from_millis(1); // earlier than its slot
+        pacer.enqueue([a, b]);
+        let out = pacer.release(Time::from_millis(100));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].send_time, Time::from_millis(3));
+        // b's slot is a's stamp plus one 4 ms serialization slot.
+        assert_eq!(out[1].send_time, Time::from_millis(7));
     }
 
     #[test]

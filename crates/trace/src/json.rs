@@ -1,17 +1,17 @@
-//! Minimal JSON support for trace files.
+//! Minimal JSON support for trace files and experiment reports.
 //!
 //! The workspace builds in offline environments, so instead of pulling
-//! `serde_json` from the registry, trace (de)serialization uses this
-//! small recursive-descent parser and writer. It covers the full JSON
-//! grammar (objects, arrays, strings with escapes, numbers, literals)
-//! but keeps every number as `f64`, which is exactly what the trace
-//! format needs.
+//! `serde_json` from the registry, trace (de)serialization — and the
+//! `ravel-harness` benchmark report — uses this small recursive-descent
+//! parser and writer. It covers the full JSON grammar (objects, arrays,
+//! strings with escapes, numbers, literals) but keeps every number as
+//! `f64`, which is exactly what both formats need.
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`
     Null,
     /// `true` / `false`
@@ -28,7 +28,7 @@ pub(crate) enum Json {
 
 impl Json {
     /// The value as a number, if it is one.
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -36,7 +36,7 @@ impl Json {
     }
 
     /// The value as a string slice, if it is one.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -44,7 +44,7 @@ impl Json {
     }
 
     /// The value as an array slice, if it is one.
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+    pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -52,16 +52,63 @@ impl Json {
     }
 
     /// Looks up `key` if the value is an object.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
+
+    /// Serializes the value as compact JSON (object keys in insertion
+    /// order, numbers via the shortest round-tripping `f64` form).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    // JSON has no NaN/inf; emit null rather than an
+                    // unparsable token.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Parses one JSON document; trailing non-whitespace is an error.
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -76,7 +123,7 @@ pub(crate) fn parse(text: &str) -> Result<Json, String> {
 }
 
 /// Appends `s` to `out` as a quoted, escaped JSON string.
-pub(crate) fn write_string(out: &mut String, s: &str) {
+pub fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -345,6 +392,20 @@ mod tests {
         let mut out = String::new();
         write_string(&mut out, original);
         assert_eq!(parse(&out).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn render_roundtrips_documents() {
+        let doc = parse(r#"{"a": [1, 2.5, null], "b": {"c": "x\ny", "d": true}}"#).unwrap();
+        let text = doc.render();
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert_eq!(text, r#"{"a":[1,2.5,null],"b":{"c":"x\ny","d":true}}"#);
+    }
+
+    #[test]
+    fn render_maps_non_finite_numbers_to_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 pub mod combinators;
 pub mod file;
-mod json;
+pub mod json;
 pub mod oscillating;
 pub mod step;
 pub mod stochastic;

@@ -3,20 +3,24 @@
 //! Runs the canonical drop with each E7 configuration — fast-QP only,
 //! +VBV rescale, +frame skip, full (adds the resolution ladder) — plus
 //! the baseline, and prints post-drop latency and quality per level.
+//! All five sessions run concurrently on the harness pool.
 //!
 //! ```text
-//! cargo run --release --example ablation
+//! cargo run --release --example ablation [jobs]
 //! ```
 
 use ravel::core::AdaptiveConfig;
+use ravel::harness::{default_jobs, run_cells, Cell, TraceSpec};
 use ravel::metrics::Table;
-use ravel::pipeline::{run_session, Scheme, SessionConfig};
+use ravel::pipeline::{Scheme, SessionConfig};
 use ravel::sim::{Dur, Time};
-use ravel::trace::StepTrace;
 
 fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_jobs);
     let drop_at = Time::from_secs(10);
-    let mk_trace = || StepTrace::sudden_drop(4e6, 0.5e6, drop_at);
 
     let levels: [(&str, Option<AdaptiveConfig>); 5] = [
         ("baseline", None),
@@ -26,6 +30,28 @@ fn main() {
         ("full", Some(AdaptiveConfig::default())),
     ];
 
+    let cells: Vec<Cell> = levels
+        .iter()
+        .map(|(name, adaptive)| {
+            let scheme = match adaptive {
+                None => Scheme::baseline(),
+                Some(cfg) => Scheme::adaptive_with(*cfg),
+            };
+            let mut cfg = SessionConfig::default_with(scheme);
+            cfg.duration = Dur::secs(30);
+            Cell {
+                label: name.to_string(),
+                trace: TraceSpec::SuddenDrop {
+                    pre_bps: 4e6,
+                    after_bps: 0.5e6,
+                    at: drop_at,
+                },
+                cfg,
+            }
+        })
+        .collect();
+    let runs = run_cells(&cells, jobs);
+
     let mut table = Table::new(&[
         "mechanisms",
         "mean_ms",
@@ -34,23 +60,18 @@ fn main() {
         "freezes",
         "skips",
     ]);
-
-    for (name, adaptive) in levels {
-        let scheme = match adaptive {
-            None => Scheme::baseline(),
-            Some(cfg) => Scheme::adaptive_with(cfg),
-        };
-        let mut cfg = SessionConfig::default_with(scheme);
-        cfg.duration = Dur::secs(30);
-        let result = run_session(mk_trace(), cfg);
-        let s = result.recorder.summarize(drop_at, drop_at + Dur::secs(8));
+    for run in &runs {
+        let s = run
+            .result
+            .recorder
+            .summarize(drop_at, drop_at + Dur::secs(8));
         table.row_owned(vec![
-            name.to_string(),
+            run.label.clone(),
             format!("{:.1}", s.mean_latency_ms),
             format!("{:.1}", s.p95_latency_ms),
             format!("{:.4}", s.mean_ssim),
             s.frozen.to_string(),
-            result.frames_skipped.to_string(),
+            run.result.frames_skipped.to_string(),
         ]);
     }
 

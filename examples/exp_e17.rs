@@ -5,25 +5,26 @@
 //! with the *reverse* path simultaneously impaired (30% i.i.d. feedback
 //! loss plus a 1 s feedback blackout starting at the drop) — for the
 //! adaptive scheme with and without the feedback watchdog, plus the
-//! unimpaired control run. Prints post-drop latency, the blind-period
-//! send-rate decay, and reverse-path accounting, then re-runs the
-//! watchdog session with the same seed to demonstrate byte-identical
-//! determinism under fault injection.
+//! unimpaired control run, all three concurrently on the harness pool.
+//! Prints post-drop latency, the blind-period send-rate decay, and
+//! reverse-path accounting, then re-runs the watchdog session with the
+//! same seed to demonstrate byte-identical determinism under fault
+//! injection.
 //!
 //! ```text
-//! cargo run --release --example exp_e17
+//! cargo run --release --example exp_e17 [jobs]
 //! ```
 
 use ravel::core::WatchdogConfig;
+use ravel::harness::{default_jobs, run_cells, Cell, TraceSpec};
 use ravel::metrics::Table;
 use ravel::net::ReversePathConfig;
-use ravel::pipeline::{run_session, Scheme, SessionConfig, SessionResult};
+use ravel::pipeline::{Scheme, SessionConfig};
 use ravel::sim::{Dur, Time};
-use ravel::trace::StepTrace;
 
 const DROP_AT: Time = Time::from_secs(10);
 
-fn run(impaired: bool, watchdog: bool) -> SessionResult {
+fn cell(name: &str, impaired: bool, watchdog: bool) -> Cell {
     let mut cfg = SessionConfig::default_with(Scheme::adaptive());
     cfg.duration = Dur::secs(30);
     cfg.record_series = true;
@@ -37,11 +38,31 @@ fn run(impaired: bool, watchdog: bool) -> SessionResult {
             cfg.reverse_delay * 2,
         ));
     }
-    run_session(StepTrace::sudden_drop(4e6, 1e6, DROP_AT), cfg)
+    Cell {
+        label: name.to_string(),
+        trace: TraceSpec::SuddenDrop {
+            pre_bps: 4e6,
+            after_bps: 1e6,
+            at: DROP_AT,
+        },
+        cfg,
+    }
 }
 
 fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_jobs);
+
     println!("\n=== E17: 4->1 Mbps drop + 30% feedback loss + 1 s blackout ===\n");
+
+    let cells = vec![
+        cell("clean reverse path", false, false),
+        cell("impaired, no watchdog", true, false),
+        cell("impaired + watchdog", true, true),
+    ];
+    let runs = run_cells(&cells, jobs);
 
     let mut t = Table::new(&[
         "run",
@@ -54,16 +75,12 @@ fn main() {
         "plis",
     ]);
     let mut p95 = Vec::new();
-    for (name, impaired, wd) in [
-        ("clean reverse path", false, false),
-        ("impaired, no watchdog", true, false),
-        ("impaired + watchdog", true, true),
-    ] {
-        let r = run(impaired, wd);
+    for run in &runs {
+        let r = &run.result;
         let w = r.recorder.summarize(DROP_AT, DROP_AT + Dur::secs(8));
-        p95.push((name, w.p95_latency_ms));
+        p95.push((run.label.clone(), w.p95_latency_ms));
         t.row_owned(vec![
-            name.to_string(),
+            run.label.clone(),
             format!("{:.1}", w.p50_latency_ms),
             format!("{:.1}", w.p95_latency_ms),
             format!("{:.4}", r.recorder.summarize_all().mean_ssim),
@@ -76,8 +93,8 @@ fn main() {
     println!("{}", t.render());
 
     // Blind-period decay: the commanded target in successive 250 ms
-    // windows through the blackout, watchdog on.
-    let r = run(true, true);
+    // windows through the blackout, watchdog on (the pool's third cell).
+    let r = &runs[2].result;
     let target = r.series.get("target_bps").expect("series recorded");
     println!("target_bps through the 1 s blackout (watchdog on):");
     for i in 0..6u64 {
@@ -90,8 +107,9 @@ fn main() {
         );
     }
 
-    // Determinism: identical seed + fault schedule => byte-identical run.
-    let r2 = run(true, true);
+    // Determinism: identical seed + fault schedule => byte-identical
+    // run, even though the first copy ran on a pool worker.
+    let r2 = cells[2].run();
     assert_eq!(r.recorder.records(), r2.recorder.records());
     assert_eq!(r.watchdog_timeouts, r2.watchdog_timeouts);
     assert_eq!(r.reports_discarded, r2.reports_discarded);
@@ -100,12 +118,12 @@ fn main() {
 
     let no_wd = p95
         .iter()
-        .find(|(n, _)| *n == "impaired, no watchdog")
+        .find(|(n, _)| n == "impaired, no watchdog")
         .unwrap()
         .1;
     let with_wd = p95
         .iter()
-        .find(|(n, _)| *n == "impaired + watchdog")
+        .find(|(n, _)| n == "impaired + watchdog")
         .unwrap()
         .1;
     println!("p95 during blind window: {no_wd:.1} ms (no watchdog) -> {with_wd:.1} ms (watchdog)");

@@ -3,24 +3,47 @@
 //! Runs both schemes over a set of seeded Markov-modulated cellular
 //! traces (each with organic fades and recoveries) and prints per-seed
 //! and aggregate latency/quality, demonstrating the controller outside
-//! the clean single-step scenario.
+//! the clean single-step scenario. The grid runs on the parallel
+//! harness pool — results come back in cell order, so the table is
+//! identical at any worker count.
 //!
 //! ```text
-//! cargo run --release --example trace_sweep [num_seeds]
+//! cargo run --release --example trace_sweep [num_seeds] [jobs]
 //! ```
 
+use ravel::harness::{default_jobs, run_cells, Cell, TraceSpec};
 use ravel::metrics::{RunningStats, Table};
-use ravel::pipeline::{run_session, Scheme, SessionConfig};
+use ravel::pipeline::{Scheme, SessionConfig};
 use ravel::sim::Dur;
-use ravel::trace::{CellularProfile, StochasticTrace};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let jobs: usize = args
+        .next()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
-    let profile = CellularProfile::lte_like();
+        .unwrap_or_else(default_jobs);
     let duration = Dur::secs(45);
+
+    // One cell per (seed, scheme), expanded in the order the table
+    // consumes them: baseline then adaptive within each seed.
+    let mut cells = Vec::new();
+    for seed in 0..seeds {
+        for scheme in [Scheme::baseline(), Scheme::adaptive()] {
+            let mut cfg = SessionConfig::default_with(scheme);
+            cfg.duration = duration;
+            cfg.seed = seed;
+            cells.push(Cell {
+                label: format!("seed{}/{}", seed, scheme.name()),
+                trace: TraceSpec::LteLike {
+                    seed,
+                    len: duration,
+                },
+                cfg,
+            });
+        }
+    }
+    let runs = run_cells(&cells, jobs);
 
     let mut table = Table::new(&[
         "seed",
@@ -33,18 +56,9 @@ fn main() {
     let mut base_means = RunningStats::new();
     let mut adpt_means = RunningStats::new();
 
-    for seed in 0..seeds {
-        let run = |scheme| {
-            let mut cfg = SessionConfig::default_with(scheme);
-            cfg.duration = duration;
-            cfg.seed = seed;
-            let trace = StochasticTrace::generate(&profile, duration, seed);
-            run_session(trace, cfg)
-        };
-        let base = run(Scheme::baseline());
-        let adpt = run(Scheme::adaptive());
-        let bs = base.recorder.summarize_all();
-        let as_ = adpt.recorder.summarize_all();
+    for (seed, pair) in runs.chunks(2).enumerate() {
+        let bs = pair[0].result.recorder.summarize_all();
+        let as_ = pair[1].result.recorder.summarize_all();
         base_means.push(bs.mean_latency_ms);
         adpt_means.push(as_.mean_latency_ms);
         table.row_owned(vec![
@@ -53,13 +67,14 @@ fn main() {
             format!("{:.1}", bs.p95_latency_ms),
             format!("{:.1}", as_.mean_latency_ms),
             format!("{:.1}", as_.p95_latency_ms),
-            adpt.drops_handled.to_string(),
+            pair[1].result.drops_handled.to_string(),
         ]);
     }
 
     println!(
-        "LTE-like stochastic traces, {}s sessions:",
-        duration.as_micros() / 1_000_000
+        "LTE-like stochastic traces, {}s sessions ({} jobs):",
+        duration.as_micros() / 1_000_000,
+        jobs
     );
     println!("{}", table.render());
     println!(

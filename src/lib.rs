@@ -48,12 +48,14 @@
 //! | [`core`] | `ravel-core` | **the contribution**: drop detector + adaptive controller |
 //! | [`pipeline`] | `ravel-pipeline` | end-to-end session runner |
 //! | [`metrics`] | `ravel-metrics` | stats, latency records, tables |
+//! | [`harness`] | `ravel-harness` | parallel deterministic experiment harness |
 
 #![warn(missing_docs)]
 
 pub use ravel_cc as cc;
 pub use ravel_codec as codec;
 pub use ravel_core as core;
+pub use ravel_harness as harness;
 pub use ravel_metrics as metrics;
 pub use ravel_net as net;
 pub use ravel_pipeline as pipeline;
