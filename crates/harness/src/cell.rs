@@ -47,6 +47,16 @@ pub enum TraceSpec {
 }
 
 impl TraceSpec {
+    /// A canonical, content-addressed rendering of this spec.
+    ///
+    /// Two specs produce the same key iff they build the same trace:
+    /// the derived `Debug` form spells out the variant and every field,
+    /// and `f64`/`Time`/`Dur` render via shortest-roundtrip formatting,
+    /// so distinct values never collapse to one string.
+    pub fn canonical_key(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// Materializes the trace this spec describes.
     pub fn build(&self) -> Box<dyn BandwidthTrace> {
         match *self {
@@ -96,6 +106,38 @@ impl Cell {
     pub fn run(&self) -> SessionResult {
         run_session(self.trace.build(), self.cfg)
     }
+
+    /// The cell's content address: a canonical string covering every
+    /// input [`Cell::run`] consumes — the full trace spec and the full
+    /// session config (scheme, content, link, seeds, duration, every
+    /// toggle). The *label* is deliberately excluded: it names the cell
+    /// in tables but does not change the computation, so two cells that
+    /// differ only in label share one address (and one simulation).
+    ///
+    /// The `cell-v1|` prefix versions the key format itself: if the
+    /// rendering ever changes, bump it so stale addresses cannot alias.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "cell-v1|trace={}|cfg={:?}",
+            self.trace.canonical_key(),
+            self.cfg
+        )
+    }
+
+    /// A 64-bit FNV-1a fingerprint of [`Cell::canonical_key`], cheap to
+    /// compare and log. The in-process cache keys on the full string
+    /// (collision-proof); the fingerprint exists for compact display and
+    /// for the injectivity property test over the experiment grid.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.canonical_key().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +179,31 @@ mod tests {
             let at = Time::from_secs(s);
             assert_eq!(a.rate_bps(at), b.rate_bps(at));
         }
+    }
+
+    #[test]
+    fn canonical_key_ignores_label_but_separates_configs() {
+        let mut cfg = SessionConfig::default_with(Scheme::adaptive());
+        cfg.duration = Dur::secs(5);
+        let mk = |label: &str, cfg: SessionConfig| Cell {
+            label: label.into(),
+            trace: TraceSpec::Constant(3e6),
+            cfg,
+        };
+        let a = mk("first", cfg);
+        let b = mk("renamed", cfg);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut other = cfg;
+        other.seed = cfg.seed + 1;
+        let c = mk("first", other);
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        let mut d = mk("first", cfg);
+        d.trace = TraceSpec::Constant(3.000_001e6);
+        assert_ne!(a.canonical_key(), d.canonical_key());
     }
 
     #[test]

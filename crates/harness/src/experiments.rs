@@ -20,7 +20,7 @@ use ravel_sim::{Dur, Time};
 use ravel_video::ContentClass;
 
 use crate::cell::{Cell, TraceSpec};
-use crate::pool::{run_cells, CellRun};
+use crate::pool::{run_cells, run_cells_opts, CellRun, PoolOptions, PoolStats};
 
 /// The canonical drop instant: 10 s into the session, after GCC has
 /// converged.
@@ -176,14 +176,28 @@ pub struct ExperimentRun {
 
 /// Runs several experiments through ONE shared pool (cells from all
 /// experiments interleave freely across workers), then assembles each
-/// experiment from its own slice of the results.
+/// experiment from its own slice of the results. Memoization is on;
+/// see [`run_suite_opts`] for cache control and pool statistics.
 pub fn run_suite(experiments: &[Experiment], jobs: usize) -> Vec<ExperimentRun> {
+    run_suite_opts(experiments, jobs, PoolOptions::default()).0
+}
+
+/// [`run_suite`] with pool options, also returning the shared pool's
+/// accounting. Because all experiments share one pool (and one cell
+/// cache), a cell repeated across experiments — E1 and E2 expand the
+/// identical grid — simulates once for the whole suite.
+pub fn run_suite_opts(
+    experiments: &[Experiment],
+    jobs: usize,
+    opts: PoolOptions,
+) -> (Vec<ExperimentRun>, PoolStats) {
     let all: Vec<Cell> = experiments
         .iter()
         .flat_map(|e| e.cells.iter().cloned())
         .collect();
-    let mut runs = run_cells(&all, jobs).into_iter();
-    experiments
+    let (runs, stats) = run_cells_opts(&all, jobs, opts);
+    let mut runs = runs.into_iter();
+    let assembled = experiments
         .iter()
         .map(|e| {
             let cells: Vec<CellRun> = runs.by_ref().take(e.cells.len()).collect();
@@ -194,7 +208,8 @@ pub fn run_suite(experiments: &[Experiment], jobs: usize) -> Vec<ExperimentRun> 
                 cells,
             }
         })
-        .collect()
+        .collect();
+    (assembled, stats)
 }
 
 /// Sequential cursor over cell results, consumed in expansion order.

@@ -9,7 +9,11 @@
 //! * [`run_cells`] — a std-only work-stealing pool (`std::thread::scope`
 //!   plus one atomic job counter) that runs cells on `--jobs N` workers
 //!   and returns results in *cell order*, so aggregated output is
-//!   byte-identical at any thread count.
+//!   byte-identical at any thread count. The pool memoizes by content
+//!   address ([`Cell::canonical_key`]): every *unique* cell simulates
+//!   exactly once per run, and grid positions that repeat it (E1 and E2
+//!   share their entire grid) are served from the in-process cache.
+//!   `--no-cache` / [`PoolOptions`] restores cold execution.
 //! * [`experiments`] — E1–E17 ported to expansion + assembly form, plus
 //!   the [`experiments::select`] registry the CLI uses.
 //! * [`report`] — the `BENCH_harness.json` perf/quality report
@@ -29,10 +33,10 @@ pub mod report;
 
 pub use cell::{Cell, TraceSpec};
 pub use experiments::{
-    fmt_reduction, pct_change, run_suite, window_after, Experiment, ExperimentRun, Output, DROP_AT,
-    E1_AFTER_BPS, POST_WINDOW, PRE_RATE, SESSION_LEN,
+    fmt_reduction, pct_change, run_suite, run_suite_opts, window_after, Experiment, ExperimentRun,
+    Output, DROP_AT, E1_AFTER_BPS, POST_WINDOW, PRE_RATE, SESSION_LEN,
 };
-pub use pool::{run_cells, CellRun};
+pub use pool::{run_cells, run_cells_opts, CellRun, PoolOptions, PoolStats};
 pub use report::{render_json, RunReport};
 
 /// A sensible default worker count: every available core.

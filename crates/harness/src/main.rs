@@ -12,7 +12,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ravel_harness::{default_jobs, experiments, render_json, run_suite, RunReport};
+use ravel_harness::{
+    default_jobs, experiments, render_json, run_suite_opts, PoolOptions, RunReport,
+};
 
 const USAGE: &str = "\
 ravel-harness — run the E1-E17 grid on a deterministic thread pool
@@ -25,6 +27,9 @@ OPTIONS:
     --experiments LIST   comma-separated ids, e.g. e1,e4,e17 (default: all)
     --out PATH           JSON report path (default: BENCH_harness.json)
     --no-json            skip writing the JSON report
+    --no-cache           simulate every grid position, even duplicates
+                         (cold-run benchmarking; default memoizes by
+                         content address so each unique cell runs once)
     --list               list experiments and their cell counts, then exit
     --help               this text
 ";
@@ -34,6 +39,7 @@ struct Args {
     experiments: String,
     out: String,
     write_json: bool,
+    use_cache: bool,
     list: bool,
 }
 
@@ -43,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         experiments: "all".to_string(),
         out: "BENCH_harness.json".to_string(),
         write_json: true,
+        use_cache: true,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -60,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--experiments" | "-e" => args.experiments = value("--experiments")?,
             "--out" | "-o" => args.out = value("--out")?,
             "--no-json" => args.write_json = false,
+            "--no-cache" => args.use_cache = false,
             "--list" => args.list = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -105,10 +113,14 @@ fn main() -> ExitCode {
     );
 
     let started = Instant::now();
-    let runs = run_suite(&selected, args.jobs);
+    let opts = PoolOptions {
+        use_cache: args.use_cache,
+    };
+    let (runs, stats) = run_suite_opts(&selected, args.jobs, opts);
     let report = RunReport {
         jobs: args.jobs,
         total_wall: started.elapsed(),
+        stats,
         experiments: runs,
     };
 
@@ -118,11 +130,15 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "{} cells, {:.0} simulated seconds in {:.2} s wall ({:.1} sim-s/s, jobs={})",
-        total_cells,
+        "{} cells ({} unique, {} executed, {} cache hits), {:.0} simulated seconds in {:.2} s wall ({:.1} sim-s/s, {:.2e} events/s, jobs={})",
+        stats.total_cells,
+        stats.unique_cells,
+        stats.executed,
+        stats.cache_hits,
         report.sim_seconds(),
         report.total_wall.as_secs_f64(),
         report.sim_rate(),
+        report.events_rate(),
         report.jobs
     );
 

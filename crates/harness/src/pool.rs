@@ -1,4 +1,4 @@
-//! The work-stealing cell pool.
+//! The work-stealing cell pool, with content-addressed memoization.
 //!
 //! Cells are independent and seed-deterministic, so the pool can hand
 //! them to any worker in any order: workers claim the next unclaimed
@@ -8,11 +8,24 @@
 //! *cell order*, not completion order — aggregated output is
 //! byte-identical whether the grid ran on 1 thread or 64.
 //!
-//! std-only by design: `std::thread::scope` plus one `AtomicUsize` and
-//! one `Mutex`; no registry dependencies.
+//! **Memoization.** Many experiments share cells — E1 and E2 expand the
+//! identical drop grid, and the canonical `talking-head/4→1 Mbps/gcc`
+//! cell recurs across most of E1–E17. Every cell has a content address
+//! ([`Cell::canonical_key`]); the pool keeps one in-process map from
+//! address to an [`OnceLock`]ed result, so each *unique* cell simulates
+//! exactly once per run no matter how many grid positions reference it.
+//! The first claimant computes; concurrent duplicates block on the same
+//! `OnceLock` and then clone the finished result. Results still come
+//! back in cell order with per-cell labels intact, so tables and JSON
+//! stay byte-identical to an uncached serial run (timing fields aside).
+//!
+//! std-only by design: `std::thread::scope` plus one `AtomicUsize`, one
+//! `Mutex`ed slot vector and one `Mutex`ed cache map; no registry
+//! dependencies.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ravel_pipeline::SessionResult;
@@ -20,57 +33,169 @@ use ravel_pipeline::SessionResult;
 use crate::cell::Cell;
 
 /// One finished cell: its measurements plus wall-clock accounting for
-/// the perf report. Everything except `wall` is deterministic.
+/// the perf report. Everything except `wall` and `cache_hit` is
+/// deterministic.
 #[derive(Debug, Clone)]
 pub struct CellRun {
     /// The cell's label, copied for report assembly.
     pub label: String,
     /// Simulated session length in seconds (capture phase).
     pub sim_secs: f64,
-    /// Host wall-clock the session took (nondeterministic; excluded
-    /// from byte-compared output).
+    /// Host wall-clock of the cell's *first* execution. Cache hits echo
+    /// the computing run's wall, so every grid position of one unique
+    /// cell reports the same number — by construction, not by luck
+    /// (nondeterministic; excluded from byte-compared output).
     pub wall: Duration,
+    /// Whether this grid position was served from the cell cache rather
+    /// than executing the simulation (schedule-dependent; excluded from
+    /// byte-compared output).
+    pub cache_hit: bool,
     /// The full session measurements.
     pub result: SessionResult,
 }
 
-/// Runs every cell on `jobs` worker threads and returns results in cell
-/// order. `jobs` is clamped to `[1, cells.len()]`; `jobs = 1` runs the
-/// grid serially on one spawned worker, which is the determinism
-/// reference the tests compare against.
+/// Pool behaviour switches.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOptions {
+    /// Memoize by content address (the default). Disable (`--no-cache`)
+    /// to force every grid position to simulate, e.g. for cold-run
+    /// benchmarking or cache-vs-recompute equivalence tests.
+    pub use_cache: bool,
+}
+
+impl Default for PoolOptions {
+    fn default() -> PoolOptions {
+        PoolOptions { use_cache: true }
+    }
+}
+
+/// Pool-level accounting for one `run_cells_opts` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Grid positions requested.
+    pub total_cells: usize,
+    /// Distinct content addresses in the grid — deterministic for a
+    /// given grid, independent of `jobs` and of whether the cache is on.
+    pub unique_cells: usize,
+    /// Simulations actually executed (`== unique_cells` with the cache
+    /// on, `== total_cells` with it off).
+    pub executed: usize,
+    /// Grid positions served from the cache (`total_cells - executed`).
+    pub cache_hits: usize,
+    /// Sum of per-worker busy time: each worker accumulates the wall
+    /// clock of the simulations *it* executed on a monotonic clock, and
+    /// the pool sums those totals. Unlike the run's end-to-end wall,
+    /// this excludes claim contention and result cloning, so
+    /// `busy / executed` approximates true per-cell cost.
+    pub busy: Duration,
+}
+
+/// One memoized computation: the finished result plus its first-run
+/// wall clock (echoed into every duplicate's [`CellRun::wall`]).
+type CachedCell = (SessionResult, Duration);
+
+/// Runs every cell on `jobs` worker threads with memoization on and
+/// returns results in cell order. See [`run_cells_opts`] for the form
+/// with pool statistics and cache control.
 pub fn run_cells(cells: &[Cell], jobs: usize) -> Vec<CellRun> {
+    run_cells_opts(cells, jobs, PoolOptions::default()).0
+}
+
+/// Runs every cell on `jobs` worker threads and returns results in cell
+/// order plus pool accounting. `jobs` is clamped to `[1, cells.len()]`;
+/// `jobs = 1` runs the grid serially on one spawned worker, which is
+/// the determinism reference the tests compare against.
+///
+/// With `opts.use_cache`, each unique content address simulates exactly
+/// once: the first worker to claim an address computes it inside a
+/// per-address [`OnceLock`]; later claimants (and concurrent claimants,
+/// which block on the same lock) clone the finished result.
+pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<CellRun>, PoolStats) {
+    let keys: Vec<String> = cells.iter().map(Cell::canonical_key).collect();
+    let unique_cells = keys.iter().collect::<HashSet<_>>().len();
     if cells.is_empty() {
-        return Vec::new();
+        return (
+            Vec::new(),
+            PoolStats {
+                total_cells: 0,
+                unique_cells: 0,
+                executed: 0,
+                cache_hits: 0,
+                busy: Duration::ZERO,
+            },
+        );
     }
     let jobs = jobs.clamp(1, cells.len());
     let next = AtomicUsize::new(0);
+    let executed = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CellRun>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+    let busy_total: Mutex<Duration> = Mutex::new(Duration::ZERO);
+    let cache: Mutex<HashMap<&str, Arc<OnceLock<CachedCell>>>> = Mutex::new(HashMap::new());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
+            scope.spawn(|| {
+                let mut busy = Duration::ZERO;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let (result, wall, cache_hit) = if opts.use_cache {
+                        let entry = cache
+                            .lock()
+                            .expect("cell cache poisoned")
+                            .entry(keys[i].as_str())
+                            .or_default()
+                            .clone();
+                        let mut computed_here = false;
+                        let (result, wall) = entry.get_or_init(|| {
+                            computed_here = true;
+                            let started = Instant::now();
+                            let result = cell.run();
+                            (result, started.elapsed())
+                        });
+                        if computed_here {
+                            busy += *wall;
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        (result.clone(), *wall, !computed_here)
+                    } else {
+                        let started = Instant::now();
+                        let result = cell.run();
+                        let wall = started.elapsed();
+                        busy += wall;
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        (result, wall, false)
+                    };
+                    let run = CellRun {
+                        label: cell.label.clone(),
+                        sim_secs: cell.cfg.duration.as_secs_f64(),
+                        wall,
+                        cache_hit,
+                        result,
+                    };
+                    slots.lock().expect("pool slots poisoned")[i] = Some(run);
                 }
-                let cell = &cells[i];
-                let started = Instant::now();
-                let result = cell.run();
-                let run = CellRun {
-                    label: cell.label.clone(),
-                    sim_secs: cell.cfg.duration.as_secs_f64(),
-                    wall: started.elapsed(),
-                    result,
-                };
-                slots.lock().expect("pool slots poisoned")[i] = Some(run);
+                *busy_total.lock().expect("busy total poisoned") += busy;
             });
         }
     });
-    slots
+    let executed = executed.into_inner();
+    let stats = PoolStats {
+        total_cells: cells.len(),
+        unique_cells,
+        executed,
+        cache_hits: cells.len() - executed,
+        busy: busy_total.into_inner().expect("busy total poisoned"),
+    };
+    let runs = slots
         .into_inner()
         .expect("pool slots poisoned")
         .into_iter()
         .map(|slot| slot.expect("every cell index was claimed"))
-        .collect()
+        .collect();
+    (runs, stats)
 }
 
 #[cfg(test)]
@@ -99,6 +224,21 @@ mod tests {
         cells
     }
 
+    /// The tiny grid, duplicated with fresh labels — every cell in the
+    /// second half content-addresses to one in the first half.
+    fn duplicated_grid() -> Vec<Cell> {
+        let mut cells = tiny_grid();
+        let dupes: Vec<Cell> = cells
+            .iter()
+            .map(|c| Cell {
+                label: format!("dup-{}", c.label),
+                ..c.clone()
+            })
+            .collect();
+        cells.extend(dupes);
+        cells
+    }
+
     #[test]
     fn results_come_back_in_cell_order_regardless_of_jobs() {
         let cells = tiny_grid();
@@ -116,7 +256,10 @@ mod tests {
 
     #[test]
     fn empty_grid_is_fine() {
-        assert!(run_cells(&[], 4).is_empty());
+        let (runs, stats) = run_cells_opts(&[], 4, PoolOptions::default());
+        assert!(runs.is_empty());
+        assert_eq!(stats.total_cells, 0);
+        assert_eq!(stats.executed, 0);
     }
 
     #[test]
@@ -126,5 +269,56 @@ mod tests {
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].label, "0/0");
         assert!(runs[0].sim_secs > 0.0);
+    }
+
+    #[test]
+    fn duplicates_simulate_once_and_match_recompute_exactly() {
+        let cells = duplicated_grid();
+        // Reference: cache disabled, serial — every position simulated.
+        let (cold, cold_stats) = run_cells_opts(&cells, 1, PoolOptions { use_cache: false });
+        assert_eq!(cold_stats.executed, cells.len());
+        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(cold_stats.unique_cells, cells.len() / 2);
+        for jobs in [1, 2, 8] {
+            let (warm, stats) = run_cells_opts(&cells, jobs, PoolOptions::default());
+            // Exactly one execution per unique address, at any jobs count.
+            assert_eq!(stats.executed, stats.unique_cells, "jobs={jobs}");
+            assert_eq!(stats.unique_cells, cells.len() / 2);
+            assert_eq!(stats.cache_hits, cells.len() - stats.executed);
+            assert_eq!(warm.len(), cold.len());
+            for (w, c) in warm.iter().zip(&cold) {
+                // Cached results are byte-identical to forced recompute.
+                assert_eq!(w.label, c.label);
+                assert_eq!(w.result.recorder.records(), c.result.recorder.records());
+                assert_eq!(w.result.events_processed, c.result.events_processed);
+                assert_eq!(w.result.packets_delivered, c.result.packets_delivered);
+                assert_eq!(w.result.frames_encoded, c.result.frames_encoded);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_echo_the_first_runs_wall_clock() {
+        let cells = duplicated_grid();
+        let (runs, _) = run_cells_opts(&cells, 2, PoolOptions::default());
+        let half = cells.len() / 2;
+        for (first, dup) in runs[..half].iter().zip(&runs[half..]) {
+            assert_eq!(dup.label, format!("dup-{}", first.label));
+            // Identical content address -> identical reported wall.
+            assert_eq!(first.wall, dup.wall);
+        }
+        // Exactly one position per address computed, the rest hit.
+        let hits = runs.iter().filter(|r| r.cache_hit).count();
+        assert_eq!(hits, half);
+    }
+
+    #[test]
+    fn busy_time_counts_only_executions() {
+        let cells = duplicated_grid();
+        let (runs, stats) = run_cells_opts(&cells, 1, PoolOptions::default());
+        // Serial: busy is the sum of the computing positions' walls.
+        let computed: Duration = runs.iter().filter(|r| !r.cache_hit).map(|r| r.wall).sum();
+        assert_eq!(stats.busy, computed);
+        assert!(stats.busy > Duration::ZERO);
     }
 }

@@ -2,15 +2,22 @@
 //!
 //! Serialized with the workspace's hand-rolled JSON module
 //! ([`ravel_trace::json`]) so offline builds never need serde. Schema
-//! (version 1):
+//! (version 2):
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "jobs": 8,
 //!   "total_wall_ms": 12345.678,          // omitted when timing is off
+//!   "total_cells": 189,
+//!   "unique_cells": 161,                 // distinct content addresses
+//!   "executed": 161,                     // omitted when timing is off
+//!   "cache_hits": 28,                    // omitted when timing is off
+//!   "busy_ms": 10234.5,                  // omitted when timing is off
 //!   "sim_seconds": 7560.0,
 //!   "sim_seconds_per_second": 612.3,     // omitted when timing is off
+//!   "events_total": 123456789,
+//!   "events_per_second": 1.0e7,          // omitted when timing is off
 //!   "experiments": [
 //!     {
 //!       "id": "e1",
@@ -20,6 +27,9 @@
 //!           "label": "talking-head/4->2.00M/gcc",
 //!           "sim_secs": 40.0,
 //!           "wall_ms": 812.402,           // omitted when timing is off
+//!           "cache_hit": false,           // omitted when timing is off
+//!           "events": 654321,            // simulation events processed
+//!           "events_per_sec": 805412.0,   // omitted when timing is off
 //!           "mean_ms": 123.4,            // session-wide mean G2G latency
 //!           "p50_ms": 98.7,
 //!           "p95_ms": 310.0,
@@ -31,20 +41,31 @@
 //! }
 //! ```
 //!
-//! Wall-clock fields are host-dependent, so [`render_json`] can omit
-//! them (`with_timing = false`); everything that remains is
-//! byte-identical for a given grid regardless of `--jobs`, which is
-//! what the determinism tests and the CI gate compare.
+//! **Timing and cache fields are host- or schedule-dependent** — which
+//! grid position computes versus hits the cache depends on worker
+//! scheduling, and `executed`/`cache_hits`/`busy_ms` change with
+//! `--no-cache` — so [`render_json`] can omit them all
+//! (`with_timing = false`). Everything that remains (`total_cells`,
+//! `unique_cells`, per-cell `events`, every quality metric) is
+//! byte-identical for a given grid regardless of `--jobs` *and*
+//! regardless of whether the cache is on, which is what the determinism
+//! tests and the CI gate compare.
+//!
+//! Per-cell `wall_ms` semantics: the wall clock of the cell's *first*
+//! execution. Duplicated grid positions echo the computing run's wall,
+//! so identical cells always report identical `wall_ms` instead of a
+//! few microseconds of clone cost — and a cell's number no longer
+//! wobbles with which experiment happened to claim it first.
 
 use std::time::Duration;
 
 use ravel_trace::json::Json;
 
 use crate::experiments::ExperimentRun;
-use crate::pool::CellRun;
+use crate::pool::{CellRun, PoolStats};
 
 /// Report schema version.
-pub const SCHEMA_VERSION: f64 = 1.0;
+pub const SCHEMA_VERSION: f64 = 2.0;
 
 /// A whole harness invocation: every experiment that ran, plus pool
 /// accounting.
@@ -54,6 +75,9 @@ pub struct RunReport {
     pub jobs: usize,
     /// Wall-clock of the whole suite (pool start to last assembly).
     pub total_wall: Duration,
+    /// Shared-pool accounting: unique/executed/hit counts and summed
+    /// worker busy time.
+    pub stats: PoolStats,
     /// Finished experiments in canonical order.
     pub experiments: Vec<ExperimentRun>,
 }
@@ -77,6 +101,27 @@ impl RunReport {
             0.0
         }
     }
+
+    /// Total simulation events across every grid position (duplicated
+    /// cells count every time — this is the grid's event volume, not
+    /// the executed volume).
+    pub fn events_total(&self) -> u64 {
+        self.experiments
+            .iter()
+            .flat_map(|e| &e.cells)
+            .map(|c| c.result.events_processed)
+            .sum()
+    }
+
+    /// Events-per-wall-second throughput of the whole run.
+    pub fn events_rate(&self) -> f64 {
+        let wall = self.total_wall.as_secs_f64();
+        if wall > 0.0 {
+            self.events_total() as f64 / wall
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Rounds to 3 decimals so JSON numbers stay short and stable.
@@ -95,6 +140,20 @@ fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
             "wall_ms".to_string(),
             Json::Num(r3(cell.wall.as_secs_f64() * 1e3)),
         ));
+        fields.push(("cache_hit".to_string(), Json::Bool(cell.cache_hit)));
+    }
+    fields.push((
+        "events".to_string(),
+        Json::Num(cell.result.events_processed as f64),
+    ));
+    if with_timing {
+        let wall = cell.wall.as_secs_f64();
+        let rate = if wall > 0.0 {
+            cell.result.events_processed as f64 / wall
+        } else {
+            0.0
+        };
+        fields.push(("events_per_sec".to_string(), Json::Num(r3(rate))));
     }
     fields.extend([
         ("mean_ms".to_string(), Json::Num(r3(all.mean_latency_ms))),
@@ -119,6 +178,28 @@ pub fn render_json(report: &RunReport, with_timing: bool) -> String {
         ));
     }
     fields.push((
+        "total_cells".to_string(),
+        Json::Num(report.stats.total_cells as f64),
+    ));
+    fields.push((
+        "unique_cells".to_string(),
+        Json::Num(report.stats.unique_cells as f64),
+    ));
+    if with_timing {
+        fields.push((
+            "executed".to_string(),
+            Json::Num(report.stats.executed as f64),
+        ));
+        fields.push((
+            "cache_hits".to_string(),
+            Json::Num(report.stats.cache_hits as f64),
+        ));
+        fields.push((
+            "busy_ms".to_string(),
+            Json::Num(r3(report.stats.busy.as_secs_f64() * 1e3)),
+        ));
+    }
+    fields.push((
         "sim_seconds".to_string(),
         Json::Num(r3(report.sim_seconds())),
     ));
@@ -126,6 +207,16 @@ pub fn render_json(report: &RunReport, with_timing: bool) -> String {
         fields.push((
             "sim_seconds_per_second".to_string(),
             Json::Num(r3(report.sim_rate())),
+        ));
+    }
+    fields.push((
+        "events_total".to_string(),
+        Json::Num(report.events_total() as f64),
+    ));
+    if with_timing {
+        fields.push((
+            "events_per_second".to_string(),
+            Json::Num(r3(report.events_rate())),
         ));
     }
     let experiments = report
@@ -151,38 +242,60 @@ pub fn render_json(report: &RunReport, with_timing: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::{e16, run_suite};
+    use crate::experiments::{e16, run_suite_opts};
+    use crate::pool::PoolOptions;
     use ravel_trace::json::parse;
 
     #[test]
     fn report_parses_and_has_per_cell_metrics() {
         let exps = [e16()];
-        let runs = run_suite(&exps, 4);
+        let (runs, stats) = run_suite_opts(&exps, 4, PoolOptions::default());
         let report = RunReport {
             jobs: 4,
             total_wall: Duration::from_millis(500),
+            stats,
             experiments: runs,
         };
         let timed = render_json(&report, true);
         let doc = parse(&timed).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("total_cells").and_then(Json::as_f64), Some(3.0));
+        assert!(doc.get("unique_cells").and_then(Json::as_f64).is_some());
+        assert!(doc.get("executed").and_then(Json::as_f64).is_some());
+        assert!(doc.get("cache_hits").and_then(Json::as_f64).is_some());
+        assert!(doc.get("busy_ms").is_some());
+        assert!(doc.get("events_total").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(doc.get("events_per_second").is_some());
         let exps_json = doc.get("experiments").and_then(Json::as_array).unwrap();
         assert_eq!(exps_json.len(), 1);
         let cells = exps_json[0].get("cells").and_then(Json::as_array).unwrap();
         assert_eq!(cells.len(), 3);
         assert!(cells[0].get("wall_ms").is_some());
+        assert!(cells[0].get("cache_hit").is_some());
+        assert!(cells[0].get("events").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(cells[0].get("events_per_sec").is_some());
         assert!(cells[0].get("p95_ms").and_then(Json::as_f64).is_some());
         assert_eq!(cells[0].get("sim_secs").and_then(Json::as_f64), Some(45.0));
 
-        // Timing-free rendering drops every wall-clock field.
+        // Timing-free rendering drops every wall-clock, schedule- or
+        // cache-dependent field; deterministic fields survive.
         let bare = render_json(&report, false);
         let doc = parse(&bare).unwrap();
         assert!(doc.get("total_wall_ms").is_none());
         assert!(doc.get("sim_seconds_per_second").is_none());
+        assert!(doc.get("executed").is_none());
+        assert!(doc.get("cache_hits").is_none());
+        assert!(doc.get("busy_ms").is_none());
+        assert!(doc.get("events_per_second").is_none());
+        assert!(doc.get("unique_cells").is_some());
+        assert!(doc.get("events_total").is_some());
         let cells = doc.get("experiments").and_then(Json::as_array).unwrap()[0]
             .get("cells")
             .and_then(Json::as_array)
             .unwrap();
         assert!(cells[0].get("wall_ms").is_none());
+        assert!(cells[0].get("cache_hit").is_none());
+        assert!(cells[0].get("events_per_sec").is_none());
+        assert!(cells[0].get("events").is_some());
     }
 }

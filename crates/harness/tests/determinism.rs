@@ -4,8 +4,8 @@
 use std::time::Duration;
 
 use ravel_harness::{
-    experiments, render_json, run_suite, Cell, Experiment, ExperimentRun, Output, RunReport,
-    TraceSpec,
+    experiments, render_json, run_suite, run_suite_opts, Cell, Experiment, ExperimentRun, Output,
+    PoolOptions, RunReport, TraceSpec,
 };
 use ravel_metrics::Table;
 use ravel_pipeline::{Scheme, SessionConfig};
@@ -49,8 +49,12 @@ fn smoke_grid() -> Experiment {
 }
 
 fn run_at(jobs: usize) -> (String, String) {
+    run_at_opts(jobs, PoolOptions::default())
+}
+
+fn run_at_opts(jobs: usize, opts: PoolOptions) -> (String, String) {
     let exps = [smoke_grid()];
-    let runs: Vec<ExperimentRun> = run_suite(&exps, jobs);
+    let (runs, stats): (Vec<ExperimentRun>, _) = run_suite_opts(&exps, jobs, opts);
     let rendered: String = runs
         .iter()
         .map(|r| format!("=== {} ===\n{}", r.id, r.output.render()))
@@ -58,6 +62,7 @@ fn run_at(jobs: usize) -> (String, String) {
     let report = RunReport {
         jobs,
         total_wall: Duration::ZERO,
+        stats,
         experiments: runs,
     };
     (rendered, render_json(&report, false))
@@ -91,6 +96,105 @@ fn timing_free_json_is_byte_identical_across_job_counts() {
 
     let (_, json_1_again) = run_at(1);
     assert_eq!(json_1, json_1_again);
+}
+
+#[test]
+fn cached_output_matches_no_cache_serial_reference_exactly() {
+    // The acceptance bar for the cell cache: tables AND timing-free
+    // JSON from a cached run at any pool width are byte-identical to a
+    // --no-cache serial run. The smoke grid is doubled so half the
+    // positions are guaranteed cache hits.
+    let base = smoke_grid();
+    let mut cells = base.cells.clone();
+    cells.extend(base.cells.iter().map(|c| Cell {
+        label: c.label.clone(),
+        ..c.clone()
+    }));
+    fn assemble(_: &Experiment, runs: &[ravel_harness::CellRun]) -> Output {
+        let mut out = String::new();
+        for run in runs {
+            let s = run.result.recorder.summarize_all();
+            out.push_str(&format!(
+                "{} mean={:.3} p95={:.3} events={}\n",
+                run.label, s.mean_latency_ms, s.p95_latency_ms, run.result.events_processed
+            ));
+        }
+        Output::Text(out)
+    }
+    let mk = || {
+        [Experiment::new(
+            "dup",
+            "doubled smoke grid",
+            cells.clone(),
+            assemble,
+        )]
+    };
+
+    let run_with = |jobs, use_cache| {
+        let (runs, stats) = run_suite_opts(&mk(), jobs, PoolOptions { use_cache });
+        let rendered = runs[0].output.render();
+        let report = RunReport {
+            jobs: 1, // pin the header so JSON compares across widths
+            total_wall: Duration::ZERO,
+            stats,
+            experiments: runs,
+        };
+        (rendered, render_json(&report, false), stats)
+    };
+
+    let (ref_table, ref_json, cold) = run_with(1, false);
+    assert_eq!(cold.executed, cells.len(), "--no-cache must run everything");
+    for jobs in [1, 2, 8] {
+        let (table, json, stats) = run_with(jobs, true);
+        assert_eq!(
+            stats.executed, stats.unique_cells,
+            "jobs={jobs}: each unique cell must execute exactly once"
+        );
+        assert_eq!(stats.unique_cells * 2, stats.total_cells);
+        assert_eq!(table, ref_table, "jobs={jobs}: cached table diverged");
+        assert_eq!(json, ref_json, "jobs={jobs}: cached JSON diverged");
+    }
+}
+
+#[test]
+fn fingerprints_are_injective_on_the_full_registry_grid() {
+    // Property: over every cell of every registered experiment, equal
+    // fingerprints imply equal canonical keys (no FNV collisions on the
+    // real grid), and distinct canonical keys imply the specs really
+    // differ. This is the map the cache relies on.
+    use std::collections::HashMap;
+    let exps = experiments::select("all").expect("registry");
+    let mut by_fp: HashMap<u64, String> = HashMap::new();
+    let mut cells_seen = 0usize;
+    for e in &exps {
+        for cell in &e.cells {
+            cells_seen += 1;
+            let key = cell.canonical_key();
+            match by_fp.get(&cell.fingerprint()) {
+                None => {
+                    by_fp.insert(cell.fingerprint(), key);
+                }
+                Some(existing) => assert_eq!(
+                    existing, &key,
+                    "fingerprint collision between distinct cells in {}",
+                    e.id
+                ),
+            }
+        }
+    }
+    assert!(
+        cells_seen > 100,
+        "registry unexpectedly small: {cells_seen}"
+    );
+    // The registry is known to contain duplicates (E1 and E2 share
+    // their entire grid): the address space must be strictly smaller
+    // than the position count, or the cache would be pointless.
+    assert!(
+        by_fp.len() < cells_seen,
+        "expected duplicate cells across the registry ({} unique of {})",
+        by_fp.len(),
+        cells_seen
+    );
 }
 
 #[test]

@@ -83,6 +83,14 @@ impl LatencyRecorder {
         LatencyRecorder::default()
     }
 
+    /// Creates an empty recorder with room for `capacity` frame slots
+    /// (the session knows its frame count up front).
+    pub fn with_capacity(capacity: usize) -> LatencyRecorder {
+        LatencyRecorder {
+            records: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends one frame slot (pts must be non-decreasing).
     pub fn push(&mut self, record: FrameRecord) {
         if let Some(last) = self.records.last() {
@@ -98,7 +106,7 @@ impl LatencyRecorder {
 
     /// Summarizes frames with `from <= pts < to`.
     pub fn summarize(&self, from: Time, to: Time) -> LatencySummary {
-        let mut lat = Percentiles::new();
+        let mut lat = Percentiles::with_capacity(self.records.len());
         let mut lat_stats = RunningStats::new();
         let mut ssim = RunningStats::new();
         let mut psnr = RunningStats::new();

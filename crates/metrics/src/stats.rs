@@ -8,6 +8,8 @@ pub struct RunningStats {
     m2: f64,
     min: f64,
     max: f64,
+    /// Non-finite samples (NaN, ±inf), rejected rather than folded in.
+    rejected: u64,
 }
 
 impl RunningStats {
@@ -19,12 +21,20 @@ impl RunningStats {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            rejected: 0,
         }
     }
 
-    /// Adds one sample.
+    /// Adds one sample. Non-finite samples are counted as rejected
+    /// instead of being folded in: one NaN would otherwise poison the
+    /// mean, min and max for the rest of the stream (mirrors the
+    /// `Histogram::push` guard — a `debug_assert` alone lets release
+    /// builds corrupt silently).
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "RunningStats: non-finite sample");
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
@@ -70,6 +80,11 @@ impl RunningStats {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// Non-finite samples rejected by [`RunningStats::push`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
 }
 
 /// Exact percentiles over a retained sample set.
@@ -81,6 +96,7 @@ impl RunningStats {
 pub struct Percentiles {
     samples: Vec<f64>,
     sorted: bool,
+    rejected: u64,
 }
 
 impl Percentiles {
@@ -89,9 +105,25 @@ impl Percentiles {
         Percentiles::default()
     }
 
-    /// Adds one sample.
+    /// Creates an empty collector with room for `capacity` samples —
+    /// summarization loops that know their record count up front avoid
+    /// the push-by-push reallocation of the retained vector.
+    pub fn with_capacity(capacity: usize) -> Percentiles {
+        Percentiles {
+            samples: Vec::with_capacity(capacity),
+            sorted: false,
+            rejected: 0,
+        }
+    }
+
+    /// Adds one sample. Non-finite samples are rejected (counted, not
+    /// retained): a single NaN would otherwise panic the comparison
+    /// sort inside [`Percentiles::quantile`].
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "Percentiles: non-finite sample");
+        if !x.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.samples.push(x);
         self.sorted = false;
     }
@@ -99,6 +131,11 @@ impl Percentiles {
     /// Number of samples.
     pub fn count(&self) -> usize {
         self.samples.len()
+    }
+
+    /// Non-finite samples rejected by [`Percentiles::push`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// The `q`-quantile for `q` in `[0, 1]`, or `None` when empty.
@@ -169,6 +206,46 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn running_stats_rejects_non_finite_without_poisoning() {
+        let mut s = RunningStats::new();
+        s.push(2.0);
+        // Regression: in release builds these used to sail past the
+        // debug_assert and poison mean/min/max with NaN forever.
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(f64::NEG_INFINITY);
+        s.push(4.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.rejected(), 3);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(s.variance().is_finite());
+    }
+
+    #[test]
+    fn percentiles_reject_non_finite() {
+        let mut p = Percentiles::new();
+        p.push(1.0);
+        p.push(f64::NAN);
+        p.push(3.0);
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.rejected(), 1);
+        // The sort inside quantile() must survive the NaN push.
+        assert_eq!(p.p50(), Some(2.0));
+    }
+
+    #[test]
+    fn percentiles_with_capacity_behaves_like_new() {
+        let mut p = Percentiles::with_capacity(100);
+        for i in 1..=3 {
+            p.push(i as f64);
+        }
+        assert_eq!(p.p50(), Some(2.0));
+        assert_eq!(p.count(), 3);
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub struct Link<T> {
     /// Scheduled (serialization-finish, wire bytes) of queued packets,
     /// used to measure the live backlog for drop-tail.
     scheduled: VecDeque<(Time, u64)>,
+    /// Running sum of `scheduled` bytes, so the per-send drop-tail check
+    /// is O(drained) instead of re-summing the whole queue.
+    backlog: u64,
     /// Monotonic delivery floor so jitter cannot reorder.
     last_arrival: Time,
     /// Lifetime counters.
@@ -104,7 +107,8 @@ impl<T: BandwidthTrace> Link<T> {
             cfg,
             rng: Rng::substream(seed, 0x11F0),
             free_at: Time::ZERO,
-            scheduled: VecDeque::new(),
+            scheduled: VecDeque::with_capacity(128),
+            backlog: 0,
             last_arrival: Time::ZERO,
             delivered: 0,
             queue_drops: 0,
@@ -135,14 +139,15 @@ impl<T: BandwidthTrace> Link<T> {
     /// Bytes currently queued ahead of a packet arriving at `now`
     /// (including any packet in service).
     pub fn backlog_bytes(&mut self, now: Time) -> u64 {
-        while let Some(&(finish, _)) = self.scheduled.front() {
+        while let Some(&(finish, bytes)) = self.scheduled.front() {
             if finish <= now {
                 self.scheduled.pop_front();
+                self.backlog -= bytes;
             } else {
                 break;
             }
         }
-        self.scheduled.iter().map(|&(_, b)| b).sum()
+        self.backlog
     }
 
     /// The queueing delay a packet sent at `now` would currently inherit.
@@ -165,6 +170,7 @@ impl<T: BandwidthTrace> Link<T> {
         let finish = self.serialize(start, packet.size_bits());
         self.free_at = finish;
         self.scheduled.push_back((finish, packet.size_bytes));
+        self.backlog += packet.size_bytes;
 
         // Random (wireless) loss still occupies the serializer.
         if self.cfg.random_loss > 0.0 && self.rng.chance(self.cfg.random_loss) {

@@ -49,7 +49,7 @@ impl Pacer {
         Pacer {
             pacing_rate_bps: target_bps * pacing_factor,
             pacing_factor,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(64),
             next_release: Time::ZERO,
             queued_bytes: 0,
             max_queue_time: Dur::secs(2),
@@ -103,6 +103,15 @@ impl Pacer {
     /// (`send_time`), which feedback echoes for delay measurement.
     pub fn release(&mut self, now: Time) -> Vec<Packet> {
         let mut out = Vec::new();
+        self.release_into(now, &mut out);
+        out
+    }
+
+    /// [`Pacer::release`] into a caller-owned buffer, the hot-path form:
+    /// `out` is cleared and refilled, so a session reusing one scratch
+    /// buffer stops allocating per pacer tick.
+    pub fn release_into(&mut self, now: Time, out: &mut Vec<Packet>) {
+        out.clear();
         while let Some(front) = self.queue.front() {
             let slot = self.next_release.max(Time::ZERO);
             if slot > now {
@@ -122,7 +131,6 @@ impl Pacer {
             self.next_release = p.send_time.max(self.next_release) + tx;
             out.push(p);
         }
-        out
     }
 
     /// The instant the next queued packet becomes releasable, if any.
@@ -168,6 +176,21 @@ mod tests {
         assert_eq!(later[0].send_time, Time::from_millis(4));
         assert_eq!(later[2].send_time, Time::from_millis(12));
         assert_eq!(pacer.queued_packets(), 1);
+    }
+
+    #[test]
+    fn release_into_matches_release_and_clears_stale_contents() {
+        let mk = || {
+            let mut p = Pacer::new(1e6, 2.5);
+            p.enqueue((0..5).map(|i| pkt(i, 1250)));
+            p
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut buf = vec![pkt(99, 1)]; // stale content must be dropped
+        b.release_into(Time::from_millis(12), &mut buf);
+        assert_eq!(buf, a.release(Time::from_millis(12)));
+        assert_eq!(a.queued_packets(), b.queued_packets());
     }
 
     #[test]

@@ -38,14 +38,27 @@ impl Packetizer {
     /// chunks. `send_time` is left at the frame's encode-completion time
     /// and restamped by the pacer when the packet actually hits the wire.
     pub fn packetize(&mut self, frame: &EncodedFrame) -> Vec<Packet> {
+        let mut packets = Vec::new();
+        self.packetize_into(frame, &mut packets);
+        packets
+    }
+
+    /// [`Packetizer::packetize`] into a caller-owned buffer, the
+    /// hot-path form: `out` is cleared, reserved to the exact
+    /// `div_ceil`-derived fragment count, and filled — a session reusing
+    /// one scratch buffer amortizes the allocation to zero after the
+    /// largest frame.
+    pub fn packetize_into(&mut self, frame: &EncodedFrame, out: &mut Vec<Packet>) {
         let payload = frame.size_bytes.max(1);
         let num_fragments = payload.div_ceil(PAYLOAD_MTU) as u16;
-        let mut packets = Vec::with_capacity(num_fragments as usize);
+        out.clear();
+        out.reserve(num_fragments as usize);
+        let capacity_before = out.capacity();
         let mut remaining = payload;
         for fragment in 0..num_fragments {
             let chunk = remaining.min(PAYLOAD_MTU);
             remaining -= chunk;
-            packets.push(Packet {
+            out.push(Packet {
                 kind: MediaKind::Video,
                 seq: self.next_seq,
                 frame_index: frame.index,
@@ -58,7 +71,13 @@ impl Packetizer {
             });
             self.next_seq += 1;
         }
-        packets
+        // The reserve above sized the buffer exactly; any growth inside
+        // the loop means the fragment-count derivation went wrong.
+        debug_assert_eq!(
+            out.capacity(),
+            capacity_before,
+            "packetize_into reallocated on the hot path"
+        );
     }
 }
 
@@ -193,6 +212,35 @@ mod tests {
         assert_eq!(payload, 3000);
         assert_eq!(pkts[0].size_bytes, 1240);
         assert_eq!(pkts[2].size_bytes, 600 + 40);
+    }
+
+    #[test]
+    fn packetize_into_reuses_buffer_without_reallocation() {
+        let mut p = Packetizer::new();
+        let mut buf = Vec::new();
+        p.packetize_into(&frame(0, 3000), &mut buf);
+        assert_eq!(buf.len(), 3);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        // A same-size frame reuses the allocation verbatim.
+        p.packetize_into(&frame(1, 3000), &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
+        assert_eq!(buf[0].frame_index, 1);
+        // A smaller frame fits in place too.
+        p.packetize_into(&frame(2, 500), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap);
+        // Matches the allocating form exactly.
+        let mut q = Packetizer::new();
+        q.take_seq();
+        q.take_seq();
+        q.take_seq();
+        q.take_seq();
+        q.take_seq();
+        q.take_seq();
+        assert_eq!(buf, q.packetize(&frame(2, 500)));
     }
 
     #[test]

@@ -146,6 +146,13 @@ pub struct SessionResult {
     pub frames_captured: u64,
     /// Frames the sender skipped (adaptive drain).
     pub frames_skipped: u64,
+    /// Frames actually encoded (captured minus skipped).
+    pub frames_encoded: u64,
+    /// Simulation events processed by the event loop — the cell's true
+    /// unit of work, reported by the harness as events/second.
+    pub events_processed: u64,
+    /// Packets the bottleneck link delivered to the receiver.
+    pub packets_delivered: u64,
     /// Packets dropped at the bottleneck queue.
     pub queue_drops: u64,
     /// Packets lost to random loss.
@@ -258,9 +265,15 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
     let mut sent_video: BTreeMap<u64, Packet> = BTreeMap::new();
     const NACK_POLL_EVERY: Dur = Dur::millis(10);
 
-    let mut sent: Vec<SentFrame> = Vec::new();
+    let expected_frames = (cfg.duration.as_secs_f64() * cfg.fps as f64).ceil() as usize + 1;
+    let mut sent: Vec<SentFrame> = Vec::with_capacity(expected_frames);
     let mut completed: BTreeMap<u64, Time> = BTreeMap::new();
     let mut series = SeriesSet::new();
+    // Hot-path scratch buffers, reused across the whole event loop so
+    // packetization and pacer release stop allocating per event.
+    let mut pkt_scratch: Vec<Packet> = Vec::new();
+    let mut release_scratch: Vec<Packet> = Vec::new();
+    let mut frames_encoded = 0u64;
 
     let mut last_pli = Time::ZERO;
     // All receiver → sender traffic crosses the (possibly impaired)
@@ -334,6 +347,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     }
                     FrameDecision::Encode => {
                         let encoded = encoder.encode(&frame, now);
+                        frames_encoded += 1;
                         if cfg.record_series {
                             series.push("qp", now, encoded.qp.value());
                             series.push(
@@ -355,25 +369,20 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 }
             }
             Event::EncodeDone(encoded) => {
-                let packets = packetizer.packetize(&encoded);
+                packetizer.packetize_into(&encoded, &mut pkt_scratch);
                 if let Some(fec) = fec_encoder.as_mut() {
-                    let mut with_parity = Vec::with_capacity(packets.len() + 1);
-                    for p in packets {
+                    for p in pkt_scratch.drain(..) {
                         sent_video.insert(p.seq, p);
-                        with_parity.push(p);
-                        if let Some(parity) = fec.on_media_packet(&p, || packetizer.take_seq(), now)
-                        {
-                            with_parity.push(parity);
-                        }
+                        let parity = fec.on_media_packet(&p, || packetizer.take_seq(), now);
+                        pacer.enqueue(std::iter::once(p).chain(parity));
                     }
                     // Bound the omniscient map.
                     while sent_video.len() > 4096 {
                         let oldest = *sent_video.keys().next().expect("non-empty");
                         sent_video.remove(&oldest);
                     }
-                    pacer.enqueue(with_parity);
                 } else {
-                    pacer.enqueue(packets);
+                    pacer.enqueue(pkt_scratch.drain(..));
                 }
                 release_pacer_rtx(
                     &mut pacer,
@@ -381,6 +390,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     &mut queue,
                     now,
                     cfg.enable_rtx.then_some(&mut rtx_buffer),
+                    &mut release_scratch,
                 );
             }
             Event::PacerTick => {
@@ -390,6 +400,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     &mut queue,
                     now,
                     cfg.enable_rtx.then_some(&mut rtx_buffer),
+                    &mut release_scratch,
                 );
             }
             Event::Arrival(packet) => {
@@ -535,6 +546,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                         &mut queue,
                         now,
                         cfg.enable_rtx.then_some(&mut rtx_buffer),
+                        &mut release_scratch,
                     );
                 }
             }
@@ -623,7 +635,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
 
     // --- display post-pass --------------------------------------------
     let mut decoder = Decoder::new();
-    let mut recorder = LatencyRecorder::new();
+    let mut recorder = LatencyRecorder::with_capacity(sent.len());
     let mut frames_skipped = 0u64;
     for (idx, sf) in sent.iter().enumerate() {
         let idx = idx as u64;
@@ -699,6 +711,9 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
         series,
         frames_captured: sent.len() as u64,
         frames_skipped,
+        frames_encoded,
+        events_processed: queue.events_popped(),
+        packets_delivered: link.delivered(),
         queue_drops: link.queue_drops(),
         random_losses: link.random_losses(),
         drops_handled: controller.map(|c| c.drops_handled()).unwrap_or(0),
@@ -741,8 +756,10 @@ fn release_pacer_rtx<T: BandwidthTrace>(
     queue: &mut EventQueue<Event>,
     now: Time,
     mut rtx: Option<&mut RtxBuffer>,
+    scratch: &mut Vec<Packet>,
 ) {
-    for packet in pacer.release(now) {
+    pacer.release_into(now, scratch);
+    for packet in scratch.drain(..) {
         if let Some(buf) = rtx.as_deref_mut() {
             buf.store(&packet, now);
         }
@@ -848,6 +865,13 @@ mod tests {
             result.frames_captured
         );
         assert!(result.frames_skipped <= result.frames_captured);
+        assert_eq!(
+            result.frames_captured,
+            result.frames_skipped + result.frames_encoded
+        );
+        // Every capture, packet arrival and feedback flush is an event.
+        assert!(result.events_processed > result.frames_captured);
+        assert!(result.packets_delivered > 0);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Time,
+    popped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -86,12 +87,20 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Time::ZERO,
+            popped: 0,
         }
     }
 
     /// The time of the most recently popped event (the simulation clock).
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Lifetime count of events handed out by [`EventQueue::pop`] — the
+    /// per-event work a simulation actually performed, used by the
+    /// harness to report events/second per cell.
+    pub fn events_popped(&self) -> u64 {
+        self.popped
     }
 
     /// Number of pending events.
@@ -125,6 +134,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         let entry = self.heap.pop()?;
         self.now = entry.0.at;
+        self.popped += 1;
         Some(entry.0)
     }
 
@@ -170,6 +180,23 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn popped_counter_tracks_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.events_popped(), 0);
+        q.push(Time::from_millis(1), ());
+        q.push(Time::from_millis(2), ());
+        q.pop();
+        assert_eq!(q.events_popped(), 1);
+        q.pop();
+        assert_eq!(q.events_popped(), 2);
+        // Empty pops and clears don't count.
+        assert!(q.pop().is_none());
+        q.push(Time::from_millis(3), ());
+        q.clear();
+        assert_eq!(q.events_popped(), 2);
     }
 
     #[test]

@@ -22,6 +22,14 @@ impl TimeSeries {
         TimeSeries { points: Vec::new() }
     }
 
+    /// Creates an empty series with room for `capacity` samples, so
+    /// per-feedback recording loops don't pay repeated reallocation.
+    pub fn with_capacity(capacity: usize) -> TimeSeries {
+        TimeSeries {
+            points: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends a sample. Samples must be pushed in non-decreasing time
     /// order; out-of-order pushes panic because they indicate a model bug.
     pub fn push(&mut self, at: Time, value: f64) {
@@ -75,18 +83,17 @@ impl TimeSeries {
         self.points.last().map(|&(_, v)| v)
     }
 
-    /// Mean over the samples that fall in `[from, to)`.
+    /// Mean over the samples that fall in `[from, to)`. Points are in
+    /// time order, so the window is located by binary search and summed
+    /// in place — no intermediate allocation.
     pub fn mean_in(&self, from: Time, to: Time) -> f64 {
-        let vals: Vec<f64> = self
-            .points
-            .iter()
-            .filter(|&&(t, _)| t >= from && t < to)
-            .map(|&(_, v)| v)
-            .collect();
-        if vals.is_empty() {
+        let start = self.points.partition_point(|&(t, _)| t < from);
+        let end = start + self.points[start..].partition_point(|&(t, _)| t < to);
+        let window = &self.points[start..end];
+        if window.is_empty() {
             0.0
         } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
+            window.iter().map(|&(_, v)| v).sum::<f64>() / window.len() as f64
         }
     }
 
@@ -139,11 +146,16 @@ impl SeriesSet {
     }
 
     /// Appends a sample to the named series, creating it on first use.
+    /// The common case (series already exists) borrows `name` without
+    /// allocating; only the first sample of a series pays `to_owned`.
     pub fn push(&mut self, name: &str, at: Time, value: f64) {
-        self.series
-            .entry(name.to_owned())
-            .or_default()
-            .push(at, value);
+        if let Some(series) = self.series.get_mut(name) {
+            series.push(at, value);
+        } else {
+            let mut series = TimeSeries::with_capacity(256);
+            series.push(at, value);
+            self.series.insert(name.to_owned(), series);
+        }
     }
 
     /// Looks up a series by name.
