@@ -60,6 +60,8 @@ pub struct Decoder {
     frames_frozen_run: u64,
     total_frozen: u64,
     total_displayed: u64,
+    /// Times the chain went from healthy to broken.
+    chain_breaks: u64,
 }
 
 impl Default for Decoder {
@@ -79,6 +81,7 @@ impl Decoder {
             frames_frozen_run: 0,
             total_frozen: 0,
             total_displayed: 0,
+            chain_breaks: 0,
         }
     }
 
@@ -95,6 +98,13 @@ impl Decoder {
     /// True if the next P-frame cannot be decoded.
     pub fn chain_broken(&self) -> bool {
         self.chain_broken
+    }
+
+    /// How many times the reference chain went from healthy to broken.
+    /// Each such break must end in a (PLI-requested) keyframe — the
+    /// freeze-termination invariant counts on it.
+    pub fn chain_breaks(&self) -> u64 {
+        self.chain_breaks
     }
 
     /// Feeds a frame that arrived *after its playout deadline*: the
@@ -119,7 +129,7 @@ impl Decoder {
             FrameType::P => !self.chain_broken && self.last_decoded.is_some(),
         };
         if !decodable {
-            self.chain_broken = true;
+            // feed(None) breaks the chain (and counts the transition).
             return self.feed(None, true, temporal_complexity);
         }
         self.last_decoded = Some(frame.index);
@@ -182,6 +192,9 @@ impl Decoder {
         } else {
             // A missing or undecodable slot breaks the chain for
             // subsequent P-frames (their reference is not on screen).
+            if !self.chain_broken {
+                self.chain_breaks += 1;
+            }
             self.chain_broken = true;
             self.frames_frozen_run += 1;
             self.total_frozen += 1;
@@ -245,6 +258,22 @@ mod tests {
         let out2 = d.feed(Some(&frame(2, FrameType::P, 0.95)), true, 0.35);
         assert!(!out2.is_displayed());
         assert!(d.chain_broken());
+    }
+
+    #[test]
+    fn chain_breaks_count_transitions_not_slots() {
+        let mut d = Decoder::new();
+        d.feed(Some(&frame(0, FrameType::I, 0.96)), true, 0.35);
+        assert_eq!(d.chain_breaks(), 0);
+        // Three consecutive missing slots are ONE break.
+        d.feed(None, true, 0.35);
+        d.feed(None, true, 0.35);
+        d.feed(None, true, 0.35);
+        assert_eq!(d.chain_breaks(), 1);
+        // Repair, then break again: second transition.
+        d.feed(Some(&frame(4, FrameType::I, 0.94)), true, 0.35);
+        d.feed(None, true, 0.35);
+        assert_eq!(d.chain_breaks(), 2);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! E1–E17 (DESIGN.md §5) expressed as harness grids.
+//! E1–E18 (DESIGN.md §5, plus the chaos grid) expressed as harness
+//! grids.
 //!
 //! Every experiment is two pure pieces:
 //!
@@ -14,7 +15,7 @@
 
 use ravel_core::{AdaptiveConfig, WatchdogConfig};
 use ravel_metrics::{LatencySummary, Table};
-use ravel_net::ReversePathConfig;
+use ravel_net::{ChaosSchedule, ChaosSpec, ReversePathConfig};
 use ravel_pipeline::{CcKind, Scheme, SessionConfig, SessionResult};
 use ravel_sim::{Dur, Time};
 use ravel_video::ContentClass;
@@ -1272,6 +1273,143 @@ pub fn e17() -> Experiment {
     }
 }
 
+/// E18 fault intensities (the `(seed, intensity)` grid's severity axis).
+pub const E18_INTENSITIES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// E18 chaos seeds.
+pub const E18_SEEDS: [u64; 4] = [1, 7, 23, 42];
+
+/// Chaos sessions run 30 s: long enough that every generated fault
+/// window (confined to the first 60 % of the session) clears with room
+/// for the recovery-bound invariants to be checkable.
+pub const CHAOS_SESSION_LEN: Dur = Dur::secs(30);
+
+/// One chaos cell: adaptive scheme over a constant [`PRE_RATE`] link
+/// with a `(seed, intensity)`-derived multi-fault schedule on the
+/// forward path. The chaos seed doubles as the session seed so the
+/// whole cell is reproducible from the label alone.
+fn chaos_cell(seed: u64, intensity: f64) -> Cell {
+    let mut cfg = SessionConfig::default_with(Scheme::adaptive());
+    cfg.duration = CHAOS_SESSION_LEN;
+    cfg.seed = seed;
+    cfg.chaos = Some(ChaosSpec::new(seed, intensity));
+    Cell {
+        label: format!("chaos/seed{seed}/i{intensity:.2}"),
+        trace: TraceSpec::Constant(PRE_RATE),
+        cfg,
+    }
+}
+
+/// E18 — data-plane chaos: randomized multi-fault timelines (burst
+/// loss, blackouts, capacity collapses, reordering, duplication, MTU
+/// shrink) on the forward link, with the session invariant checker
+/// reporting any broken law per cell. A healthy pipeline shows `0`
+/// in the violations column for every `(intensity, seed)` cell.
+pub fn e18() -> Experiment {
+    let mut cells = Vec::new();
+    for intensity in E18_INTENSITIES {
+        for seed in E18_SEEDS {
+            cells.push(chaos_cell(seed, intensity));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut rs = Runs::new(runs);
+        let mut t = Table::new(&[
+            "intensity",
+            "seed",
+            "faults",
+            "chaos_lost",
+            "dups",
+            "chain_breaks",
+            "plis",
+            "p95_ms",
+            "sess_ssim",
+            "violations",
+        ]);
+        for intensity in E18_INTENSITIES {
+            for seed in E18_SEEDS {
+                let result = rs.next();
+                // The schedule is a pure function of (seed, intensity);
+                // regenerate it for the fault count column.
+                let sched =
+                    ChaosSchedule::generate(ChaosSpec::new(seed, intensity), CHAOS_SESSION_LEN);
+                let all = result.recorder.summarize_all();
+                t.row_owned(vec![
+                    format!("{intensity:.2}"),
+                    seed.to_string(),
+                    sched.segments.len().to_string(),
+                    result.chaos_lost.to_string(),
+                    result.chaos_duplicates.to_string(),
+                    result.chain_breaks.to_string(),
+                    result.plis_sent.to_string(),
+                    format!("{:.1}", all.p95_latency_ms),
+                    format!("{:.4}", all.mean_ssim),
+                    result.violations.len().to_string(),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e18",
+        title: "data-plane chaos with session invariant checking",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// The `--chaos N` sweep: `n` seeded chaos cells starting at `seed0`,
+/// intensity cycling through [`E18_INTENSITIES`] plus 0.75 so every
+/// fourth cell differs in severity. Used by the CLI's chaos mode and
+/// the chaos-smoke CI gate; every cell is content-addressed like any
+/// other grid cell, so the sweep memoizes and parallelizes identically.
+pub fn chaos_sweep(n: u64, seed0: u64) -> Experiment {
+    const SWEEP_INTENSITIES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+    let cells = (0..n)
+        .map(|i| chaos_cell(seed0 + i, SWEEP_INTENSITIES[(i % 4) as usize]))
+        .collect();
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut t = Table::new(&[
+            "cell",
+            "chaos_lost",
+            "dups",
+            "chain_breaks",
+            "p95_ms",
+            "violations",
+        ]);
+        let mut violating = 0usize;
+        for run in runs {
+            let all = run.result.recorder.summarize_all();
+            if !run.result.violations.is_empty() {
+                violating += 1;
+            }
+            t.row_owned(vec![
+                run.label.clone(),
+                run.result.chaos_lost.to_string(),
+                run.result.chaos_duplicates.to_string(),
+                run.result.chain_breaks.to_string(),
+                format!("{:.1}", all.p95_latency_ms),
+                run.result.violations.len().to_string(),
+            ]);
+        }
+        t.row_owned(vec![
+            "TOTAL".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{violating} violating cells"),
+        ]);
+        Output::Table(t)
+    }
+    Experiment {
+        id: "chaos",
+        title: "seeded chaos sweep with invariant checking",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
 /// Seeds E9 runs with when invoked through the full-suite registry.
 pub const E9_DEFAULT_SEEDS: u64 = 10;
 
@@ -1295,6 +1433,7 @@ pub fn all() -> Vec<Experiment> {
         e15(),
         e16(),
         e17(),
+        e18(),
     ]
 }
 
@@ -1351,7 +1490,7 @@ mod tests {
 
     #[test]
     fn expansions_cover_the_full_cross_product_without_duplicates() {
-        let expected: [(&str, usize); 16] = [
+        let expected: [(&str, usize); 17] = [
             ("e1", 2 * 3 * 2),
             ("e2", 2 * 3 * 2),
             ("e3", 2),
@@ -1368,6 +1507,7 @@ mod tests {
             ("e15", 3 * 3),
             ("e16", 3),
             ("e17", 4 * 3 * 2 * 2),
+            ("e18", 3 * 4),
         ];
         let registry = all();
         assert_eq!(registry.len(), expected.len());
@@ -1398,7 +1538,7 @@ mod tests {
         // Canonical order, independent of request order.
         assert_eq!(picked[0].id, "e1");
         assert_eq!(picked[1].id, "e4");
-        assert_eq!(select("all").unwrap().len(), 16);
+        assert_eq!(select("all").unwrap().len(), 17);
         assert!(select("e10").is_err());
         assert!(select("e99").is_err());
         assert!(select("").is_err());

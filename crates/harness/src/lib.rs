@@ -1,6 +1,7 @@
 //! # ravel-harness — the parallel deterministic experiment harness
 //!
-//! The E1–E17 evaluation grid (DESIGN.md §5) is embarrassingly parallel:
+//! The E1–E18 evaluation grid (DESIGN.md §5, plus the chaos grid) is
+//! embarrassingly parallel:
 //! every `(scheme, content, drop severity, seed)` cell is an independent,
 //! seed-deterministic session. This crate exploits that:
 //!
@@ -14,8 +15,13 @@
 //!   exactly once per run, and grid positions that repeat it (E1 and E2
 //!   share their entire grid) are served from the in-process cache.
 //!   `--no-cache` / [`PoolOptions`] restores cold execution.
-//! * [`experiments`] — E1–E17 ported to expansion + assembly form, plus
-//!   the [`experiments::select`] registry the CLI uses.
+//! * [`experiments`] — E1–E18 ported to expansion + assembly form, plus
+//!   the [`experiments::select`] registry the CLI uses and the
+//!   [`experiments::chaos_sweep`] generator behind `--chaos N`.
+//! * [`shrink`] — greedy failing-schedule minimization: when a chaos
+//!   cell violates a session invariant, the harness re-runs the seeded
+//!   session against smaller schedules until only the faults that still
+//!   trigger the violation remain, then prints the minimal reproducer.
 //! * [`report`] — the `BENCH_harness.json` perf/quality report
 //!   (per-cell wall-clock, simulated-seconds/sec throughput, p50/p95
 //!   latency, SSIM), serialized with the workspace's hand-rolled JSON.
@@ -30,6 +36,7 @@ pub mod cell;
 pub mod experiments;
 pub mod pool;
 pub mod report;
+pub mod shrink;
 
 pub use cell::{Cell, TraceSpec};
 pub use experiments::{
@@ -38,6 +45,7 @@ pub use experiments::{
 };
 pub use pool::{run_cells, run_cells_opts, CellRun, PoolOptions, PoolStats};
 pub use report::{render_json, RunReport};
+pub use shrink::{shrink_cell, shrink_schedule, MIN_SEGMENT};
 
 /// A sensible default worker count: every available core.
 pub fn default_jobs() -> usize {

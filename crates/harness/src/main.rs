@@ -2,22 +2,29 @@
 //!
 //! ```text
 //! cargo run --release -p ravel-harness -- --jobs 8 --experiments e1,e2
+//! cargo run --release -p ravel-harness -- --chaos 25 --chaos-seed 7
 //! ```
 //!
 //! Deterministic output (experiment tables) goes to stdout — two runs
 //! over the same grid diff clean regardless of `--jobs`. Timing goes to
 //! stderr, and the structured report to `--out` (default
 //! `BENCH_harness.json`).
+//!
+//! Chaos mode (`--chaos N`) replaces the experiment selection with an
+//! N-cell seeded fault sweep. Any cell that violates a session
+//! invariant is minimized with the shrinker and its reproducer spec is
+//! printed; the process then exits nonzero so CI gates on it.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use ravel_harness::{
-    default_jobs, experiments, render_json, run_suite_opts, PoolOptions, RunReport,
+    default_jobs, experiments, render_json, run_suite_opts, shrink_cell, PoolOptions, RunReport,
 };
+use ravel_net::ChaosSchedule;
 
 const USAGE: &str = "\
-ravel-harness — run the E1-E17 grid on a deterministic thread pool
+ravel-harness — run the E1-E18 grid on a deterministic thread pool
 
 USAGE:
     ravel-harness [OPTIONS]
@@ -25,7 +32,16 @@ USAGE:
 OPTIONS:
     --jobs N             worker threads (default: all cores)
     --experiments LIST   comma-separated ids, e.g. e1,e4,e17 (default: all)
+    --chaos N            run an N-cell seeded chaos sweep instead of the
+                         experiment grid; exits nonzero if any session
+                         invariant is violated (violating schedules are
+                         shrunk and printed as minimal reproducers)
+    --chaos-seed S       first seed of the chaos sweep (default: 1);
+                         cell i uses seed S+i, so (S, N) names the sweep
     --out PATH           JSON report path (default: BENCH_harness.json)
+    --timing-free        omit wall-clock fields from the JSON report
+                         (the remainder is byte-identical at any --jobs
+                         except the 'jobs' header field itself)
     --no-json            skip writing the JSON report
     --no-cache           simulate every grid position, even duplicates
                          (cold-run benchmarking; default memoizes by
@@ -34,25 +50,34 @@ OPTIONS:
     --help               this text
 ";
 
+#[derive(Debug)]
 struct Args {
     jobs: usize,
     experiments: String,
+    chaos: Option<u64>,
+    chaos_seed: u64,
     out: String,
     write_json: bool,
+    timing_free: bool,
     use_cache: bool,
     list: bool,
+    help: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         jobs: default_jobs(),
         experiments: "all".to_string(),
+        chaos: None,
+        chaos_seed: 1,
         out: "BENCH_harness.json".to_string(),
         write_json: true,
+        timing_free: false,
         use_cache: true,
         list: false,
+        help: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
@@ -65,14 +90,26 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--experiments" | "-e" => args.experiments = value("--experiments")?,
+            "--chaos" => {
+                let n: u64 = value("--chaos")?
+                    .parse()
+                    .map_err(|_| "--chaos expects a positive cell count".to_string())?;
+                if n == 0 {
+                    return Err("--chaos must be at least 1".into());
+                }
+                args.chaos = Some(n);
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|_| "--chaos-seed expects an unsigned integer".to_string())?;
+            }
             "--out" | "-o" => args.out = value("--out")?,
             "--no-json" => args.write_json = false,
+            "--timing-free" => args.timing_free = true,
             "--no-cache" => args.use_cache = false,
             "--list" => args.list = true,
-            "--help" | "-h" => {
-                print!("{USAGE}");
-                std::process::exit(0);
-            }
+            "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
     }
@@ -80,18 +117,27 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let selected = match experiments::select(&args.experiments) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    if args.help {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let selected = if let Some(n) = args.chaos {
+        vec![experiments::chaos_sweep(n, args.chaos_seed)]
+    } else {
+        match experiments::select(&args.experiments) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -129,6 +175,42 @@ fn main() -> ExitCode {
         println!("{}", run.output.render());
     }
 
+    // In chaos mode, shrink every violating cell to a minimal
+    // reproducer before deciding the exit code.
+    let mut violating_cells = 0usize;
+    if args.chaos.is_some() {
+        for (exp, run) in selected.iter().zip(&report.experiments) {
+            for (cell, cell_run) in exp.cells.iter().zip(&run.cells) {
+                if cell_run.result.violations.is_empty() {
+                    continue;
+                }
+                violating_cells += 1;
+                println!("VIOLATION in {}:", cell_run.label);
+                for v in &cell_run.result.violations {
+                    println!("  {v}");
+                }
+                let spec = cell
+                    .cfg
+                    .chaos
+                    .expect("chaos sweep cells always carry a spec");
+                let schedule = ChaosSchedule::generate(spec, cell.cfg.duration);
+                match shrink_cell(cell, &schedule) {
+                    Some(min) => {
+                        println!(
+                            "minimal reproducer (seed={} intensity={}, {} of {} segments):",
+                            spec.seed,
+                            spec.intensity,
+                            min.segments.len(),
+                            schedule.segments.len()
+                        );
+                        print!("{}", min.reproducer());
+                    }
+                    None => println!("  (violation did not reproduce under re-run)"),
+                }
+            }
+        }
+    }
+
     eprintln!(
         "{} cells ({} unique, {} executed, {} cache hits), {:.0} simulated seconds in {:.2} s wall ({:.1} sim-s/s, {:.2e} events/s, jobs={})",
         stats.total_cells,
@@ -143,12 +225,93 @@ fn main() -> ExitCode {
     );
 
     if args.write_json {
-        let json = render_json(&report, true);
+        let json = render_json(&report, !args.timing_free);
         if let Err(e) = std::fs::write(&args.out, json) {
             eprintln!("error: writing {}: {e}", args.out);
             return ExitCode::FAILURE;
         }
         eprintln!("report written to {}", args.out);
     }
+
+    if violating_cells > 0 {
+        eprintln!("error: {violating_cells} chaos cells violated session invariants");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        parse_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.experiments, "all");
+        assert_eq!(a.chaos, None);
+        assert_eq!(a.chaos_seed, 1);
+        assert!(a.write_json && a.use_cache && !a.list && !a.help);
+    }
+
+    #[test]
+    fn parses_chaos_options() {
+        let a = parse(&["--chaos", "25", "--chaos-seed", "7", "--jobs", "2"]).unwrap();
+        assert_eq!(a.chaos, Some(25));
+        assert_eq!(a.chaos_seed, 7);
+        assert_eq!(a.jobs, 2);
+        assert!(!a.timing_free);
+        let a = parse(&["--timing-free"]).unwrap();
+        assert!(a.timing_free);
+    }
+
+    #[test]
+    fn malformed_jobs_is_a_clear_error() {
+        let e = parse(&["--jobs", "banana"]).unwrap_err();
+        assert_eq!(e, "--jobs expects a positive integer");
+        let e = parse(&["--jobs", "0"]).unwrap_err();
+        assert_eq!(e, "--jobs must be at least 1");
+        let e = parse(&["--jobs"]).unwrap_err();
+        assert_eq!(e, "--jobs requires a value");
+        let e = parse(&["-j", "-3"]).unwrap_err();
+        assert_eq!(e, "--jobs expects a positive integer");
+    }
+
+    #[test]
+    fn malformed_experiments_is_a_clear_error() {
+        let e = parse(&["-e"]).unwrap_err();
+        assert_eq!(e, "--experiments requires a value");
+        // A bogus id parses fine here; `experiments::select` rejects it
+        // in main with its own message.
+        let a = parse(&["-e", "nope"]).unwrap();
+        assert!(experiments::select(&a.experiments).is_err());
+    }
+
+    #[test]
+    fn malformed_chaos_is_a_clear_error() {
+        let e = parse(&["--chaos", "zero"]).unwrap_err();
+        assert_eq!(e, "--chaos expects a positive cell count");
+        let e = parse(&["--chaos", "0"]).unwrap_err();
+        assert_eq!(e, "--chaos must be at least 1");
+        let e = parse(&["--chaos-seed", "x"]).unwrap_err();
+        assert_eq!(e, "--chaos-seed expects an unsigned integer");
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected_with_usage() {
+        let e = parse(&["--frobnicate"]).unwrap_err();
+        assert!(e.starts_with("unknown argument '--frobnicate'"));
+        assert!(e.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_is_a_flag_not_an_exit() {
+        let a = parse(&["--help"]).unwrap();
+        assert!(a.help);
+        let a = parse(&["-h"]).unwrap();
+        assert!(a.help);
+    }
 }

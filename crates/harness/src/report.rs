@@ -2,11 +2,11 @@
 //!
 //! Serialized with the workspace's hand-rolled JSON module
 //! ([`ravel_trace::json`]) so offline builds never need serde. Schema
-//! (version 2):
+//! (version 3 — version 2 plus the per-cell `violations` array):
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
 //!   "jobs": 8,
 //!   "total_wall_ms": 12345.678,          // omitted when timing is off
 //!   "total_cells": 189,
@@ -33,7 +33,8 @@
 //!           "mean_ms": 123.4,            // session-wide mean G2G latency
 //!           "p50_ms": 98.7,
 //!           "p95_ms": 310.0,
-//!           "ssim": 0.9312
+//!           "ssim": 0.9312,
+//!           "violations": []             // broken session invariants
 //!         }
 //!       ]
 //!     }
@@ -64,8 +65,9 @@ use ravel_trace::json::Json;
 use crate::experiments::ExperimentRun;
 use crate::pool::{CellRun, PoolStats};
 
-/// Report schema version.
-pub const SCHEMA_VERSION: f64 = 2.0;
+/// Report schema version. Version 3 added the per-cell `violations`
+/// array (session-invariant breaches, deterministic strings).
+pub const SCHEMA_VERSION: f64 = 3.0;
 
 /// A whole harness invocation: every experiment that ran, plus pool
 /// accounting.
@@ -161,6 +163,19 @@ fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
         ("p95_ms".to_string(), Json::Num(r3(all.p95_latency_ms))),
         ("ssim".to_string(), Json::Num(r3(all.mean_ssim))),
     ]);
+    // Invariant violations are pure simulation facts (deterministic
+    // detail strings, no wall-clock content), so they belong in the
+    // timing-free rendering too — the CI chaos gate greps for them.
+    fields.push((
+        "violations".to_string(),
+        Json::Arr(
+            cell.result
+                .violations
+                .iter()
+                .map(|v| Json::Str(v.to_string()))
+                .collect(),
+        ),
+    ));
     Json::Obj(fields)
 }
 
@@ -258,7 +273,7 @@ mod tests {
         };
         let timed = render_json(&report, true);
         let doc = parse(&timed).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(3.0));
         assert_eq!(doc.get("total_cells").and_then(Json::as_f64), Some(3.0));
         assert!(doc.get("unique_cells").and_then(Json::as_f64).is_some());
         assert!(doc.get("executed").and_then(Json::as_f64).is_some());
@@ -276,6 +291,9 @@ mod tests {
         assert!(cells[0].get("events_per_sec").is_some());
         assert!(cells[0].get("p95_ms").and_then(Json::as_f64).is_some());
         assert_eq!(cells[0].get("sim_secs").and_then(Json::as_f64), Some(45.0));
+        // Clean cells carry an empty violations array (schema 3).
+        let v = cells[0].get("violations").and_then(Json::as_array).unwrap();
+        assert!(v.is_empty());
 
         // Timing-free rendering drops every wall-clock, schedule- or
         // cache-dependent field; deterministic fields survive.
@@ -297,5 +315,6 @@ mod tests {
         assert!(cells[0].get("cache_hit").is_none());
         assert!(cells[0].get("events_per_sec").is_none());
         assert!(cells[0].get("events").is_some());
+        assert!(cells[0].get("violations").is_some());
     }
 }

@@ -1,0 +1,163 @@
+//! Failing-schedule minimization.
+//!
+//! When a chaos cell violates a session invariant, the raw schedule is a
+//! poor bug report: it interleaves several faults, most of which are
+//! irrelevant to the violation. [`shrink_schedule`] minimizes it the way
+//! property-testing shrinkers do — greedily, against a caller-supplied
+//! oracle — so the printed reproducer carries only the segments (at
+//! close to their minimal durations) that still trigger the violation.
+//!
+//! The shrinker is deterministic: candidate order is a pure function of
+//! the schedule, and the oracle re-runs the *same* seeded session, so
+//! the same failing cell always minimizes to the same reproducer.
+
+use ravel_net::ChaosSchedule;
+use ravel_pipeline::run_session_chaos;
+use ravel_sim::Dur;
+
+use crate::cell::Cell;
+
+/// Shortest fault duration the shrinker will propose. Below this the
+/// segment is indistinguishable from no fault for every fault kind (a
+/// sub-100 ms blackout is one pacer tick).
+pub const MIN_SEGMENT: Dur = Dur::millis(100);
+
+/// Minimizes `schedule` while `violates` keeps returning `true`.
+///
+/// Two greedy passes, both run to fixpoint:
+///
+/// 1. **Segment removal** — try dropping each segment (first to last);
+///    keep any removal that still violates. Repeats until no single
+///    removal survives the oracle.
+/// 2. **Duration halving** — for each surviving segment, repeatedly
+///    halve its duration (down to [`MIN_SEGMENT`]) while the schedule
+///    still violates.
+///
+/// The result is 1-minimal with respect to these operations: removing
+/// any remaining segment, or halving any remaining duration, makes the
+/// violation disappear. `violates(&schedule)` must be `true` on entry —
+/// callers should only shrink schedules they have already seen fail.
+pub fn shrink_schedule(
+    schedule: &ChaosSchedule,
+    mut violates: impl FnMut(&ChaosSchedule) -> bool,
+) -> ChaosSchedule {
+    let mut current = schedule.clone();
+
+    // Pass 1: drop whole segments to fixpoint.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.segments.len() {
+            let mut candidate = current.clone();
+            candidate.segments.remove(i);
+            if violates(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Same index now holds the next segment.
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    // Pass 2: halve each surviving segment's duration to fixpoint.
+    for i in 0..current.segments.len() {
+        loop {
+            let seg = &current.segments[i];
+            let dur = seg.until.saturating_since(seg.from);
+            let halved = Dur::from_secs_f64(dur.as_secs_f64() / 2.0);
+            if halved < MIN_SEGMENT {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.segments[i].until = candidate.segments[i].from + halved;
+            if violates(&candidate) {
+                current = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+
+    current
+}
+
+/// Shrinks the schedule that made `cell` violate its invariants, using
+/// a fresh deterministic session per probe as the oracle. Returns the
+/// minimal schedule, or `None` if the cell does not actually violate
+/// with the given schedule (nothing to shrink — e.g. the violation was
+/// a harness bug, not a session one).
+pub fn shrink_cell(cell: &Cell, schedule: &ChaosSchedule) -> Option<ChaosSchedule> {
+    let violates = |s: &ChaosSchedule| {
+        !run_session_chaos(cell.trace.build(), cell.cfg, Some(s.clone()))
+            .violations
+            .is_empty()
+    };
+    if !violates(schedule) {
+        return None;
+    }
+    Some(shrink_schedule(schedule, violates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ravel_net::{FaultKind, FaultSegment};
+    use ravel_sim::Time;
+
+    fn seg(from_s: u64, until_s: u64) -> FaultSegment {
+        FaultSegment {
+            from: Time::from_secs(from_s),
+            until: Time::from_secs(until_s),
+            kind: FaultKind::Blackout,
+        }
+    }
+
+    #[test]
+    fn drops_irrelevant_segments() {
+        // Oracle: violates iff a segment overlaps t=10s.
+        let sched = ChaosSchedule::from_segments(vec![seg(2, 3), seg(9, 11), seg(15, 16)]);
+        let min = shrink_schedule(&sched, |s| {
+            s.segments
+                .iter()
+                .any(|g| g.from <= Time::from_secs(10) && g.until >= Time::from_secs(10))
+        });
+        assert_eq!(min.segments.len(), 1);
+        assert_eq!(min.segments[0].from, Time::from_secs(9));
+    }
+
+    #[test]
+    fn halves_durations_to_the_oracle_boundary() {
+        // Violates while the (single) segment is at least 1 s long.
+        let sched = ChaosSchedule::from_segments(vec![seg(5, 13)]);
+        let min = shrink_schedule(&sched, |s| {
+            s.segments
+                .iter()
+                .any(|g| g.until.saturating_since(g.from) >= Dur::SECOND)
+        });
+        assert_eq!(min.segments.len(), 1);
+        let dur = min.segments[0].until.saturating_since(min.segments[0].from);
+        // 8s -> 4s -> 2s -> 1s; halving again (0.5s) stops violating.
+        assert_eq!(dur, Dur::SECOND);
+    }
+
+    #[test]
+    fn can_shrink_to_empty_when_oracle_always_fires() {
+        let sched = ChaosSchedule::from_segments(vec![seg(1, 2), seg(3, 4)]);
+        let min = shrink_schedule(&sched, |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let sched = ChaosSchedule::from_segments(vec![seg(2, 6), seg(8, 12), seg(14, 18)]);
+        let oracle = |s: &ChaosSchedule| s.segments.len() >= 2;
+        let a = shrink_schedule(&sched, oracle);
+        let b = shrink_schedule(&sched, oracle);
+        assert_eq!(a, b);
+        assert_eq!(a.segments.len(), 2);
+    }
+}

@@ -157,6 +157,43 @@ fn cached_output_matches_no_cache_serial_reference_exactly() {
 }
 
 #[test]
+fn chaos_sweep_is_byte_identical_across_job_counts() {
+    // The chaos grid must meet the same determinism bar as the
+    // experiment grid: same (seed0, n) sweep → byte-identical table and
+    // timing-free JSON at any pool width, and the canonical sweep runs
+    // violation-free.
+    let run_at = |jobs: usize| {
+        let exps = [experiments::chaos_sweep(6, 7)];
+        let (runs, stats) = run_suite_opts(&exps, jobs, PoolOptions::default());
+        let rendered = runs[0].output.render();
+        let report = RunReport {
+            jobs,
+            total_wall: Duration::ZERO,
+            stats,
+            experiments: runs,
+        };
+        (rendered, render_json(&report, false))
+    };
+    let (table_1, json_1) = run_at(1);
+    assert!(table_1.contains("chaos/seed7/i0.25"), "{table_1}");
+    assert!(table_1.contains("0 violating cells"), "{table_1}");
+    assert!(json_1.contains("\"violations\":[]"), "{json_1}");
+    for jobs in [2, 8] {
+        let (table_n, json_n) = run_at(jobs);
+        assert_eq!(table_1, table_n, "chaos tables diverged at jobs={jobs}");
+        let strip = |s: &str| {
+            s.replacen("\"jobs\":1,", "", 1)
+                .replacen(&format!("\"jobs\":{jobs},"), "", 1)
+        };
+        assert_eq!(
+            strip(&json_1),
+            strip(&json_n),
+            "chaos JSON diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
 fn fingerprints_are_injective_on_the_full_registry_grid() {
     // Property: over every cell of every registered experiment, equal
     // fingerprints imply equal canonical keys (no FNV collisions on the

@@ -35,6 +35,17 @@ pub struct FrameRecord {
     pub psnr_db: Option<f64>,
 }
 
+impl FrameRecord {
+    /// True when every float in the record is finite and the SSIM is a
+    /// valid similarity (in `[0, 1]`). The session's finite-metrics
+    /// invariant checks this before the record can poison a summary.
+    pub fn is_finite(&self) -> bool {
+        self.ssim.is_finite()
+            && (0.0..=1.0).contains(&self.ssim)
+            && self.psnr_db.is_none_or(f64::is_finite)
+    }
+}
+
 /// Aggregated latency/quality over a window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {

@@ -27,6 +27,9 @@
 //!   and PLIs.
 //! * [`pli`] — receiver-side Picture Loss Indication with exponential
 //!   retry until a post-request keyframe actually arrives.
+//! * [`chaos`] — forward-path chaos injection: seeded multi-fault
+//!   timelines (burst loss, blackouts, capacity collapse, reordering,
+//!   duplication, MTU shrink) reproducible from `(seed, intensity)`.
 //!
 //! The link is modelled analytically (delivery times computed at send
 //! time against the capacity trace) rather than with per-byte events;
@@ -35,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fec;
 pub mod feedback;
 pub mod impair;
@@ -45,6 +49,7 @@ pub mod packetize;
 pub mod pli;
 pub mod rtx;
 
+pub use chaos::{ChaosSchedule, ChaosSpec, ChaosTrace, FaultKind, FaultSegment, ForwardChaos};
 pub use fec::{FecDecoder, FecEncoder};
 pub use feedback::{FeedbackBuilder, FeedbackReport, PacketResult};
 pub use impair::{Blackout, GilbertElliott, ReversePath, ReversePathConfig};

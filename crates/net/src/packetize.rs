@@ -9,15 +9,38 @@ use crate::packet::{MediaKind, Packet, HEADER_BYTES, PAYLOAD_MTU};
 
 /// Splits encoded frames into MTU-sized packets with transport-wide
 /// sequence numbers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Packetizer {
     next_seq: u64,
+    payload_mtu: u64,
+}
+
+impl Default for Packetizer {
+    fn default() -> Packetizer {
+        Packetizer {
+            next_seq: 0,
+            payload_mtu: PAYLOAD_MTU,
+        }
+    }
 }
 
 impl Packetizer {
-    /// Creates a packetizer starting at sequence 0.
+    /// Creates a packetizer starting at sequence 0 with the default
+    /// [`PAYLOAD_MTU`].
     pub fn new() -> Packetizer {
         Packetizer::default()
+    }
+
+    /// The payload MTU currently in effect.
+    pub fn payload_mtu(&self) -> u64 {
+        self.payload_mtu
+    }
+
+    /// Overrides the payload MTU (chaos MTU-shrink); `None` restores the
+    /// default [`PAYLOAD_MTU`]. Clamped to ≥ 64 bytes so a hostile value
+    /// cannot explode the fragment count.
+    pub fn set_payload_mtu(&mut self, mtu: Option<u64>) {
+        self.payload_mtu = mtu.unwrap_or(PAYLOAD_MTU).max(64);
     }
 
     /// The next sequence number that will be assigned.
@@ -50,13 +73,13 @@ impl Packetizer {
     /// largest frame.
     pub fn packetize_into(&mut self, frame: &EncodedFrame, out: &mut Vec<Packet>) {
         let payload = frame.size_bytes.max(1);
-        let num_fragments = payload.div_ceil(PAYLOAD_MTU) as u16;
+        let num_fragments = payload.div_ceil(self.payload_mtu) as u16;
         out.clear();
         out.reserve(num_fragments as usize);
         let capacity_before = out.capacity();
         let mut remaining = payload;
         for fragment in 0..num_fragments {
-            let chunk = remaining.min(PAYLOAD_MTU);
+            let chunk = remaining.min(self.payload_mtu);
             remaining -= chunk;
             out.push(Packet {
                 kind: MediaKind::Video,
@@ -212,6 +235,24 @@ mod tests {
         assert_eq!(payload, 3000);
         assert_eq!(pkts[0].size_bytes, 1240);
         assert_eq!(pkts[2].size_bytes, 600 + 40);
+    }
+
+    #[test]
+    fn shrunken_mtu_multiplies_fragments_and_reset_restores_default() {
+        let mut p = Packetizer::new();
+        assert_eq!(p.payload_mtu(), PAYLOAD_MTU);
+        p.set_payload_mtu(Some(300));
+        let pkts = p.packetize(&frame(0, 3000));
+        assert_eq!(pkts.len(), 10);
+        let payload: u64 = pkts.iter().map(|p| p.size_bytes - HEADER_BYTES).sum();
+        assert_eq!(payload, 3000);
+        assert!(pkts.iter().all(|p| p.size_bytes <= 300 + HEADER_BYTES));
+        p.set_payload_mtu(None);
+        assert_eq!(p.payload_mtu(), PAYLOAD_MTU);
+        assert_eq!(p.packetize(&frame(1, 3000)).len(), 3);
+        // Hostile values clamp instead of exploding the fragment count.
+        p.set_payload_mtu(Some(1));
+        assert_eq!(p.payload_mtu(), 64);
     }
 
     #[test]

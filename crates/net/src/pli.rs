@@ -4,17 +4,22 @@
 //! path, and the keyframe it provokes travels the (lossy) forward path.
 //! Fire-and-forget PLI therefore deadlocks decoders exactly when they
 //! need rescue most — during loss events. [`PliRequester`] keeps the
-//! request armed until a keyframe *encoded after the request* actually
-//! arrives, re-sending with exponential backoff in the meantime
-//! (mirroring the retry behavior of production RTCP agents).
+//! request armed until a keyframe *encoded after the latest known
+//! damage* actually arrives, re-sending on a rate-limited schedule in
+//! the meantime (mirroring the keyframe-request throttling of
+//! production RTCP agents).
 
 use ravel_sim::{Dur, Time};
 
 /// Default delay before the first retry of an unanswered PLI.
 pub const PLI_RETRY_INITIAL: Dur = Dur::millis(300);
 
-/// Ceiling on the PLI retry interval.
-pub const PLI_RETRY_MAX: Dur = Dur::millis(1200);
+/// Ceiling on the PLI retry interval. Production receivers keep asking
+/// at a steady cadence while the decoder stays undecodable (libwebrtc
+/// rate-limits keyframe requests to roughly one per 300 ms rather than
+/// backing off indefinitely — a frozen decoder must keep asking), so
+/// the default schedule holds steady at the initial 300 ms interval.
+pub const PLI_RETRY_MAX: Dur = Dur::millis(300);
 
 /// Receiver-side PLI state machine: arm on damage, retry with backoff,
 /// disarm only when a post-request keyframe arrives.
@@ -24,6 +29,11 @@ pub struct PliRequester {
     max_backoff: Dur,
     /// When the outstanding request was first armed (`None` = idle).
     pending_since: Option<Time>,
+    /// Latest known damage instant. A keyframe only satisfies the
+    /// request if it was sent at or after this watermark — damage
+    /// observed *while* a request is outstanding pushes the bar past
+    /// keyframes already in flight, which cannot repair it.
+    last_damage: Time,
     /// Earliest instant the next PLI may be emitted.
     next_send: Time,
     /// Interval to wait after the next emission.
@@ -38,8 +48,9 @@ impl Default for PliRequester {
 }
 
 impl PliRequester {
-    /// Creates a requester with the default retry schedule
-    /// ([`PLI_RETRY_INITIAL`] doubling up to [`PLI_RETRY_MAX`]).
+    /// Creates a requester with the default retry schedule (one
+    /// request per [`PLI_RETRY_INITIAL`], doubling up to
+    /// [`PLI_RETRY_MAX`] — equal by default, i.e. a steady cadence).
     pub fn new() -> PliRequester {
         PliRequester::with_backoff(PLI_RETRY_INITIAL, PLI_RETRY_MAX)
     }
@@ -52,16 +63,19 @@ impl PliRequester {
             initial_backoff: initial,
             max_backoff: max,
             pending_since: None,
+            last_damage: Time::ZERO,
             next_send: Time::ZERO,
             backoff: initial,
             sent: 0,
         }
     }
 
-    /// Arms a keyframe request (e.g. on an undecodable frame). A no-op
-    /// if a request is already outstanding — the retry schedule of the
-    /// original request keeps running.
+    /// Arms a keyframe request (e.g. on an undecodable frame). If a
+    /// request is already outstanding the retry schedule keeps running
+    /// unchanged, but the damage watermark still advances: fresh damage
+    /// means a keyframe encoded before `now` no longer suffices.
     pub fn request(&mut self, now: Time) {
+        self.last_damage = self.last_damage.max(now);
         if self.pending_since.is_none() {
             self.pending_since = Some(now);
             self.next_send = now;
@@ -83,15 +97,15 @@ impl PliRequester {
     }
 
     /// Observes an arriving keyframe that was *sent* at `send_time`.
-    /// Clears the outstanding request only if the keyframe postdates it;
-    /// a stale keyframe already in flight when the request was armed
-    /// does not count.
+    /// Clears the outstanding request only if the keyframe postdates
+    /// every known damage instant; a stale keyframe already in flight
+    /// when the request was armed (or when later damage was reported)
+    /// does not count — it cannot repair what broke after it was
+    /// encoded, so the request must stay armed.
     pub fn on_keyframe(&mut self, send_time: Time) {
-        if let Some(since) = self.pending_since {
-            if send_time >= since {
-                self.pending_since = None;
-                self.backoff = self.initial_backoff;
-            }
+        if self.pending_since.is_some() && send_time >= self.last_damage {
+            self.pending_since = None;
+            self.backoff = self.initial_backoff;
         }
     }
 

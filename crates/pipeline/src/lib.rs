@@ -23,8 +23,10 @@
 
 #![warn(missing_docs)]
 
+pub mod invariants;
 pub mod scheme;
 pub mod session;
 
+pub use invariants::{Invariant, InvariantChecker, InvariantViolation};
 pub use scheme::{CcKind, Scheme};
-pub use session::{run_session, SessionConfig, SessionResult};
+pub use session::{run_session, run_session_chaos, SessionConfig, SessionResult};

@@ -6,14 +6,16 @@ use ravel_codec::{Decoder, EncodedFrame, Encoder, EncoderConfig};
 use ravel_core::{AdaptiveController, FeedbackWatchdog, FrameDecision, WatchdogConfig};
 use ravel_metrics::{FrameOutcomeKind, FrameRecord, LatencyRecorder};
 use ravel_net::{
-    Delivery, FecDecoder, FecEncoder, FeedbackBuilder, FeedbackReport, FrameAssembler, Link,
-    LinkConfig, MediaKind, NackBatch, NackGenerator, Pacer, Packet, Packetizer, PliRequester,
-    ReversePath, ReversePathConfig, RtxBuffer,
+    ChaosSchedule, ChaosSpec, ChaosTrace, Delivery, FecDecoder, FecEncoder, FeedbackBuilder,
+    FeedbackReport, ForwardChaos, FrameAssembler, Link, LinkConfig, MediaKind, NackBatch,
+    NackGenerator, Pacer, Packet, Packetizer, PliRequester, ReversePath, ReversePathConfig,
+    RtxBuffer,
 };
 use ravel_sim::{Dur, EventQueue, SeriesSet, Time};
 use ravel_trace::BandwidthTrace;
 use ravel_video::{ContentClass, RawFrame, Resolution, VideoSource};
 
+use crate::invariants::{Invariant, InvariantChecker, InvariantViolation};
 use crate::scheme::Scheme;
 
 /// Everything one experiment run needs to know.
@@ -71,6 +73,12 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Record time series (costs memory; on for figure experiments).
     pub record_series: bool,
+    /// Forward-path chaos: when set, a fault schedule is generated from
+    /// `(spec.seed, spec.intensity)` and applied to the forward link
+    /// (burst loss, blackouts, capacity collapse, reordering,
+    /// duplication, MTU shrink). `None` (the default) adds no faults and
+    /// consumes no randomness, so existing runs stay byte-identical.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl SessionConfig {
@@ -98,6 +106,7 @@ impl SessionConfig {
             audio_bitrate_bps: 32_000.0,
             seed: 1,
             record_series: false,
+            chaos: None,
         }
     }
 }
@@ -182,6 +191,16 @@ pub struct SessionResult {
     pub watchdog_timeouts: u64,
     /// PLI messages the receiver emitted (including retries).
     pub plis_sent: u64,
+    /// Forward packets eaten by chaos burst loss (0 without chaos).
+    pub chaos_lost: u64,
+    /// Duplicate forward packets injected by chaos (0 without chaos).
+    pub chaos_duplicates: u64,
+    /// Reference-chain breaks the receiver's decoder suffered.
+    pub chain_breaks: u64,
+    /// Session invariants violated (empty on a healthy run). Collected,
+    /// not panicked: the harness reports these per cell and can shrink
+    /// the chaos schedule that caused them.
+    pub violations: Vec<InvariantViolation>,
 }
 
 /// Per-captured-frame sender-side record for the display post-pass.
@@ -217,8 +236,41 @@ enum Event {
     WatchdogTick,
 }
 
+/// Bound on how long after the last fault clears the decoder's
+/// reference chain may stay broken: a (PLI-requested) keyframe must
+/// land and repair it within this window. Covers PLI retry backoff (up
+/// to 1.2 s), a keyframe's transit, and backlog drain after a blackout.
+/// Display may still be *stale* past this point (that latency tail is
+/// exactly what the experiments measure), but it must be decodable.
+const FREEZE_TERMINATION_BOUND: Dur = Dur::secs(4);
+
+/// Sampling step when probing the post-fault capacity floor for the
+/// rate-recovery invariant.
+const RECOVERY_CAPACITY_PROBE: Dur = Dur::millis(500);
+
 /// Runs one session over `trace` and returns its measurements.
+///
+/// If `cfg.chaos` is set, the fault schedule is generated from it and
+/// applied; see [`run_session_chaos`] to supply an explicit schedule
+/// (the shrinker's entry point).
 pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionResult {
+    let schedule = cfg
+        .chaos
+        .map(|spec| ChaosSchedule::generate(spec, cfg.duration));
+    run_session_chaos(trace, cfg, schedule)
+}
+
+/// [`run_session`] with an explicit chaos schedule, bypassing schedule
+/// generation. Recovery bounds for the chaos invariants still come from
+/// `cfg.chaos` (defaults apply when it is `None`). An empty or absent
+/// schedule is exact passthrough: zero extra RNG draws, capacity
+/// multiplied by exactly `1.0`.
+pub fn run_session_chaos<T: BandwidthTrace>(
+    trace: T,
+    cfg: SessionConfig,
+    schedule: Option<ChaosSchedule>,
+) -> SessionResult {
+    let schedule = schedule.filter(|s| !s.is_empty());
     // --- components -----------------------------------------------------
     let mut source = VideoSource::new(cfg.content.profile(), cfg.resolution, cfg.fps, cfg.seed);
     let mut enc_cfg = EncoderConfig::rtc(cfg.start_rate_bps, cfg.fps);
@@ -247,7 +299,28 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
     });
     let mut packetizer = Packetizer::new();
     let mut pacer = Pacer::new(cfg.start_rate_bps, 2.5);
-    let mut link = Link::new(trace, cfg.link, cfg.seed);
+    // The link always sees a chaos-wrapped trace: outside every capacity
+    // fault (and always, for the empty schedule) the wrapper multiplies
+    // by exactly 1.0, so chaos-free sessions stay byte-identical.
+    let mut link = Link::new(
+        ChaosTrace::new(trace, schedule.clone().unwrap_or_default()),
+        cfg.link,
+        cfg.seed,
+    );
+    // Per-packet chaos (burst loss, reordering, duplication) applied
+    // after the link's delivery decision, at the send boundary — the
+    // link itself enforces FIFO, so reordering must live outside it.
+    let mut fwd_chaos = schedule
+        .as_ref()
+        .map(|s| ForwardChaos::new(s.clone(), cfg.seed));
+    let mut acct = ForwardAcct::default();
+    let mut checker = InvariantChecker::new();
+    // Recovery invariants are anchored to the end of the last fault.
+    let chaos_bounds = cfg.chaos.unwrap_or_else(|| ChaosSpec::new(0, 1.0));
+    let chaos_clear = schedule.as_ref().and_then(|s| s.last_fault_end());
+    let recovery_deadline = chaos_clear.map(|c| c + chaos_bounds.recovery_within);
+    let mut max_target_after_deadline = 0.0f64;
+    let mut last_event_at = Time::ZERO;
     let mut assembler = FrameAssembler::new();
     let mut feedback = FeedbackBuilder::new();
     // WebRTC-flavoured RTX: 30 ms NACK retries, give up after the
@@ -312,7 +385,19 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
     // --- event loop -------------------------------------------------------
     while let Some(scheduled) = queue.pop() {
         let now = scheduled.at;
+        if now < last_event_at {
+            checker.violate(
+                Invariant::MonotonicDelivery,
+                format!("event clock ran backwards: {now} after {last_event_at}"),
+            );
+        }
+        last_event_at = now;
         if now > hard_end {
+            // The popped event is past the session's end; if it was an
+            // arrival, the packet is in flight for conservation.
+            if matches!(scheduled.event, Event::Arrival(_)) {
+                acct.inflight += 1;
+            }
             break;
         }
         match scheduled.event {
@@ -369,6 +454,9 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 }
             }
             Event::EncodeDone(encoded) => {
+                if let Some(sched) = schedule.as_ref() {
+                    packetizer.set_payload_mtu(sched.payload_mtu(now));
+                }
                 packetizer.packetize_into(&encoded, &mut pkt_scratch);
                 if let Some(fec) = fec_encoder.as_mut() {
                     for p in pkt_scratch.drain(..) {
@@ -386,7 +474,11 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 }
                 release_pacer_rtx(
                     &mut pacer,
-                    &mut link,
+                    &mut ForwardLane {
+                        link: &mut link,
+                        chaos: fwd_chaos.as_mut(),
+                        acct: &mut acct,
+                    },
                     &mut queue,
                     now,
                     cfg.enable_rtx.then_some(&mut rtx_buffer),
@@ -396,7 +488,11 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
             Event::PacerTick => {
                 release_pacer_rtx(
                     &mut pacer,
-                    &mut link,
+                    &mut ForwardLane {
+                        link: &mut link,
+                        chaos: fwd_chaos.as_mut(),
+                        acct: &mut acct,
+                    },
                     &mut queue,
                     now,
                     cfg.enable_rtx.then_some(&mut rtx_buffer),
@@ -404,11 +500,17 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 );
             }
             Event::Arrival(packet) => {
-                feedback.on_packet(&packet, now);
-                // A keyframe sent after the outstanding PLI satisfies it.
-                if packet.kind == MediaKind::Video && packet.is_keyframe {
-                    pli.on_keyframe(packet.send_time);
+                acct.arrivals += 1;
+                if now < packet.send_time {
+                    checker.violate(
+                        Invariant::MonotonicDelivery,
+                        format!(
+                            "packet seq {} arrived at {now} before its send time {}",
+                            packet.seq, packet.send_time
+                        ),
+                    );
                 }
+                feedback.on_packet(&packet, now);
                 if cfg.enable_rtx {
                     nack_gen.on_packet(packet.seq, now);
                 }
@@ -418,11 +520,16 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     for seq in fec_decoder.on_media_packet(packet.seq) {
                         if let Some(rec) = sent_video.get(&seq).copied() {
                             nack_gen.on_packet(seq, now);
-                            if rec.is_keyframe {
-                                pli.on_keyframe(rec.send_time);
-                            }
                             if let Some(done) = assembler.push(&rec, now) {
-                                completed.insert(done.frame_index, done.complete_at);
+                                // Only a COMPLETE keyframe satisfies an
+                                // outstanding PLI (a lone fragment may
+                                // never assemble; retries must go on).
+                                if done.is_keyframe {
+                                    pli.on_keyframe(rec.send_time);
+                                }
+                                completed
+                                    .entry(done.frame_index)
+                                    .or_insert(done.complete_at);
                             }
                         }
                     }
@@ -435,23 +542,41 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                         for seq in fec_decoder.on_parity_packet(&packet) {
                             if let Some(rec) = sent_video.get(&seq).copied() {
                                 nack_gen.on_packet(seq, now);
-                                if rec.is_keyframe {
-                                    pli.on_keyframe(rec.send_time);
-                                }
                                 if let Some(done) = assembler.push(&rec, now) {
-                                    completed.insert(done.frame_index, done.complete_at);
+                                    if done.is_keyframe {
+                                        pli.on_keyframe(rec.send_time);
+                                    }
+                                    completed
+                                        .entry(done.frame_index)
+                                        .or_insert(done.complete_at);
                                 }
                             }
                         }
                     }
                     MediaKind::Video => {
                         if let Some(done) = assembler.push(&packet, now) {
-                            completed.insert(done.frame_index, done.complete_at);
+                            if done.is_keyframe {
+                                pli.on_keyframe(packet.send_time);
+                            }
+                            completed
+                                .entry(done.frame_index)
+                                .or_insert(done.complete_at);
                         }
                     }
                 }
             }
             Event::FeedbackFlush => {
+                let backlog = link.backlog_bytes(now);
+                checker.check(
+                    Invariant::BoundedBacklog,
+                    backlog <= cfg.link.queue_capacity_bytes,
+                    || {
+                        format!(
+                            "link backlog {backlog} B exceeds queue capacity {} B at {now}",
+                            cfg.link.queue_capacity_bytes
+                        )
+                    },
+                );
                 if let Some(report) = feedback.flush(now) {
                     // Reported losses mean some frame will be
                     // undecodable: arm (or keep alive) the keyframe
@@ -497,17 +622,35 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 if cfg.enable_rtx {
                     rtx_buffer.store(&audio, now);
                 }
-                match link.send(&audio, now) {
-                    Delivery::At(arrival) => queue.push(arrival, Event::Arrival(audio)),
-                    Delivery::QueueDrop | Delivery::Lost => {}
-                }
+                send_forward(
+                    &mut ForwardLane {
+                        link: &mut link,
+                        chaos: fwd_chaos.as_mut(),
+                        acct: &mut acct,
+                    },
+                    &mut queue,
+                    audio,
+                    now,
+                );
                 let next = now + AUDIO_TICK;
                 if next < capture_end {
                     queue.push(next, Event::AudioTick);
                 }
             }
             Event::NackPoll => {
-                if let Some(batch) = nack_gen.poll(now) {
+                let abandoned_before = nack_gen.abandoned();
+                let batch = nack_gen.poll(now);
+                if nack_gen.abandoned() > abandoned_before {
+                    // RTX gave up on a gap: some frame will never
+                    // assemble and the reference chain will break when
+                    // playout reaches it. Feedback already reported the
+                    // loss (possibly while an earlier PLI was pending and
+                    // got satisfied by a keyframe that predates this
+                    // gap), so this is the receiver's only remaining
+                    // signal — recovery is the PLI path's job now.
+                    pli.request(now);
+                }
+                if let Some(batch) = batch {
                     for at in reverse.transit(now).into_iter().flatten() {
                         queue.push(at, Event::NackArrive(batch.clone()));
                     }
@@ -542,7 +685,11 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     pacer.enqueue(packets);
                     release_pacer_rtx(
                         &mut pacer,
-                        &mut link,
+                        &mut ForwardLane {
+                            link: &mut link,
+                            chaos: fwd_chaos.as_mut(),
+                            acct: &mut acct,
+                        },
                         &mut queue,
                         now,
                         cfg.enable_rtx.then_some(&mut rtx_buffer),
@@ -575,6 +722,21 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                     }
                 }
                 pacer.set_target_bitrate(encoder.target_bps().max(PACER_FLOOR_BPS));
+                let target = encoder.target_bps();
+                if !target.is_finite() || !gcc_target.is_finite() {
+                    checker.violate(
+                        Invariant::FiniteMetrics,
+                        format!("non-finite rate at {now}: encoder {target}, gcc {gcc_target}"),
+                    );
+                }
+                // Recovery-within-T: the target counts as recovered if
+                // it reaches the goal at any point between the last
+                // fault clearing and the deadline.
+                if chaos_clear.is_some_and(|c| now >= c)
+                    && recovery_deadline.is_some_and(|d| now <= d)
+                {
+                    max_target_after_deadline = max_target_after_deadline.max(target);
+                }
                 if cfg.record_series {
                     series.push("target_bps", now, encoder.target_bps());
                     series.push("gcc_target_bps", now, gcc_target);
@@ -633,10 +795,44 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
         }
     }
 
+    // Snapshot the processed-event count before draining: the drain
+    // below pops (without processing) whatever the loop left in the
+    // queue, to count in-flight packets for conservation.
+    let events_processed = queue.events_popped();
+    while let Some(leftover) = queue.pop() {
+        if matches!(leftover.event, Event::Arrival(_)) {
+            acct.inflight += 1;
+        }
+    }
+    let chaos_lost = fwd_chaos.as_ref().map(|c| c.lost()).unwrap_or(0);
+    let chaos_duplicates = fwd_chaos.as_ref().map(|c| c.duplicated()).unwrap_or(0);
+    let expected =
+        acct.arrivals + acct.inflight + link.queue_drops() + link.random_losses() + chaos_lost;
+    checker.check(
+        Invariant::Conservation,
+        acct.sent + chaos_duplicates == expected,
+        || {
+            format!(
+                "sent {} + chaos duplicates {} != arrivals {} + in-flight {} \
+                 + queue drops {} + random losses {} + chaos losses {}",
+                acct.sent,
+                chaos_duplicates,
+                acct.arrivals,
+                acct.inflight,
+                link.queue_drops(),
+                link.random_losses(),
+                chaos_lost
+            )
+        },
+    );
+
     // --- display post-pass --------------------------------------------
     let mut decoder = Decoder::new();
     let mut recorder = LatencyRecorder::with_capacity(sent.len());
     let mut frames_skipped = 0u64;
+    // First capture instant at/after the last fault cleared where the
+    // reference chain was healthy (freeze-termination invariant).
+    let mut chain_ok_after_clear: Option<Time> = None;
     for (idx, sf) in sent.iter().enumerate() {
         let idx = idx as u64;
         match sf {
@@ -704,6 +900,77 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
                 }
             }
         }
+        if chain_ok_after_clear.is_none() {
+            if let Some(clear) = chaos_clear {
+                let pts = match sf {
+                    SentFrame::Skipped { pts, .. } => *pts,
+                    SentFrame::Encoded { frame, .. } => frame.pts,
+                };
+                if pts >= clear && !decoder.chain_broken() {
+                    chain_ok_after_clear = Some(pts);
+                }
+            }
+        }
+    }
+
+    // --- chaos-conditioned invariants ---------------------------------
+    // Freeze termination: once the last fault clears, the PLI → keyframe
+    // path must repair the reference chain within a bound (checkable
+    // only if capture extends past the bound).
+    if let Some(clear) = chaos_clear {
+        let bound_end = clear + FREEZE_TERMINATION_BOUND;
+        if bound_end <= capture_end {
+            let repaired = chain_ok_after_clear.is_some_and(|t| t <= bound_end);
+            checker.check(Invariant::FreezeTermination, repaired, || {
+                format!(
+                    "reference chain not repaired within {FREEZE_TERMINATION_BOUND} \
+                     of the last fault clearing at {clear} (first healthy capture: {:?})",
+                    chain_ok_after_clear
+                )
+            });
+        }
+    }
+    // Rate recovery: the encoder target must climb back to a fraction of
+    // the available rate within the configured bound after the faults.
+    if let (Some(clear), Some(deadline)) = (chaos_clear, recovery_deadline) {
+        if deadline <= capture_end {
+            let mut capacity_floor = cfg.start_rate_bps;
+            let mut t = deadline;
+            while t <= capture_end {
+                capacity_floor = capacity_floor.min(link.trace().rate_bps(t));
+                t += RECOVERY_CAPACITY_PROBE;
+            }
+            let goal = chaos_bounds.recovery_fraction * capacity_floor;
+            checker.check(
+                Invariant::RateRecovery,
+                max_target_after_deadline >= goal,
+                || {
+                    format!(
+                        "target peaked at {max_target_after_deadline:.0} bps after {deadline} \
+                         (last fault cleared {clear}); needed {goal:.0} bps"
+                    )
+                },
+            );
+        }
+    }
+    // Finite metrics: nothing non-finite may reach the recorder or the
+    // recorded series.
+    if let Some(r) = recorder.records().iter().find(|r| !r.is_finite()) {
+        checker.violate(
+            Invariant::FiniteMetrics,
+            format!("non-finite frame record at pts {}", r.pts),
+        );
+    }
+    'series: for (name, s) in series.iter() {
+        for &(at, v) in s.points() {
+            if !v.is_finite() {
+                checker.violate(
+                    Invariant::FiniteMetrics,
+                    format!("series {name} holds non-finite value {v} at {at}"),
+                );
+                break 'series;
+            }
+        }
     }
 
     SessionResult {
@@ -712,7 +979,7 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
         frames_captured: sent.len() as u64,
         frames_skipped,
         frames_encoded,
-        events_processed: queue.events_popped(),
+        events_processed,
         packets_delivered: link.delivered(),
         queue_drops: link.queue_drops(),
         random_losses: link.random_losses(),
@@ -728,6 +995,58 @@ pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionRe
         reports_discarded,
         watchdog_timeouts: watchdog.map(|wd| wd.timeouts()).unwrap_or(0),
         plis_sent: pli.sent(),
+        chaos_lost,
+        chaos_duplicates,
+        chain_breaks: decoder.chain_breaks(),
+        violations: checker.into_violations(),
+    }
+}
+
+/// Forward-path accounting for the conservation invariant.
+#[derive(Debug, Default)]
+struct ForwardAcct {
+    /// Packets handed to the link (`Link::send` calls).
+    sent: u64,
+    /// Arrival events the loop processed.
+    arrivals: u64,
+    /// Arrival events still queued when the session ended.
+    inflight: u64,
+}
+
+/// A mutable view of the forward data path — link, per-packet chaos
+/// stage, and conservation accounting — grouped because every forward
+/// send consults all three.
+struct ForwardLane<'a, T: BandwidthTrace> {
+    link: &'a mut Link<T>,
+    chaos: Option<&'a mut ForwardChaos>,
+    acct: &'a mut ForwardAcct,
+}
+
+/// Sends one packet over the link, routing a delivered packet through
+/// the per-packet chaos stage (which may drop it, jitter its arrival
+/// past FIFO order, or inject a duplicate) and recording the send for
+/// conservation.
+fn send_forward<T: BandwidthTrace>(
+    lane: &mut ForwardLane<'_, T>,
+    queue: &mut EventQueue<Event>,
+    packet: Packet,
+    now: Time,
+) {
+    lane.acct.sent += 1;
+    match lane.link.send(&packet, now) {
+        Delivery::At(arrival) => match lane.chaos.as_deref_mut() {
+            Some(ch) => {
+                let fate = ch.transit(now, arrival);
+                if let Some(at) = fate.duplicate {
+                    queue.push(at, Event::Arrival(packet));
+                }
+                if let Some(at) = fate.arrival {
+                    queue.push(at, Event::Arrival(packet));
+                }
+            }
+            None => queue.push(arrival, Event::Arrival(packet)),
+        },
+        Delivery::QueueDrop | Delivery::Lost => {}
     }
 }
 
@@ -752,7 +1071,7 @@ impl AsOpt for EncodedFrame {
 /// next tick.
 fn release_pacer_rtx<T: BandwidthTrace>(
     pacer: &mut Pacer,
-    link: &mut Link<T>,
+    lane: &mut ForwardLane<'_, T>,
     queue: &mut EventQueue<Event>,
     now: Time,
     mut rtx: Option<&mut RtxBuffer>,
@@ -763,10 +1082,7 @@ fn release_pacer_rtx<T: BandwidthTrace>(
         if let Some(buf) = rtx.as_deref_mut() {
             buf.store(&packet, now);
         }
-        match link.send(&packet, now) {
-            Delivery::At(arrival) => queue.push(arrival, Event::Arrival(packet)),
-            Delivery::QueueDrop | Delivery::Lost => {}
-        }
+        send_forward(lane, queue, packet, now);
     }
     if let Some(next) = pacer.next_release_time() {
         queue.push(next.max(now), Event::PacerTick);
@@ -1004,5 +1320,80 @@ mod tests {
         let cfg = short_cfg(Scheme::baseline());
         let result = run_session(ConstantTrace::new(4e6), cfg);
         assert!(result.series.names().is_empty());
+    }
+
+    #[test]
+    fn clean_runs_satisfy_all_invariants() {
+        for scheme in [Scheme::baseline(), Scheme::adaptive()] {
+            let mut cfg = short_cfg(scheme);
+            cfg.enable_audio = true;
+            cfg.record_series = true;
+            let result = run_session(StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10)), cfg);
+            assert!(
+                result.violations.is_empty(),
+                "{}: {:?}",
+                scheme.name(),
+                result.violations
+            );
+            assert_eq!(result.chaos_lost, 0);
+            assert_eq!(result.chaos_duplicates, 0);
+        }
+    }
+
+    #[test]
+    fn chaos_none_equals_empty_schedule_byte_for_byte() {
+        // The passthrough contract: an explicitly empty schedule must be
+        // indistinguishable from no chaos at all.
+        let cfg = short_cfg(Scheme::adaptive());
+        let mk = || StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10));
+        let plain = run_session(mk(), cfg);
+        let empty = run_session_chaos(mk(), cfg, Some(ChaosSchedule::empty()));
+        assert_eq!(plain.recorder.records(), empty.recorder.records());
+        assert_eq!(plain.events_processed, empty.events_processed);
+        assert_eq!(plain.packets_delivered, empty.packets_delivered);
+    }
+
+    #[test]
+    fn chaos_sessions_hold_invariants_and_are_deterministic() {
+        for seed in [1u64, 7, 23] {
+            for intensity in [0.3, 1.0] {
+                let mut cfg = short_cfg(Scheme::adaptive());
+                cfg.duration = Dur::secs(30);
+                cfg.seed = seed;
+                cfg.chaos = Some(ChaosSpec::new(seed, intensity));
+                let a = run_session(ConstantTrace::new(4e6), cfg);
+                assert!(
+                    a.violations.is_empty(),
+                    "seed {seed} intensity {intensity}: {:?}",
+                    a.violations
+                );
+                let b = run_session(ConstantTrace::new(4e6), cfg);
+                assert_eq!(a.recorder.records(), b.recorder.records());
+                assert_eq!(a.chaos_lost, b.chaos_lost);
+                assert_eq!(a.chaos_duplicates, b.chaos_duplicates);
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_recovery_bound_is_caught_not_panicked() {
+        // A deliberately broken invariant: no controller can reach 300%
+        // of capacity, so the rate-recovery check must flag (and only
+        // flag — the run completes normally).
+        let mut cfg = short_cfg(Scheme::adaptive());
+        cfg.duration = Dur::secs(30);
+        let mut spec = ChaosSpec::new(5, 0.5);
+        spec.recovery_fraction = 3.0;
+        cfg.chaos = Some(spec);
+        let result = run_session(ConstantTrace::new(4e6), cfg);
+        assert!(
+            result
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::RateRecovery),
+            "expected a rate-recovery violation: {:?}",
+            result.violations
+        );
+        assert_eq!(result.frames_captured, 901);
     }
 }

@@ -74,50 +74,37 @@ impl FileTrace {
             .ok_or_else(|| TraceFileError::Parse("missing \"samples\" array".into()))?
             .as_array()
             .ok_or_else(|| TraceFileError::Parse("\"samples\" is not an array".into()))?;
-        if samples.is_empty() {
-            return Err(TraceFileError::Invalid("no samples".into()));
-        }
-        let mut points = Vec::with_capacity(samples.len());
-        let mut last_us: Option<u64> = None;
+        let mut pairs = Vec::with_capacity(samples.len());
         for sample in samples {
             let pair = sample.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
                 TraceFileError::Parse("sample is not a [seconds, bps] pair".into())
             })?;
-            let (secs, bps) = match (pair[0].as_f64(), pair[1].as_f64()) {
-                (Some(s), Some(b)) => (s, b),
+            match (pair[0].as_f64(), pair[1].as_f64()) {
+                (Some(s), Some(b)) => pairs.push((s, b)),
                 _ => {
                     return Err(TraceFileError::Parse(
                         "sample entries must be numbers".into(),
                     ))
                 }
-            };
-            if !secs.is_finite() || secs < 0.0 {
-                return Err(TraceFileError::Invalid(format!("bad timestamp {secs}")));
             }
-            if !bps.is_finite() || bps < 0.0 {
-                return Err(TraceFileError::Invalid(format!("bad rate {bps}")));
-            }
-            let us = (secs * 1e6).round() as u64;
-            if let Some(prev) = last_us {
-                if us <= prev {
-                    return Err(TraceFileError::Invalid(
-                        "timestamps not strictly increasing".into(),
-                    ));
-                }
-            }
-            last_us = Some(us);
-            points.push((Time::from_micros(us), bps));
         }
         Ok(FileTrace {
-            path: StepTrace::new(points),
+            path: StepTrace::new(points_from_samples(&pairs)?),
             note,
         })
     }
 
     /// Builds a trace directly from `(seconds, bps)` samples (used by
-    /// tools that synthesize traces and then save them).
+    /// tools that synthesize traces and then save them). Samples are
+    /// validated in place — a NaN or negative entry fails with the same
+    /// descriptive `Invalid` error `from_json` gives, instead of being
+    /// rendered to JSON first (where NaN is not even representable and
+    /// used to surface as an opaque parse error).
     pub fn from_samples(note: &str, samples: &[(f64, f64)]) -> Result<FileTrace, TraceFileError> {
-        FileTrace::from_json(&render_json(note, samples))
+        Ok(FileTrace {
+            path: StepTrace::new(points_from_samples(samples)?),
+            note: note.to_string(),
+        })
     }
 
     /// Serializes this trace to JSON.
@@ -146,6 +133,35 @@ impl FileTrace {
     pub fn path(&self) -> &StepTrace {
         &self.path
     }
+}
+
+/// Validates raw `(seconds, bps)` samples and converts them to step
+/// points — the single checkpoint both `from_json` and `from_samples`
+/// funnel through, so NaN/negative/unordered inputs fail with the same
+/// descriptive errors no matter how the trace arrives.
+fn points_from_samples(samples: &[(f64, f64)]) -> Result<Vec<(Time, f64)>, TraceFileError> {
+    if samples.is_empty() {
+        return Err(TraceFileError::Invalid("no samples".into()));
+    }
+    let mut points = Vec::with_capacity(samples.len());
+    let mut last_us: Option<u64> = None;
+    for &(secs, bps) in samples {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(TraceFileError::Invalid(format!("bad timestamp {secs}")));
+        }
+        if !bps.is_finite() || bps < 0.0 {
+            return Err(TraceFileError::Invalid(format!("bad rate {bps}")));
+        }
+        let us = (secs * 1e6).round() as u64;
+        if last_us.is_some_and(|prev| us <= prev) {
+            return Err(TraceFileError::Invalid(
+                "timestamps not strictly increasing".into(),
+            ));
+        }
+        last_us = Some(us);
+        points.push((Time::from_micros(us), bps));
+    }
+    Ok(points)
 }
 
 /// Renders the on-disk JSON form. `f64`'s `Display` prints the shortest
@@ -217,6 +233,36 @@ mod tests {
     fn rejects_negative_rate() {
         let err = FileTrace::from_json(r#"{"samples": [[0.0, -5.0]]}"#).unwrap_err();
         assert!(err.to_string().contains("bad rate"));
+    }
+
+    #[test]
+    fn from_samples_rejects_non_finite_entries_descriptively() {
+        // Regression: these used to take the JSON round-trip, where NaN
+        // has no representation, and die with an opaque parse error.
+        // Direct validation names the offending value.
+        let err = FileTrace::from_samples("t", &[(0.0, f64::NAN)]).unwrap_err();
+        assert!(err.to_string().contains("bad rate NaN"), "{err}");
+        let err = FileTrace::from_samples("t", &[(0.0, f64::INFINITY)]).unwrap_err();
+        assert!(err.to_string().contains("bad rate inf"), "{err}");
+        let err = FileTrace::from_samples("t", &[(f64::NAN, 1e6)]).unwrap_err();
+        assert!(err.to_string().contains("bad timestamp NaN"), "{err}");
+        let err = FileTrace::from_samples("t", &[(-1.0, 1e6)]).unwrap_err();
+        assert!(err.to_string().contains("bad timestamp -1"), "{err}");
+        let err = FileTrace::from_samples("t", &[(0.0, -2.0)]).unwrap_err();
+        assert!(err.to_string().contains("bad rate -2"), "{err}");
+    }
+
+    #[test]
+    fn from_samples_matches_from_json_on_shared_invariants() {
+        // Both entry points funnel through the same validator, so the
+        // non-shape errors are word-for-word identical.
+        let via_samples = FileTrace::from_samples("t", &[(1.0, 5.0), (1.0, 6.0)]).unwrap_err();
+        let via_json =
+            FileTrace::from_json(r#"{"samples": [[1.0, 5.0], [1.0, 6.0]]}"#).unwrap_err();
+        assert_eq!(via_samples.to_string(), via_json.to_string());
+        let via_samples = FileTrace::from_samples("t", &[]).unwrap_err();
+        let via_json = FileTrace::from_json(r#"{"samples": []}"#).unwrap_err();
+        assert_eq!(via_samples.to_string(), via_json.to_string());
     }
 
     #[test]

@@ -72,6 +72,12 @@ impl CellularProfile {
             !self.states_bps.is_empty(),
             "CellularProfile: no capacity states"
         );
+        for (i, &s) in self.states_bps.iter().enumerate() {
+            assert!(
+                s.is_finite() && s > 0.0,
+                "CellularProfile: state {i} rate {s} is not a positive finite rate"
+            );
+        }
         assert_eq!(
             self.states_bps.len(),
             self.mean_dwell.len(),
@@ -245,7 +251,7 @@ mod tests {
                 .states_bps
                 .iter()
                 .enumerate()
-                .min_by(|a, b| (a.1 - r).abs().partial_cmp(&(b.1 - r).abs()).unwrap())
+                .min_by(|a, b| (a.1 - r).abs().total_cmp(&(b.1 - r).abs()))
                 .unwrap();
             seen[idx] = true;
         }
@@ -266,6 +272,40 @@ mod tests {
         let mut p = CellularProfile::lte_like();
         p.transition[0][1] = 0.2; // row no longer sums to 1
         StochasticTrace::generate(&p, Dur::secs(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state 1 rate NaN")]
+    fn nan_state_rate_is_rejected_up_front() {
+        // Regression: a NaN capacity state used to survive validation
+        // and only blow up later in float comparisons (an opaque
+        // `partial_cmp().unwrap()` panic); now it is rejected at
+        // construction with a message naming the bad state.
+        let mut p = CellularProfile::lte_like();
+        p.states_bps[1] = f64::NAN;
+        StochasticTrace::generate(&p, Dur::secs(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state 0 rate inf")]
+    fn infinite_state_rate_is_rejected_up_front() {
+        let mut p = CellularProfile::lte_like();
+        p.states_bps[0] = f64::INFINITY;
+        StochasticTrace::generate(&p, Dur::secs(1), 0);
+    }
+
+    #[test]
+    fn nearest_state_classification_is_total_on_nan() {
+        // The classifier used by these tests must not panic even when a
+        // distance is NaN (total_cmp orders NaN instead of unwrapping).
+        let states = [4e6, 2e6, f64::NAN];
+        let r = 3.9e6;
+        let (idx, _) = states
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (a.1 - r).abs().total_cmp(&(b.1 - r).abs()))
+            .unwrap();
+        assert_eq!(idx, 0);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! without panicking, hanging, or producing nonsense accounting.
 
 use ravel::core::WatchdogConfig;
-use ravel::net::{GilbertElliott, ReversePathConfig};
-use ravel::pipeline::{run_session, Scheme, SessionConfig};
+use ravel::net::{ChaosSchedule, FaultKind, FaultSegment, GilbertElliott, ReversePathConfig};
+use ravel::pipeline::{run_session, run_session_chaos, Scheme, SessionConfig};
 use ravel::sim::{Dur, Time};
 use ravel::trace::{ConstantTrace, StepTrace};
 use ravel::video::Resolution;
@@ -380,4 +380,64 @@ fn very_long_session_is_stable() {
         .summarize(Time::from_secs(170), Time::from_secs(180));
     assert!(tail.mean_latency_ms < 120.0);
     assert!(tail.mean_ssim > 0.9);
+}
+
+#[test]
+fn forward_burst_loss_freeze_recovers_via_pli_keyframe() {
+    // Forward-path Gilbert-Elliott burst loss severe enough to break
+    // the reference chain (~95% bad-state occupancy, bad state lossless
+    // for nobody: every packet in a burst dies). RTX abandons the gaps,
+    // which must arm PLI; the PLI-forced keyframe must then repair the
+    // decoder freeze once the impairment clears — the receiver-side
+    // mirror of the reverse-path PLI tests above.
+    let burst = FaultSegment {
+        from: Time::from_secs(6),
+        until: Time::from_secs(9),
+        kind: FaultKind::BurstLoss(GilbertElliott {
+            p_good_to_bad: 0.9,
+            p_bad_to_good: 0.05,
+            bad_loss: 1.0,
+        }),
+    };
+    for scheme in [Scheme::baseline(), Scheme::adaptive()] {
+        let schedule = ChaosSchedule::from_segments(vec![burst]);
+        let result = run_session_chaos(ConstantTrace::new(4e6), cfg(scheme), Some(schedule));
+        assert_sane(&result);
+        assert!(
+            result.chain_breaks >= 1,
+            "{}: burst loss should break the reference chain",
+            scheme.name()
+        );
+        assert!(
+            result.plis_sent >= 1,
+            "{}: a broken chain must trigger a PLI",
+            scheme.name()
+        );
+        // The freeze-termination invariant is the machine-checked form
+        // of "the PLI keyframe repaired the freeze within bound".
+        assert!(
+            result.violations.is_empty(),
+            "{}: {:?}",
+            scheme.name(),
+            result.violations
+        );
+        // And the tail must actually be healthy again.
+        let tail = result
+            .recorder
+            .summarize(Time::from_secs(15), Time::from_secs(20));
+        assert_eq!(
+            tail.frozen,
+            0,
+            "{}: still frozen after impairment cleared",
+            scheme.name()
+        );
+        // Quality is back too (gcc ramps its rate more slowly than the
+        // adaptive scheme after the loss window, so the bar is modest).
+        assert!(
+            tail.mean_ssim > 0.8,
+            "{}: tail SSIM {}",
+            scheme.name(),
+            tail.mean_ssim
+        );
+    }
 }
