@@ -7,7 +7,7 @@ use crate::aimd::AimdRateControl;
 use crate::interarrival::InterArrival;
 use crate::loss::LossController;
 use crate::throughput::ThroughputEstimator;
-use crate::trendline::TrendlineEstimator;
+use crate::trendline::{BandwidthUsage, TrendlineEstimator};
 use crate::CongestionController;
 
 /// GCC configuration.
@@ -134,6 +134,14 @@ impl CongestionController for Gcc {
 
     fn name(&self) -> &'static str {
         "gcc"
+    }
+
+    fn decision_reason(&self) -> &'static str {
+        match self.detector_state() {
+            BandwidthUsage::Normal => "gcc-normal",
+            BandwidthUsage::Overusing => "gcc-overuse",
+            BandwidthUsage::Underusing => "gcc-underuse",
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -55,6 +55,14 @@ pub trait CongestionController {
     /// A short name for experiment tables.
     fn name(&self) -> &'static str;
 
+    /// A stable label for the controller's latest rate decision,
+    /// consumed by the observability layer's `TargetChanged` events
+    /// (e.g. GCC reports its detector state). Defaults to a generic
+    /// label for controllers without internal modes.
+    fn decision_reason(&self) -> &'static str {
+        "feedback"
+    }
+
     /// Downcast hook so instrumentation can reach concrete controllers
     /// (e.g. the session recorder logging GCC's detector state).
     fn as_any(&self) -> &dyn std::any::Any;

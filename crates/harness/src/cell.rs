@@ -1,7 +1,8 @@
 //! The unit of parallel work: one `(scheme, trace, content, seed)`
 //! session, labelled for deterministic aggregation.
 
-use ravel_pipeline::{run_session, SessionConfig, SessionResult};
+use ravel_obs::ObsMode;
+use ravel_pipeline::{run_session, run_session_obs, SessionConfig, SessionResult};
 use ravel_sim::{Dur, Time};
 use ravel_trace::{BandwidthTrace, CellularProfile, ConstantTrace, StepTrace, StochasticTrace};
 
@@ -105,6 +106,14 @@ impl Cell {
     /// result, on any thread.
     pub fn run(&self) -> SessionResult {
         run_session(self.trace.build(), self.cfg)
+    }
+
+    /// [`Cell::run`] with an observability mode. The mode is *not* part
+    /// of [`Cell::canonical_key`]: observation never perturbs the
+    /// simulation, and the pool applies one mode uniformly per run, so
+    /// cached results (which carry their obs log) stay interchangeable.
+    pub fn run_obs(&self, obs: ObsMode) -> SessionResult {
+        run_session_obs(self.trace.build(), self.cfg, obs)
     }
 
     /// The cell's content address: a canonical string covering every

@@ -25,6 +25,9 @@
 //! * [`report`] — the `BENCH_harness.json` perf/quality report
 //!   (per-cell wall-clock, simulated-seconds/sec throughput, p50/p95
 //!   latency, SSIM), serialized with the workspace's hand-rolled JSON.
+//! * [`timeline`] — the `--obs full` JSONL timeline exporter: one
+//!   deterministic, wall-clock-free JSON object per recorded
+//!   observability event, diffable across pool widths.
 //!
 //! The binary (`cargo run --release -p ravel-harness -- --jobs 8`)
 //! prints the deterministic tables to stdout, timing to stderr, and the
@@ -37,6 +40,7 @@ pub mod experiments;
 pub mod pool;
 pub mod report;
 pub mod shrink;
+pub mod timeline;
 
 pub use cell::{Cell, TraceSpec};
 pub use experiments::{
@@ -44,8 +48,10 @@ pub use experiments::{
     Output, DROP_AT, E1_AFTER_BPS, POST_WINDOW, PRE_RATE, SESSION_LEN,
 };
 pub use pool::{run_cells, run_cells_opts, CellRun, PoolOptions, PoolStats};
+pub use ravel_obs::ObsMode;
 pub use report::{render_json, RunReport};
-pub use shrink::{shrink_cell, shrink_schedule, MIN_SEGMENT};
+pub use shrink::{shrink_cell, shrink_schedule, violating_timeline, MIN_SEGMENT};
+pub use timeline::{record_json, render_timeline};
 
 /// A sensible default worker count: every available core.
 pub fn default_jobs() -> usize {

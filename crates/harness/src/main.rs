@@ -19,7 +19,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ravel_harness::{
-    default_jobs, experiments, render_json, run_suite_opts, shrink_cell, PoolOptions, RunReport,
+    default_jobs, experiments, render_json, render_timeline, run_suite_opts, shrink_cell,
+    violating_timeline, ObsMode, PoolOptions, RunReport,
 };
 use ravel_net::ChaosSchedule;
 
@@ -38,6 +39,13 @@ OPTIONS:
                          shrunk and printed as minimal reproducers)
     --chaos-seed S       first seed of the chaos sweep (default: 1);
                          cell i uses seed S+i, so (S, N) names the sweep
+    --obs MODE           observability: off (default, zero overhead),
+                         counters (per-subsystem tallies), or full
+                         (every event recorded; prints a per-cell
+                         timeline digest after each experiment and
+                         writes the JSONL timeline to --obs-out)
+    --obs-out PATH       JSONL timeline path for --obs full
+                         (default: OBS_timeline.jsonl)
     --out PATH           JSON report path (default: BENCH_harness.json)
     --timing-free        omit wall-clock fields from the JSON report
                          (the remainder is byte-identical at any --jobs
@@ -56,6 +64,8 @@ struct Args {
     experiments: String,
     chaos: Option<u64>,
     chaos_seed: u64,
+    obs: ObsMode,
+    obs_out: String,
     out: String,
     write_json: bool,
     timing_free: bool,
@@ -70,6 +80,8 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
         experiments: "all".to_string(),
         chaos: None,
         chaos_seed: 1,
+        obs: ObsMode::Off,
+        obs_out: "OBS_timeline.jsonl".to_string(),
         out: "BENCH_harness.json".to_string(),
         write_json: true,
         timing_free: false,
@@ -104,6 +116,12 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--chaos-seed expects an unsigned integer".to_string())?;
             }
+            "--obs" => {
+                let mode = value("--obs")?;
+                args.obs = ObsMode::parse(&mode)
+                    .ok_or_else(|| format!("--obs expects off, counters or full, got '{mode}'"))?;
+            }
+            "--obs-out" => args.obs_out = value("--obs-out")?,
             "--out" | "-o" => args.out = value("--out")?,
             "--no-json" => args.write_json = false,
             "--timing-free" => args.timing_free = true,
@@ -161,6 +179,7 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let opts = PoolOptions {
         use_cache: args.use_cache,
+        obs: args.obs,
     };
     let (runs, stats) = run_suite_opts(&selected, args.jobs, opts);
     let report = RunReport {
@@ -173,6 +192,14 @@ fn main() -> ExitCode {
     for run in &report.experiments {
         println!("=== {}: {} ===", run.id, run.title);
         println!("{}", run.output.render());
+        // Per-cell timeline digests ride below each experiment's table.
+        // Printed only when observation is on, so `--obs off` stdout is
+        // byte-identical to a build without the obs layer at all.
+        if args.obs != ObsMode::Off {
+            for cell in &run.cells {
+                println!("{}", cell.result.obs.digest(&cell.label));
+            }
+        }
     }
 
     // In chaos mode, shrink every violating cell to a minimal
@@ -204,6 +231,10 @@ fn main() -> ExitCode {
                             schedule.segments.len()
                         );
                         print!("{}", min.reproducer());
+                        // The minimized schedule's event-level story:
+                        // re-run it with full observability and print
+                        // the timeline digest around the violation.
+                        println!("{}", violating_timeline(cell, &min));
                     }
                     None => println!("  (violation did not reproduce under re-run)"),
                 }
@@ -223,6 +254,19 @@ fn main() -> ExitCode {
         report.events_rate(),
         report.jobs
     );
+
+    if args.obs == ObsMode::Full {
+        let jsonl = render_timeline(&report.experiments);
+        if let Err(e) = std::fs::write(&args.obs_out, &jsonl) {
+            eprintln!("error: writing {}: {e}", args.obs_out);
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "timeline ({} events) written to {}",
+            jsonl.lines().count(),
+            args.obs_out
+        );
+    }
 
     if args.write_json {
         let json = render_json(&report, !args.timing_free);
@@ -298,6 +342,28 @@ mod tests {
         assert_eq!(e, "--chaos must be at least 1");
         let e = parse(&["--chaos-seed", "x"]).unwrap_err();
         assert_eq!(e, "--chaos-seed expects an unsigned integer");
+    }
+
+    #[test]
+    fn parses_obs_options() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.obs, ObsMode::Off);
+        assert_eq!(a.obs_out, "OBS_timeline.jsonl");
+        let a = parse(&["--obs", "counters"]).unwrap();
+        assert_eq!(a.obs, ObsMode::Counters);
+        let a = parse(&["--obs", "full", "--obs-out", "t.jsonl"]).unwrap();
+        assert_eq!(a.obs, ObsMode::Full);
+        assert_eq!(a.obs_out, "t.jsonl");
+    }
+
+    #[test]
+    fn malformed_obs_is_a_clear_error() {
+        let e = parse(&["--obs", "loud"]).unwrap_err();
+        assert_eq!(e, "--obs expects off, counters or full, got 'loud'");
+        let e = parse(&["--obs"]).unwrap_err();
+        assert_eq!(e, "--obs requires a value");
+        let e = parse(&["--obs-out"]).unwrap_err();
+        assert_eq!(e, "--obs-out requires a value");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use ravel_obs::ObsMode;
 use ravel_pipeline::SessionResult;
 
 use crate::cell::Cell;
@@ -61,11 +62,19 @@ pub struct PoolOptions {
     /// to force every grid position to simulate, e.g. for cold-run
     /// benchmarking or cache-vs-recompute equivalence tests.
     pub use_cache: bool,
+    /// Observability mode applied to every cell (`--obs`). Uniform per
+    /// run and deliberately outside the cell content address:
+    /// observation never changes a simulation's outputs, so a cached
+    /// result (with its obs log) serves any grid position of the run.
+    pub obs: ObsMode,
 }
 
 impl Default for PoolOptions {
     fn default() -> PoolOptions {
-        PoolOptions { use_cache: true }
+        PoolOptions {
+            use_cache: true,
+            obs: ObsMode::Off,
+        }
     }
 }
 
@@ -152,7 +161,7 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
                         let (result, wall) = entry.get_or_init(|| {
                             computed_here = true;
                             let started = Instant::now();
-                            let result = cell.run();
+                            let result = cell.run_obs(opts.obs);
                             (result, started.elapsed())
                         });
                         if computed_here {
@@ -162,7 +171,7 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
                         (result.clone(), *wall, !computed_here)
                     } else {
                         let started = Instant::now();
-                        let result = cell.run();
+                        let result = cell.run_obs(opts.obs);
                         let wall = started.elapsed();
                         busy += wall;
                         executed.fetch_add(1, Ordering::Relaxed);
@@ -275,7 +284,14 @@ mod tests {
     fn duplicates_simulate_once_and_match_recompute_exactly() {
         let cells = duplicated_grid();
         // Reference: cache disabled, serial — every position simulated.
-        let (cold, cold_stats) = run_cells_opts(&cells, 1, PoolOptions { use_cache: false });
+        let (cold, cold_stats) = run_cells_opts(
+            &cells,
+            1,
+            PoolOptions {
+                use_cache: false,
+                ..PoolOptions::default()
+            },
+        );
         assert_eq!(cold_stats.executed, cells.len());
         assert_eq!(cold_stats.cache_hits, 0);
         assert_eq!(cold_stats.unique_cells, cells.len() / 2);

@@ -34,6 +34,9 @@
 //!           "p50_ms": 98.7,
 //!           "p95_ms": 310.0,
 //!           "ssim": 0.9312,
+//!           "rejected": 2,               // non-finite samples rejected
+//!                                        // by the metrics collectors;
+//!                                        // omitted when zero
 //!           "violations": []             // broken session invariants
 //!         }
 //!       ]
@@ -163,6 +166,14 @@ fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
         ("p95_ms".to_string(), Json::Num(r3(all.p95_latency_ms))),
         ("ssim".to_string(), Json::Num(r3(all.mean_ssim))),
     ]);
+    // Non-finite samples the metrics collectors rejected. These used to
+    // be counted inside `RunningStats`/`Percentiles` and then silently
+    // dropped on the floor here, so a NaN-emitting session produced a
+    // clean-looking report. Emitted only when nonzero: healthy grids
+    // stay byte-identical to earlier schema-3 reports.
+    if all.rejected > 0 {
+        fields.push(("rejected".to_string(), Json::Num(all.rejected as f64)));
+    }
     // Invariant violations are pure simulation facts (deterministic
     // detail strings, no wall-clock content), so they belong in the
     // timing-free rendering too — the CI chaos gate greps for them.
@@ -316,5 +327,43 @@ mod tests {
         assert!(cells[0].get("events_per_sec").is_none());
         assert!(cells[0].get("events").is_some());
         assert!(cells[0].get("violations").is_some());
+        // Healthy cells reject nothing, so the field stays omitted and
+        // clean reports keep their pre-schema-addition byte layout.
+        assert!(cells[0].get("rejected").is_none());
+    }
+
+    #[test]
+    fn rejected_counter_reaches_the_per_cell_report() {
+        // Regression: `RunningStats`/`Percentiles`/`Histogram` counted
+        // rejected non-finite samples, but the per-cell JSON dropped the
+        // count — a NaN-emitting session rendered indistinguishable from
+        // a clean one.
+        use ravel_metrics::{FrameOutcomeKind, FrameRecord, LatencyRecorder};
+        use ravel_sim::{Dur, Time};
+
+        let exps = [e16()];
+        let (mut runs, stats) = run_suite_opts(&exps, 1, PoolOptions::default());
+        let mut poisoned = LatencyRecorder::new();
+        poisoned.push(FrameRecord {
+            pts: Time::ZERO,
+            outcome: FrameOutcomeKind::Displayed,
+            latency: Some(Dur::millis(40)),
+            ssim: f64::NAN,
+            psnr_db: Some(f64::NEG_INFINITY),
+        });
+        runs[0].cells[0].result.recorder = poisoned;
+        let report = RunReport {
+            jobs: 1,
+            total_wall: Duration::ZERO,
+            stats,
+            experiments: runs,
+        };
+        let doc = parse(&render_json(&report, false)).unwrap();
+        let cells = doc.get("experiments").and_then(Json::as_array).unwrap()[0]
+            .get("cells")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(cells[0].get("rejected").and_then(Json::as_f64), Some(2.0));
+        assert!(cells[1].get("rejected").is_none());
     }
 }

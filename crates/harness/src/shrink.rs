@@ -12,7 +12,8 @@
 //! the same failing cell always minimizes to the same reproducer.
 
 use ravel_net::ChaosSchedule;
-use ravel_pipeline::run_session_chaos;
+use ravel_obs::ObsMode;
+use ravel_pipeline::{run_session_chaos, run_session_chaos_obs};
 use ravel_sim::Dur;
 
 use crate::cell::Cell;
@@ -100,6 +101,22 @@ pub fn shrink_cell(cell: &Cell, schedule: &ChaosSchedule) -> Option<ChaosSchedul
         return None;
     }
     Some(shrink_schedule(schedule, violates))
+}
+
+/// Re-runs the cell's seeded session under `schedule` with full
+/// observability and renders the timeline digest — the event-level bug
+/// report that accompanies a minimized reproducer. Deterministic: the
+/// same cell and schedule always print the same digest (observation
+/// never perturbs the simulation).
+pub fn violating_timeline(cell: &Cell, schedule: &ChaosSchedule) -> String {
+    run_session_chaos_obs(
+        cell.trace.build(),
+        cell.cfg,
+        Some(schedule.clone()),
+        ObsMode::Full,
+    )
+    .obs
+    .digest(&cell.label)
 }
 
 #[cfg(test)]

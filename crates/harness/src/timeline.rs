@@ -1,0 +1,166 @@
+//! JSONL timeline export for `--obs full`.
+//!
+//! One JSON object per recorded observability event, one event per
+//! line, in deterministic order: experiments in canonical order, cells
+//! in grid order, events in simulation order. Serialized with the
+//! workspace's hand-rolled JSON module ([`ravel_trace::json`]) so
+//! offline builds never need serde. Every field is a pure simulation
+//! fact (sim-time, sequence numbers, byte counts) — no wall clock ever
+//! enters a line, which is what makes `diff` a valid determinism gate
+//! on two timelines from different pool widths.
+//!
+//! Line shape:
+//!
+//! ```json
+//! {"cell":"4->1M/gcc+adaptive","t":3.01644,"event":"target-changed",
+//!  "old_bps":2934000.0,"new_bps":2640600.0,"reason":"gcc-overuse"}
+//! ```
+//!
+//! `t` is the event's sim-time in seconds; `event` is the kebab-case
+//! kind discriminator from [`ObsEvent::kind`]; the remaining fields are
+//! the variant's payload.
+
+use ravel_obs::{ObsEvent, ObsRecord};
+use ravel_trace::json::Json;
+
+use crate::experiments::ExperimentRun;
+
+fn num(x: f64) -> Json {
+    Json::Num(x)
+}
+
+/// Serializes one observability record as a single JSON object with the
+/// owning cell's label attached.
+pub fn record_json(cell: &str, rec: &ObsRecord) -> Json {
+    let mut fields = vec![
+        ("cell".to_string(), Json::Str(cell.to_string())),
+        ("t".to_string(), num(rec.at.as_secs_f64())),
+        ("event".to_string(), Json::Str(rec.event.kind().to_string())),
+    ];
+    let mut push = |key: &str, value: Json| fields.push((key.to_string(), value));
+    match &rec.event {
+        ObsEvent::FrameCaptured { index } => push("index", num(*index as f64)),
+        ObsEvent::FrameEncoded {
+            index,
+            size_bytes,
+            qp,
+            target_bps,
+        } => {
+            push("index", num(*index as f64));
+            push("size_bytes", num(*size_bytes as f64));
+            push("qp", num(*qp));
+            push("target_bps", num(*target_bps));
+        }
+        ObsEvent::PacketSent { seq, size_bytes } => {
+            push("seq", num(*seq as f64));
+            push("size_bytes", num(*size_bytes as f64));
+        }
+        ObsEvent::PacketDelivered { seq } => push("seq", num(*seq as f64)),
+        ObsEvent::PacketDropped { seq, reason } => {
+            push("seq", num(*seq as f64));
+            push("reason", Json::Str(reason.to_string()));
+        }
+        ObsEvent::FeedbackReceived { report_seq, lost } => {
+            push("report_seq", num(*report_seq as f64));
+            push("lost", num(*lost as f64));
+        }
+        ObsEvent::TargetChanged {
+            old_bps,
+            new_bps,
+            reason,
+        } => {
+            push("old_bps", num(*old_bps));
+            push("new_bps", num(*new_bps));
+            push("reason", Json::Str(reason.to_string()));
+        }
+        ObsEvent::PliSent | ObsEvent::KeyframeEmitted => {}
+        ObsEvent::ChaosSegmentEntered { kind, from, until } => {
+            push("kind", Json::Str(kind.to_string()));
+            push("from", num(from.as_secs_f64()));
+            push("until", num(until.as_secs_f64()));
+        }
+        ObsEvent::InvariantViolated { name, detail } => {
+            push("name", Json::Str(name.to_string()));
+            push("detail", Json::Str(detail.clone()));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Renders the full JSONL timeline of a run: every recorded event of
+/// every cell of every experiment, one object per line, ending with a
+/// newline (empty string when nothing was recorded, e.g. `--obs off`
+/// or `counters`).
+pub fn render_timeline(experiments: &[ExperimentRun]) -> String {
+    let mut out = String::new();
+    for exp in experiments {
+        for cell in &exp.cells {
+            for rec in cell.result.obs.events() {
+                out.push_str(&record_json(&cell.label, rec).render());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ravel_sim::Time;
+    use ravel_trace::json::parse;
+
+    #[test]
+    fn record_json_round_trips_payload_fields() {
+        let rec = ObsRecord {
+            at: Time::from_millis(3125),
+            event: ObsEvent::TargetChanged {
+                old_bps: 4e6,
+                new_bps: 3.4e6,
+                reason: "gcc-overuse",
+            },
+        };
+        let line = record_json("cell-a", &rec).render();
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("cell").and_then(Json::as_str), Some("cell-a"));
+        assert_eq!(doc.get("t").and_then(Json::as_f64), Some(3.125));
+        assert_eq!(
+            doc.get("event").and_then(Json::as_str),
+            Some("target-changed")
+        );
+        assert_eq!(doc.get("old_bps").and_then(Json::as_f64), Some(4e6));
+        assert_eq!(doc.get("new_bps").and_then(Json::as_f64), Some(3.4e6));
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("gcc-overuse")
+        );
+    }
+
+    #[test]
+    fn payload_free_events_carry_only_the_envelope() {
+        let rec = ObsRecord {
+            at: Time::from_secs(1),
+            event: ObsEvent::PliSent,
+        };
+        let line = record_json("c", &rec).render();
+        assert_eq!(line, r#"{"cell":"c","t":1,"event":"pli-sent"}"#);
+    }
+
+    #[test]
+    fn violation_detail_is_escaped() {
+        let rec = ObsRecord {
+            at: Time::ZERO,
+            event: ObsEvent::InvariantViolated {
+                name: "conservation",
+                detail: "lost \"quote\" and\nnewline".to_string(),
+            },
+        };
+        let line = record_json("c", &rec).render();
+        assert!(!line.contains('\n'), "JSONL line must stay one line");
+        let doc = parse(&line).unwrap();
+        assert_eq!(
+            doc.get("detail").and_then(Json::as_str),
+            Some("lost \"quote\" and\nnewline")
+        );
+    }
+}

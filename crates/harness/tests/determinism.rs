@@ -131,7 +131,11 @@ fn cached_output_matches_no_cache_serial_reference_exactly() {
     };
 
     let run_with = |jobs, use_cache| {
-        let (runs, stats) = run_suite_opts(&mk(), jobs, PoolOptions { use_cache });
+        let opts = PoolOptions {
+            use_cache,
+            ..PoolOptions::default()
+        };
+        let (runs, stats) = run_suite_opts(&mk(), jobs, opts);
         let rendered = runs[0].output.render();
         let report = RunReport {
             jobs: 1, // pin the header so JSON compares across widths

@@ -69,6 +69,11 @@ pub struct LatencySummary {
     pub mean_ssim: f64,
     /// Mean PSNR of displayed frames, dB.
     pub mean_psnr_db: f64,
+    /// Non-finite samples the underlying collectors rejected instead of
+    /// folding in (latency, SSIM and PSNR streams combined). Zero on
+    /// every healthy session; a nonzero value means some stage emitted
+    /// NaN/±inf and the means above silently exclude those slots.
+    pub rejected: u64,
 }
 
 impl LatencySummary {
@@ -161,6 +166,9 @@ impl LatencyRecorder {
             },
             mean_ssim: ssim.mean(),
             mean_psnr_db: psnr.mean(),
+            // `lat` and `lat_stats` see the same pushes, so count the
+            // latency stream once.
+            rejected: lat_stats.rejected() + ssim.rejected() + psnr.rejected(),
         }
     }
 
@@ -236,6 +244,35 @@ mod tests {
         assert_eq!(s.mean_latency_ms, 0.0);
         assert_eq!(s.freeze_ratio(), 0.0);
         assert_eq!(s.max_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn rejected_samples_are_counted_not_dropped() {
+        // Regression: rejected non-finite samples used to vanish — the
+        // collectors counted them but the summary never surfaced the
+        // count, so a poisoned session looked clean downstream.
+        let mut r = LatencyRecorder::new();
+        r.push(rec(0, Some(100), 0.95));
+        r.push(FrameRecord {
+            pts: Time::from_millis(33),
+            outcome: FrameOutcomeKind::Displayed,
+            latency: Some(Dur::millis(50)),
+            ssim: f64::NAN,
+            psnr_db: Some(f64::INFINITY),
+        });
+        let s = r.summarize_all();
+        assert_eq!(s.frames, 2);
+        // One NaN SSIM + one infinite PSNR.
+        assert_eq!(s.rejected, 2);
+        assert!(s.mean_ssim.is_finite());
+        assert!(s.mean_psnr_db.is_finite());
+
+        let clean = {
+            let mut r = LatencyRecorder::new();
+            r.push(rec(0, Some(100), 0.95));
+            r.summarize_all()
+        };
+        assert_eq!(clean.rejected, 0);
     }
 
     #[test]

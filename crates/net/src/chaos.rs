@@ -100,7 +100,9 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
-    fn name(&self) -> &'static str {
+    /// Stable fault name, used in reproducer specs and the
+    /// observability layer's `ChaosSegmentEntered` events.
+    pub fn name(&self) -> &'static str {
         match self {
             FaultKind::BurstLoss(_) => "burst-loss",
             FaultKind::Blackout => "blackout",

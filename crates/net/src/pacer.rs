@@ -256,6 +256,60 @@ mod tests {
         Pacer::new(1e6, 0.5);
     }
 
+    proptest::proptest! {
+        /// Generalizes `pre_stamped_send_time_is_never_moved_backward`
+        /// to random schedules: under any interleaving of enqueues
+        /// (with arbitrary pre-stamps), rate changes and release polls,
+        /// every released stamp is (a) at least the packet's pre-stamp,
+        /// (b) monotone non-decreasing across the whole run, and (c) no
+        /// later than `max(now, pre-stamp)`.
+        #[test]
+        fn release_stamps_never_move_backward_under_random_schedules(
+            stamps in proptest::collection::vec(0u64..200, 1..60),
+            sizes in proptest::collection::vec(100u64..1500, 1..60),
+            gaps in proptest::collection::vec(0u64..20, 1..60),
+            rates in proptest::collection::vec(1u64..40, 1..60),
+        ) {
+            let mut pacer = Pacer::new(1e6, 2.5);
+            let mut pre = std::collections::HashMap::new();
+            let mut now = Time::ZERO;
+            let mut released: Vec<(Packet, Time)> = Vec::new();
+            let n = stamps.len();
+            for i in 0..n {
+                let mut p = pkt(i as u64, sizes[i % sizes.len()]);
+                p.send_time = Time::from_millis(stamps[i]);
+                pre.insert(p.seq, p.send_time);
+                pacer.enqueue([p]);
+                if i % 3 == 2 {
+                    // 0.1–4 Mbps retarget mid-stream.
+                    pacer.set_target_bitrate(rates[i % rates.len()] as f64 * 1e5);
+                }
+                now += Dur::millis(gaps[i % gaps.len()]);
+                released.extend(pacer.release(now).into_iter().map(|p| (p, now)));
+            }
+            // Drain: backlog boost bounds queue time at 2 s, pre-stamps
+            // at 200 ms, so a few seconds of polling empties the queue.
+            for _ in 0..100 {
+                if pacer.queued_packets() == 0 {
+                    break;
+                }
+                now += Dur::millis(100);
+                released.extend(pacer.release(now).into_iter().map(|p| (p, now)));
+            }
+            proptest::prop_assert_eq!(released.len(), n, "queue failed to drain");
+
+            let mut last = Time::ZERO;
+            for &(p, at) in &released {
+                let stamp = p.send_time;
+                let pre_stamp = pre[&p.seq];
+                proptest::prop_assert!(stamp >= pre_stamp, "pre-stamp moved backward");
+                proptest::prop_assert!(stamp >= last, "release stamps not monotone");
+                proptest::prop_assert!(stamp <= at.max(pre_stamp), "stamp from the future");
+                last = stamp;
+            }
+        }
+    }
+
     #[test]
     fn backlog_boosts_drain_rate() {
         // A huge backlog at a tiny nominal rate must still drain within

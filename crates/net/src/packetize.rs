@@ -389,7 +389,96 @@ mod tests {
         assert!(asm.push(&f0[1], t).is_some());
     }
 
+    #[test]
+    fn mtu_shrink_mid_stream_round_trips_at_chaos_boundaries() {
+        // The chaos MtuShrink fault only ever narrows the payload MTU to
+        // 300/600/900 bytes (see `ChaosSchedule::generate`). Frames
+        // packetized immediately before, during and after the shrink
+        // must all reassemble, with transport-wide sequence numbers
+        // staying contiguous across the boundary.
+        for shrunk in [300u64, 600, 900] {
+            let mut p = Packetizer::new();
+            let mut asm = FrameAssembler::new();
+            let before = p.packetize(&frame(0, 3100));
+            p.set_payload_mtu(Some(shrunk));
+            let during = p.packetize(&frame(1, 3100));
+            p.set_payload_mtu(None);
+            let after = p.packetize(&frame(2, 3100));
+
+            assert!(during.len() > before.len(), "mtu={shrunk}");
+            assert_eq!(after.len(), before.len());
+            for (expect_seq, pkt) in before.iter().chain(&during).chain(&after).enumerate() {
+                assert_eq!(pkt.seq, expect_seq as u64, "seq gap across MTU shrink");
+            }
+
+            let mut t = Time::from_millis(1);
+            let mut completed = Vec::new();
+            for pkt in before.iter().chain(&during).chain(&after) {
+                if let Some(done) = asm.push(pkt, t) {
+                    completed.push(done);
+                }
+                t += Dur::millis(1);
+            }
+            assert_eq!(completed.len(), 3, "mtu={shrunk}");
+            for (i, done) in completed.iter().enumerate() {
+                assert_eq!(done.frame_index, i as u64);
+                let n = [&before, &during, &after][i].len() as u64;
+                assert_eq!(done.total_bytes, 3100 + n * HEADER_BYTES);
+            }
+        }
+    }
+
     proptest::proptest! {
+        /// Round-trip: packetize → reassemble recovers the frame for any
+        /// size and any payload MTU — including hostile values below the
+        /// 64-byte clamp and the chaos shrink range — under any rotation
+        /// of the fragment arrival order.
+        #[test]
+        fn packetize_reassembly_round_trips(
+            size in 1u64..500_000,
+            mtu in 1u64..2_000,
+            rot in 0usize..64,
+        ) {
+            let mut p = Packetizer::new();
+            p.set_payload_mtu(Some(mtu));
+            let effective = p.payload_mtu();
+            proptest::prop_assert!(effective >= 64);
+            let f = frame(7, size);
+            let pkts = p.packetize(&f);
+            let payload: u64 = pkts.iter().map(|p| p.size_bytes - HEADER_BYTES).sum();
+            proptest::prop_assert_eq!(payload, size.max(1));
+            for pkt in &pkts {
+                proptest::prop_assert!(pkt.size_bytes - HEADER_BYTES <= effective);
+            }
+
+            // Deliver fragments rotated by `rot`: the frame must
+            // complete exactly on the last distinct fragment, whichever
+            // position it arrives in.
+            let mut asm = FrameAssembler::new();
+            let t0 = Time::from_millis(10);
+            let n = pkts.len();
+            let mut done = None;
+            for i in 0..n {
+                let arrival = t0 + Dur::millis(i as u64);
+                let completed = asm.push(&pkts[(i + rot) % n], arrival);
+                if i + 1 < n {
+                    proptest::prop_assert!(completed.is_none());
+                } else {
+                    done = completed;
+                }
+            }
+            let done = done.expect("last fragment completes the frame");
+            proptest::prop_assert_eq!(done.frame_index, 7);
+            proptest::prop_assert_eq!(done.pts, f.pts);
+            proptest::prop_assert!(!done.is_keyframe);
+            proptest::prop_assert_eq!(
+                done.total_bytes,
+                size.max(1) + n as u64 * HEADER_BYTES
+            );
+            proptest::prop_assert_eq!(done.complete_at, t0 + Dur::millis(n as u64 - 1));
+            proptest::prop_assert_eq!(asm.pending_frames(), 0);
+        }
+
         /// Packetize always produces fragments that sum to the payload
         /// and carry contiguous fragment numbers.
         #[test]

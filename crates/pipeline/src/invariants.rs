@@ -113,6 +113,13 @@ impl InvariantChecker {
         }
     }
 
+    /// The violations collected so far, in first-flagged order. Lets
+    /// live instrumentation (the observability log) detect and emit
+    /// newly flagged violations mid-run.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
     /// The collected violations, in first-flagged order.
     pub fn into_violations(self) -> Vec<InvariantViolation> {
         self.violations

@@ -29,4 +29,7 @@ pub mod session;
 
 pub use invariants::{Invariant, InvariantChecker, InvariantViolation};
 pub use scheme::{CcKind, Scheme};
-pub use session::{run_session, run_session_chaos, SessionConfig, SessionResult};
+pub use session::{
+    run_session, run_session_chaos, run_session_chaos_obs, run_session_obs, SessionConfig,
+    SessionResult,
+};

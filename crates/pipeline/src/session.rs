@@ -11,6 +11,7 @@ use ravel_net::{
     NackGenerator, Pacer, Packet, Packetizer, PliRequester, ReversePath, ReversePathConfig,
     RtxBuffer,
 };
+use ravel_obs::{ObsEvent, ObsLog, ObsMode};
 use ravel_sim::{Dur, EventQueue, SeriesSet, Time};
 use ravel_trace::BandwidthTrace;
 use ravel_video::{ContentClass, RawFrame, Resolution, VideoSource};
@@ -201,6 +202,12 @@ pub struct SessionResult {
     /// not panicked: the harness reports these per cell and can shrink
     /// the chaos schedule that caused them.
     pub violations: Vec<InvariantViolation>,
+    /// Observability log: empty (and cost-free) unless the session was
+    /// started through an `_obs` entry point with a mode other than
+    /// [`ObsMode::Off`]. Stamped exclusively with simulation time, so
+    /// its digest is byte-identical across reruns, worker counts, and
+    /// cache hits.
+    pub obs: ObsLog,
 }
 
 /// Per-captured-frame sender-side record for the display post-pass.
@@ -254,10 +261,22 @@ const RECOVERY_CAPACITY_PROBE: Dur = Dur::millis(500);
 /// applied; see [`run_session_chaos`] to supply an explicit schedule
 /// (the shrinker's entry point).
 pub fn run_session<T: BandwidthTrace>(trace: T, cfg: SessionConfig) -> SessionResult {
+    run_session_obs(trace, cfg, ObsMode::Off)
+}
+
+/// [`run_session`] with an observability mode. `ObsMode::Off` is exact
+/// passthrough (every hook inlines to an early return); the other modes
+/// populate [`SessionResult::obs`] without perturbing the simulation —
+/// event order, RNG draws, and all measurements stay byte-identical.
+pub fn run_session_obs<T: BandwidthTrace>(
+    trace: T,
+    cfg: SessionConfig,
+    obs: ObsMode,
+) -> SessionResult {
     let schedule = cfg
         .chaos
         .map(|spec| ChaosSchedule::generate(spec, cfg.duration));
-    run_session_chaos(trace, cfg, schedule)
+    run_session_chaos_obs(trace, cfg, schedule, obs)
 }
 
 /// [`run_session`] with an explicit chaos schedule, bypassing schedule
@@ -269,6 +288,17 @@ pub fn run_session_chaos<T: BandwidthTrace>(
     trace: T,
     cfg: SessionConfig,
     schedule: Option<ChaosSchedule>,
+) -> SessionResult {
+    run_session_chaos_obs(trace, cfg, schedule, ObsMode::Off)
+}
+
+/// [`run_session_chaos`] with an observability mode — the shrinker uses
+/// this to render the violating timeline of a minimized schedule.
+pub fn run_session_chaos_obs<T: BandwidthTrace>(
+    trace: T,
+    cfg: SessionConfig,
+    schedule: Option<ChaosSchedule>,
+    obs_mode: ObsMode,
 ) -> SessionResult {
     let schedule = schedule.filter(|s| !s.is_empty());
     // --- components -----------------------------------------------------
@@ -315,6 +345,28 @@ pub fn run_session_chaos<T: BandwidthTrace>(
         .map(|s| ForwardChaos::new(s.clone(), cfg.seed));
     let mut acct = ForwardAcct::default();
     let mut checker = InvariantChecker::new();
+    let mut obs = ObsLog::new(obs_mode);
+    // Violations already mirrored into the obs log (index into the
+    // checker's first-flagged order).
+    let mut obs_violations_seen = 0usize;
+    // Chaos segments are announced as the event clock crosses their
+    // start. Empty when obs is off, so the loop-top scan is free.
+    let seg_meta: Vec<(Time, Time, &'static str)> = if obs.enabled() {
+        let mut meta: Vec<_> = schedule
+            .as_ref()
+            .map(|s| {
+                s.segments
+                    .iter()
+                    .map(|seg| (seg.from, seg.until, seg.kind.name()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        meta.sort_by_key(|&(from, _, _)| from);
+        meta
+    } else {
+        Vec::new()
+    };
+    let mut seg_cursor = 0usize;
     // Recovery invariants are anchored to the end of the last fault.
     let chaos_bounds = cfg.chaos.unwrap_or_else(|| ChaosSpec::new(0, 1.0));
     let chaos_clear = schedule.as_ref().and_then(|s| s.last_fault_end());
@@ -390,6 +442,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                 Invariant::MonotonicDelivery,
                 format!("event clock ran backwards: {now} after {last_event_at}"),
             );
+            note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
         }
         last_event_at = now;
         if now > hard_end {
@@ -400,10 +453,16 @@ pub fn run_session_chaos<T: BandwidthTrace>(
             }
             break;
         }
+        while seg_cursor < seg_meta.len() && seg_meta[seg_cursor].0 <= now {
+            let (from, until, kind) = seg_meta[seg_cursor];
+            obs.record(now, || ObsEvent::ChaosSegmentEntered { kind, from, until });
+            seg_cursor += 1;
+        }
         match scheduled.event {
             Event::Capture => {
                 let frame = source.next_frame();
                 debug_assert_eq!(frame.pts, now, "capture clock drift");
+                obs.record(now, || ObsEvent::FrameCaptured { index: frame.index });
                 // While the feedback loop is blind, optionally skip every
                 // other frame (both schemes): at a given target rate this
                 // halves the data fired into an unobservable network.
@@ -433,6 +492,15 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                     FrameDecision::Encode => {
                         let encoded = encoder.encode(&frame, now);
                         frames_encoded += 1;
+                        obs.record(now, || ObsEvent::FrameEncoded {
+                            index: encoded.index,
+                            size_bytes: encoded.size_bytes,
+                            qp: encoded.qp.value(),
+                            target_bps: encoder.target_bps(),
+                        });
+                        if encoded.frame_type.is_intra() {
+                            obs.record(now, || ObsEvent::KeyframeEmitted);
+                        }
                         if cfg.record_series {
                             series.push("qp", now, encoded.qp.value());
                             series.push(
@@ -478,6 +546,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                         link: &mut link,
                         chaos: fwd_chaos.as_mut(),
                         acct: &mut acct,
+                        obs: &mut obs,
                     },
                     &mut queue,
                     now,
@@ -492,6 +561,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                         link: &mut link,
                         chaos: fwd_chaos.as_mut(),
                         acct: &mut acct,
+                        obs: &mut obs,
                     },
                     &mut queue,
                     now,
@@ -501,6 +571,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
             }
             Event::Arrival(packet) => {
                 acct.arrivals += 1;
+                obs.record(now, || ObsEvent::PacketDelivered { seq: packet.seq });
                 if now < packet.send_time {
                     checker.violate(
                         Invariant::MonotonicDelivery,
@@ -509,6 +580,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                             packet.seq, packet.send_time
                         ),
                     );
+                    note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
                 }
                 feedback.on_packet(&packet, now);
                 if cfg.enable_rtx {
@@ -577,6 +649,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                         )
                     },
                 );
+                note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
                 if let Some(report) = feedback.flush(now) {
                     // Reported losses mean some frame will be
                     // undecodable: arm (or keep alive) the keyframe
@@ -592,6 +665,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                 // PLI emission (first send and backoff retries) shares
                 // the feedback cadence — and the impaired reverse path.
                 if pli.poll(now) {
+                    obs.record(now, || ObsEvent::PliSent);
                     for at in reverse.transit(now).into_iter().flatten() {
                         queue.push(at, Event::PliArrive);
                     }
@@ -627,6 +701,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                         link: &mut link,
                         chaos: fwd_chaos.as_mut(),
                         acct: &mut acct,
+                        obs: &mut obs,
                     },
                     &mut queue,
                     audio,
@@ -689,6 +764,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                             link: &mut link,
                             chaos: fwd_chaos.as_mut(),
                             acct: &mut acct,
+                            obs: &mut obs,
                         },
                         &mut queue,
                         now,
@@ -708,6 +784,11 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                     continue;
                 }
                 last_report_seq = Some(report.report_seq);
+                obs.record(now, || ObsEvent::FeedbackReceived {
+                    report_seq: report.report_seq,
+                    lost: report.lost_count() as u64,
+                });
+                let old_target = encoder.target_bps();
                 if let Some(wd) = watchdog.as_mut() {
                     wd.on_valid_report(now);
                 }
@@ -723,11 +804,19 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                 }
                 pacer.set_target_bitrate(encoder.target_bps().max(PACER_FLOOR_BPS));
                 let target = encoder.target_bps();
+                if target != old_target {
+                    obs.record(now, || ObsEvent::TargetChanged {
+                        old_bps: old_target,
+                        new_bps: target,
+                        reason: cc.decision_reason(),
+                    });
+                }
                 if !target.is_finite() || !gcc_target.is_finite() {
                     checker.violate(
                         Invariant::FiniteMetrics,
                         format!("non-finite rate at {now}: encoder {target}, gcc {gcc_target}"),
                     );
+                    note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
                 }
                 // Recovery-within-T: the target counts as recovered if
                 // it reaches the goal at any point between the last
@@ -774,12 +863,21 @@ pub fn run_session_chaos<T: BandwidthTrace>(
                         // slow path; the adaptive controller routes it
                         // through its Degraded phase (fast reconfigure +
                         // Recover hand-off when feedback resumes).
-                        let target = wd.apply_backoff(encoder.target_bps());
+                        let old_target = encoder.target_bps();
+                        let target = wd.apply_backoff(old_target);
                         match controller.as_mut() {
                             Some(ctl) => ctl.on_feedback_timeout(target, now, &mut encoder),
                             None => encoder.set_target_bitrate(target),
                         }
                         pacer.set_target_bitrate(encoder.target_bps().max(PACER_FLOOR_BPS));
+                        let new_target = encoder.target_bps();
+                        if new_target != old_target {
+                            obs.record(now, || ObsEvent::TargetChanged {
+                                old_bps: old_target,
+                                new_bps: new_target,
+                                reason: "watchdog",
+                            });
+                        }
                         if cfg.record_series {
                             // FeedbackArrive cannot log while blind, so
                             // the decay is recorded here.
@@ -825,6 +923,7 @@ pub fn run_session_chaos<T: BandwidthTrace>(
             )
         },
     );
+    note_violations(&mut obs, &checker, &mut obs_violations_seen, last_event_at);
 
     // --- display post-pass --------------------------------------------
     let mut decoder = Decoder::new();
@@ -972,6 +1071,10 @@ pub fn run_session_chaos<T: BandwidthTrace>(
             }
         }
     }
+    // Post-pass invariants (freeze termination, rate recovery, finite
+    // metrics) are stamped at the last event-loop instant: they are
+    // end-of-run verdicts, not point-in-time observations.
+    note_violations(&mut obs, &checker, &mut obs_violations_seen, last_event_at);
 
     SessionResult {
         recorder,
@@ -999,6 +1102,24 @@ pub fn run_session_chaos<T: BandwidthTrace>(
         chaos_duplicates,
         chain_breaks: decoder.chain_breaks(),
         violations: checker.into_violations(),
+        obs,
+    }
+}
+
+/// Mirrors any violations the checker flagged since the last call into
+/// the observability log, stamped at `at`.
+fn note_violations(obs: &mut ObsLog, checker: &InvariantChecker, seen: &mut usize, at: Time) {
+    if !obs.enabled() {
+        return;
+    }
+    let all = checker.violations();
+    while *seen < all.len() {
+        let v = &all[*seen];
+        obs.record(at, || ObsEvent::InvariantViolated {
+            name: v.invariant.name(),
+            detail: v.detail.clone(),
+        });
+        *seen += 1;
     }
 }
 
@@ -1020,6 +1141,7 @@ struct ForwardLane<'a, T: BandwidthTrace> {
     link: &'a mut Link<T>,
     chaos: Option<&'a mut ForwardChaos>,
     acct: &'a mut ForwardAcct,
+    obs: &'a mut ObsLog,
 }
 
 /// Sends one packet over the link, routing a delivered packet through
@@ -1033,6 +1155,10 @@ fn send_forward<T: BandwidthTrace>(
     now: Time,
 ) {
     lane.acct.sent += 1;
+    lane.obs.record(now, || ObsEvent::PacketSent {
+        seq: packet.seq,
+        size_bytes: packet.size_bytes,
+    });
     match lane.link.send(&packet, now) {
         Delivery::At(arrival) => match lane.chaos.as_deref_mut() {
             Some(ch) => {
@@ -1040,13 +1166,24 @@ fn send_forward<T: BandwidthTrace>(
                 if let Some(at) = fate.duplicate {
                     queue.push(at, Event::Arrival(packet));
                 }
-                if let Some(at) = fate.arrival {
-                    queue.push(at, Event::Arrival(packet));
+                match fate.arrival {
+                    Some(at) => queue.push(at, Event::Arrival(packet)),
+                    None => lane.obs.record(now, || ObsEvent::PacketDropped {
+                        seq: packet.seq,
+                        reason: "chaos",
+                    }),
                 }
             }
             None => queue.push(arrival, Event::Arrival(packet)),
         },
-        Delivery::QueueDrop | Delivery::Lost => {}
+        Delivery::QueueDrop => lane.obs.record(now, || ObsEvent::PacketDropped {
+            seq: packet.seq,
+            reason: "queue",
+        }),
+        Delivery::Lost => lane.obs.record(now, || ObsEvent::PacketDropped {
+            seq: packet.seq,
+            reason: "loss",
+        }),
     }
 }
 
@@ -1373,6 +1510,44 @@ mod tests {
                 assert_eq!(a.chaos_duplicates, b.chaos_duplicates);
             }
         }
+    }
+
+    #[test]
+    fn obs_capture_does_not_perturb_the_session() {
+        // Recording a full timeline must be a pure observer: all
+        // measurements stay byte-identical to an unobserved run.
+        let mut cfg = short_cfg(Scheme::adaptive());
+        cfg.chaos = Some(ChaosSpec::new(3, 0.5));
+        let mk = || StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10));
+        let off = run_session(mk(), cfg);
+        let full = run_session_obs(mk(), cfg, ObsMode::Full);
+        assert_eq!(off.recorder.records(), full.recorder.records());
+        assert_eq!(off.events_processed, full.events_processed);
+        assert_eq!(off.packets_delivered, full.packets_delivered);
+        assert_eq!(off.violations, full.violations);
+        // And the observed run actually saw the session.
+        assert_eq!(full.obs.counters.frames_captured, full.frames_captured);
+        assert_eq!(full.obs.counters.frames_encoded, full.frames_encoded);
+        // Delivered events include chaos duplicates and exclude packets
+        // still in flight at session end, so compare loosely.
+        assert!(full.obs.counters.packets_delivered > 0);
+        assert!(
+            full.obs.counters.packets_sent + full.chaos_duplicates
+                >= full.obs.counters.packets_delivered
+        );
+        assert!(full.obs.counters.chaos_segments > 0);
+        assert!(full.obs.counters.target_changes > 0);
+        assert!(full.obs.recorded() > 0);
+        // Off mode records nothing at all.
+        assert_eq!(off.obs.recorded(), 0);
+        assert_eq!(off.obs.counters.total(), 0);
+        // Counters mode tallies identically to full capture.
+        let counters = run_session_obs(mk(), cfg, ObsMode::Counters);
+        assert_eq!(counters.obs.counters, full.obs.counters);
+        assert!(counters.obs.events().is_empty());
+        // The timeline digest is deterministic across reruns.
+        let full2 = run_session_obs(mk(), cfg, ObsMode::Full);
+        assert_eq!(full.obs.digest("cell"), full2.obs.digest("cell"));
     }
 
     #[test]

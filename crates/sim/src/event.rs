@@ -264,6 +264,33 @@ mod tests {
                 last = Some((s.at, s.event));
             }
         }
+
+        /// Stronger than pairwise FIFO: the full pop sequence equals the
+        /// *stable sort* of the pushed schedule by timestamp. The time
+        /// domain is deliberately tiny (0..8 ms for up to 300 events) so
+        /// most timestamps collide — the regime where an unstable heap
+        /// would scramble equal-time events.
+        #[test]
+        fn pop_sequence_is_the_stable_sort_of_the_schedule(
+            times in proptest::collection::vec(0u64..8, 1..300)
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Time::from_millis(t), i);
+            }
+            let mut expect: Vec<(Time, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (Time::from_millis(t), i))
+                .collect();
+            // `sort_by_key` is stable: ties keep insertion order.
+            expect.sort_by_key(|&(t, _)| t);
+            let mut got = Vec::with_capacity(times.len());
+            while let Some(s) = q.pop() {
+                got.push((s.at, s.event));
+            }
+            proptest::prop_assert_eq!(got, expect);
+        }
     }
 
     #[test]
