@@ -976,6 +976,51 @@ mod tests {
     }
 
     #[test]
+    fn repeated_blind_episodes_reenter_degraded() {
+        // E17 regime: the reverse path blacks out twice. Each blind
+        // episode must re-enter Degraded, and each resumption must route
+        // control back through Recover to Steady — the second blackout
+        // behaves like the first, not like a controller stuck in a
+        // stale phase.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
+        let mut enc = encoder(4e6);
+        let mut seq = 0;
+        warm(&mut ctl, &mut enc, &mut seq);
+        let mut round = 20u64;
+        for episode in 0..2 {
+            // Watchdog-computed backoffs while blind.
+            let t = Time::from_millis((round + 2) * 100);
+            ctl.on_feedback_timeout(2.8e6, t, &mut enc);
+            ctl.on_feedback_timeout(1.96e6, t + Dur::millis(200), &mut enc);
+            assert_eq!(
+                ctl.phase(),
+                ControllerPhase::Degraded,
+                "episode {episode} never degraded"
+            );
+            // Feedback resumes: Recover, then (after the hold) Steady.
+            round += 5;
+            let r = healthy_report(&mut seq, round);
+            ctl.on_feedback(&r, 4e6, Time::from_millis((round + 1) * 100), &mut enc);
+            assert_eq!(
+                ctl.phase(),
+                ControllerPhase::Recover,
+                "episode {episode} resumed outside Recover"
+            );
+            for _ in 0..20 {
+                round += 1;
+                let r = healthy_report(&mut seq, round);
+                ctl.on_feedback(&r, 4e6, Time::from_millis((round + 1) * 100), &mut enc);
+            }
+            assert_eq!(
+                ctl.phase(),
+                ControllerPhase::Steady,
+                "episode {episode} never settled back to Steady"
+            );
+            assert_eq!(enc.target_bps(), 4e6);
+        }
+    }
+
+    #[test]
     fn repeated_drop_reanchors_capacity() {
         let mut ctl = AdaptiveController::new(AdaptiveConfig::default(), 30);
         let mut enc = encoder(4e6);

@@ -16,7 +16,7 @@
 use ravel_core::{AdaptiveConfig, WatchdogConfig};
 use ravel_metrics::{LatencySummary, Table};
 use ravel_net::{ChaosSchedule, ChaosSpec, ReversePathConfig};
-use ravel_pipeline::{CcKind, Scheme, SessionConfig, SessionResult};
+use ravel_pipeline::{CcKind, InjectedFault, Scheme, SessionConfig, SessionResult};
 use ravel_sim::{Dur, Time};
 use ravel_video::ContentClass;
 
@@ -1405,6 +1405,73 @@ pub fn chaos_sweep(n: u64, seed0: u64) -> Experiment {
     Experiment {
         id: "chaos",
         title: "seeded chaos sweep with invariant checking",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// Simulation instant the `--fixture` injected faults fire at.
+pub const FIXTURE_FAULT_AT: Time = Time::from_secs(2);
+
+/// The `--fixture panic|runaway` grid: four healthy cells surrounding
+/// one injected-fault cell at grid position 2. CI's soak-smoke job runs
+/// it to prove the quarantine — the faulty cell must be the only
+/// non-`ok` cell, every neighbour must finish normally with
+/// byte-identical output to a clean run, and the process must exit
+/// nonzero with the failure summary and digest.
+pub fn fixture(fault: InjectedFault) -> Experiment {
+    let mk = |label: String, seed: u64, inject: InjectedFault| {
+        let mut cfg = SessionConfig::default_with(Scheme::adaptive());
+        cfg.duration = Dur::secs(6);
+        cfg.seed = seed;
+        cfg.inject = inject;
+        Cell {
+            label,
+            trace: TraceSpec::Constant(PRE_RATE),
+            cfg,
+        }
+    };
+    let name = match fault {
+        InjectedFault::Panic { .. } => "panic",
+        InjectedFault::Runaway { .. } => "runaway",
+        InjectedFault::None => "none",
+    };
+    let cells = (0..5u64)
+        .map(|i| {
+            if i == 2 {
+                mk(format!("fx/{name}"), i, fault)
+            } else {
+                mk(format!("fx/ok{i}"), i, InjectedFault::None)
+            }
+        })
+        .collect();
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut t = Table::new(&[
+            "cell",
+            "status",
+            "events",
+            "frames",
+            "violations",
+            "failure_digest",
+        ]);
+        for run in runs {
+            t.row_owned(vec![
+                run.label.clone(),
+                run.status.name().to_string(),
+                run.result.events_processed.to_string(),
+                run.result.frames_captured.to_string(),
+                run.result.violations.len().to_string(),
+                run.failure
+                    .as_ref()
+                    .map(crate::pool::CellFailure::digest)
+                    .unwrap_or_default(),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "fixture",
+        title: "injected-fault isolation fixture",
         cells,
         assemble_fn: assemble,
     }

@@ -18,10 +18,19 @@
 //! * [`experiments`] — E1–E18 ported to expansion + assembly form, plus
 //!   the [`experiments::select`] registry the CLI uses and the
 //!   [`experiments::chaos_sweep`] generator behind `--chaos N`.
+//!   The pool is also the fault-isolation boundary: each simulation
+//!   runs under panic quarantine, the kernel's runaway guard, and an
+//!   optional wall-clock deadline, so one bad cell reports a
+//!   [`CellStatus`] failure instead of taking the grid down.
 //! * [`shrink`] — greedy failing-schedule minimization: when a chaos
-//!   cell violates a session invariant, the harness re-runs the seeded
-//!   session against smaller schedules until only the faults that still
-//!   trigger the violation remain, then prints the minimal reproducer.
+//!   cell violates a session invariant (or panics), the harness re-runs
+//!   the seeded session against smaller schedules until only the faults
+//!   that still trigger the failure remain, then prints the minimal
+//!   reproducer.
+//! * [`soak`] — `--soak <secs> --soak-seed S`: an endless deterministic
+//!   stream of randomized chaos × impairment × content cells pumped
+//!   through the fault-isolated pool until the wall budget expires,
+//!   with status and violation tallies merged in cell-index order.
 //! * [`report`] — the `BENCH_harness.json` perf/quality report
 //!   (per-cell wall-clock, simulated-seconds/sec throughput, p50/p95
 //!   latency, SSIM), serialized with the workspace's hand-rolled JSON.
@@ -40,17 +49,21 @@ pub mod experiments;
 pub mod pool;
 pub mod report;
 pub mod shrink;
+pub mod soak;
 pub mod timeline;
 
 pub use cell::{Cell, TraceSpec};
 pub use experiments::{
     fmt_reduction, pct_change, run_suite, run_suite_opts, window_after, Experiment, ExperimentRun,
-    Output, DROP_AT, E1_AFTER_BPS, POST_WINDOW, PRE_RATE, SESSION_LEN,
+    Output, DROP_AT, E1_AFTER_BPS, FIXTURE_FAULT_AT, POST_WINDOW, PRE_RATE, SESSION_LEN,
 };
-pub use pool::{run_cells, run_cells_opts, CellRun, PoolOptions, PoolStats};
+pub use pool::{
+    run_cells, run_cells_opts, CellFailure, CellRun, CellStatus, PoolOptions, PoolStats,
+};
 pub use ravel_obs::ObsMode;
 pub use report::{render_json, RunReport};
 pub use shrink::{shrink_cell, shrink_schedule, violating_timeline, MIN_SEGMENT};
+pub use soak::{run_soak, soak_cell, SoakFailure, SoakOptions, SoakOutcome, SOAK_SESSION_LEN};
 pub use timeline::{record_json, render_timeline};
 
 /// A sensible default worker count: every available core.

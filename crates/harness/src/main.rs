@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p ravel-harness -- --jobs 8 --experiments e1,e2
 //! cargo run --release -p ravel-harness -- --chaos 25 --chaos-seed 7
+//! cargo run --release -p ravel-harness -- --soak 30 --soak-seed 1
 //! ```
 //!
 //! Deterministic output (experiment tables) goes to stdout — two runs
@@ -11,18 +12,29 @@
 //! `BENCH_harness.json`).
 //!
 //! Chaos mode (`--chaos N`) replaces the experiment selection with an
-//! N-cell seeded fault sweep. Any cell that violates a session
-//! invariant is minimized with the shrinker and its reproducer spec is
-//! printed; the process then exits nonzero so CI gates on it.
+//! N-cell seeded fault sweep. Any cell that fails — invariant
+//! violation, panic, runaway — is minimized with the shrinker and its
+//! reproducer spec is printed; the process then exits nonzero so CI
+//! gates on it.
+//!
+//! Soak mode (`--soak SECS`) streams randomized cells through the
+//! fault-isolated pool until the wall budget expires; see
+//! `ravel_harness::soak`.
+//!
+//! In every mode, any cell that does not complete `ok` (panicked,
+//! timed out, runaway) is listed in a failure summary table and the
+//! process exits nonzero.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ravel_harness::{
-    default_jobs, experiments, render_json, render_timeline, run_suite_opts, shrink_cell,
-    violating_timeline, ObsMode, PoolOptions, RunReport,
+    default_jobs, experiments, render_json, render_timeline, run_soak, run_suite_opts, shrink_cell,
+    violating_timeline, CellRun, ObsMode, PoolOptions, RunReport, SoakOptions, FIXTURE_FAULT_AT,
 };
+use ravel_metrics::Table;
 use ravel_net::ChaosSchedule;
+use ravel_pipeline::InjectedFault;
 
 const USAGE: &str = "\
 ravel-harness — run the E1-E18 grid on a deterministic thread pool
@@ -38,7 +50,26 @@ OPTIONS:
                          invariant is violated (violating schedules are
                          shrunk and printed as minimal reproducers)
     --chaos-seed S       first seed of the chaos sweep (default: 1);
-                         cell i uses seed S+i, so (S, N) names the sweep
+                         cell i uses seed S+i, so (S, N) names the
+                         sweep; requires --chaos
+    --soak SECS          stream seeded random chaos x impairment x
+                         content cells through the fault-isolated pool
+                         for SECS seconds of wall clock; prints merged
+                         status/violation tallies and exits nonzero on
+                         any failing cell (no JSON report)
+    --soak-seed S        soak stream seed (default: 1); requires --soak
+    --soak-cells N       stop the soak after exactly N cells even with
+                         budget left, so coverage is independent of
+                         host speed (CI smoke runs the exact same,
+                         pre-validated cell range everywhere);
+                         requires --soak
+    --deadline SECS      per-cell wall-clock deadline: overdue sessions
+                         are cancelled by the pool supervisor and
+                         reported as timed_out
+    --fixture KIND       run the injected-fault isolation fixture grid
+                         (KIND: panic or runaway) — the faulty cell must
+                         be quarantined while the rest of the grid
+                         completes; exits nonzero
     --obs MODE           observability: off (default, zero overhead),
                          counters (per-subsystem tallies), or full
                          (every event recorded; prints a per-cell
@@ -61,9 +92,14 @@ OPTIONS:
 #[derive(Debug)]
 struct Args {
     jobs: usize,
-    experiments: String,
+    experiments: Option<String>,
     chaos: Option<u64>,
-    chaos_seed: u64,
+    chaos_seed: Option<u64>,
+    soak: Option<u64>,
+    soak_seed: Option<u64>,
+    soak_cells: Option<u64>,
+    deadline: Option<Duration>,
+    fixture: Option<InjectedFault>,
     obs: ObsMode,
     obs_out: String,
     out: String,
@@ -77,9 +113,14 @@ struct Args {
 fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         jobs: default_jobs(),
-        experiments: "all".to_string(),
+        experiments: None,
         chaos: None,
-        chaos_seed: 1,
+        chaos_seed: None,
+        soak: None,
+        soak_seed: None,
+        soak_cells: None,
+        deadline: None,
+        fixture: None,
         obs: ObsMode::Off,
         obs_out: "OBS_timeline.jsonl".to_string(),
         out: "BENCH_harness.json".to_string(),
@@ -101,7 +142,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
-            "--experiments" | "-e" => args.experiments = value("--experiments")?,
+            "--experiments" | "-e" => args.experiments = Some(value("--experiments")?),
             "--chaos" => {
                 let n: u64 = value("--chaos")?
                     .parse()
@@ -112,9 +153,59 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 args.chaos = Some(n);
             }
             "--chaos-seed" => {
-                args.chaos_seed = value("--chaos-seed")?
+                args.chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse()
+                        .map_err(|_| "--chaos-seed expects an unsigned integer".to_string())?,
+                );
+            }
+            "--soak" => {
+                let secs: u64 = value("--soak")?.parse().map_err(|_| {
+                    "--soak expects a whole, positive number of seconds".to_string()
+                })?;
+                if secs == 0 {
+                    return Err("--soak must be at least 1 second".into());
+                }
+                args.soak = Some(secs);
+            }
+            "--soak-seed" => {
+                args.soak_seed = Some(
+                    value("--soak-seed")?
+                        .parse()
+                        .map_err(|_| "--soak-seed expects an unsigned integer".to_string())?,
+                );
+            }
+            "--soak-cells" => {
+                let n: u64 = value("--soak-cells")?
                     .parse()
-                    .map_err(|_| "--chaos-seed expects an unsigned integer".to_string())?;
+                    .map_err(|_| "--soak-cells expects a positive cell count".to_string())?;
+                if n == 0 {
+                    return Err("--soak-cells must be at least 1".into());
+                }
+                args.soak_cells = Some(n);
+            }
+            "--deadline" => {
+                let secs: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|_| "--deadline expects seconds, e.g. 2.5".to_string())?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline must be a positive number of seconds".into());
+                }
+                args.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--fixture" => {
+                let kind = value("--fixture")?;
+                args.fixture = Some(match kind.as_str() {
+                    "panic" => InjectedFault::Panic {
+                        at: FIXTURE_FAULT_AT,
+                    },
+                    "runaway" => InjectedFault::Runaway {
+                        at: FIXTURE_FAULT_AT,
+                    },
+                    other => {
+                        return Err(format!("--fixture expects panic or runaway, got '{other}'"))
+                    }
+                });
             }
             "--obs" => {
                 let mode = value("--obs")?;
@@ -131,7 +222,45 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
     }
+    validate(&args)?;
     Ok(args)
+}
+
+/// Cross-flag validation: mode flags are mutually exclusive, and
+/// mode-scoped seeds require their mode.
+fn validate(args: &Args) -> Result<(), String> {
+    let modes = [
+        args.chaos.is_some(),
+        args.soak.is_some(),
+        args.fixture.is_some(),
+    ];
+    if modes.iter().filter(|&&on| on).count() > 1 {
+        return Err("--chaos, --soak and --fixture are mutually exclusive".into());
+    }
+    if args.experiments.is_some() {
+        if args.chaos.is_some() {
+            return Err("--experiments cannot be combined with --chaos".into());
+        }
+        if args.soak.is_some() {
+            return Err("--experiments cannot be combined with --soak".into());
+        }
+        if args.fixture.is_some() {
+            return Err("--experiments cannot be combined with --fixture".into());
+        }
+    }
+    if args.chaos_seed.is_some() && args.chaos.is_none() {
+        return Err("--chaos-seed requires --chaos".into());
+    }
+    if args.soak_seed.is_some() && args.soak.is_none() {
+        return Err("--soak-seed requires --soak".into());
+    }
+    if args.soak_cells.is_some() && args.soak.is_none() {
+        return Err("--soak-cells requires --soak".into());
+    }
+    if args.soak.is_some() && args.obs != ObsMode::Off {
+        return Err("--soak cannot be combined with --obs (soak cells are unobserved)".into());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -147,10 +276,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(budget_s) = args.soak {
+        return run_soak_mode(&args, budget_s);
+    }
+
     let selected = if let Some(n) = args.chaos {
-        vec![experiments::chaos_sweep(n, args.chaos_seed)]
+        vec![experiments::chaos_sweep(n, args.chaos_seed.unwrap_or(1))]
+    } else if let Some(fault) = args.fixture {
+        vec![experiments::fixture(fault)]
     } else {
-        match experiments::select(&args.experiments) {
+        match experiments::select(args.experiments.as_deref().unwrap_or("all")) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -180,6 +315,7 @@ fn main() -> ExitCode {
     let opts = PoolOptions {
         use_cache: args.use_cache,
         obs: args.obs,
+        deadline: args.deadline,
     };
     let (runs, stats) = run_suite_opts(&selected, args.jobs, opts);
     let report = RunReport {
@@ -202,17 +338,48 @@ fn main() -> ExitCode {
         }
     }
 
-    // In chaos mode, shrink every violating cell to a minimal
-    // reproducer before deciding the exit code.
+    // Any cell that did not complete `ok` — panicked, timed out,
+    // runaway — is summarized and fails the run, in every mode.
+    let failing: Vec<&CellRun> = report
+        .experiments
+        .iter()
+        .flat_map(|r| r.cells.iter())
+        .filter(|c| !c.ok())
+        .collect();
+    if !failing.is_empty() {
+        println!("=== failure summary ===");
+        let mut t = Table::new(&["cell", "status", "digest", "detail"]);
+        for run in &failing {
+            let failure = run.failure.as_ref().expect("non-ok cells carry a failure");
+            t.row_owned(vec![
+                run.label.clone(),
+                run.status.name().to_string(),
+                failure.digest(),
+                failure.detail.clone(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    // In chaos mode, shrink every failing cell — invariant violation or
+    // quarantined panic/runaway — to a minimal reproducer before
+    // deciding the exit code.
     let mut violating_cells = 0usize;
     if args.chaos.is_some() {
         for (exp, run) in selected.iter().zip(&report.experiments) {
             for (cell, cell_run) in exp.cells.iter().zip(&run.cells) {
-                if cell_run.result.violations.is_empty() {
+                if cell_run.ok() && cell_run.result.violations.is_empty() {
                     continue;
                 }
                 violating_cells += 1;
-                println!("VIOLATION in {}:", cell_run.label);
+                println!(
+                    "FAILING CELL {} [{}]:",
+                    cell_run.label,
+                    cell_run.status.name()
+                );
+                if let Some(failure) = &cell_run.failure {
+                    println!("  {}", failure.detail);
+                }
                 for v in &cell_run.result.violations {
                     println!("  {v}");
                 }
@@ -236,7 +403,7 @@ fn main() -> ExitCode {
                         // the timeline digest around the violation.
                         println!("{}", violating_timeline(cell, &min));
                     }
-                    None => println!("  (violation did not reproduce under re-run)"),
+                    None => println!("  (failure did not reproduce under re-run)"),
                 }
             }
         }
@@ -278,10 +445,46 @@ fn main() -> ExitCode {
     }
 
     if violating_cells > 0 {
-        eprintln!("error: {violating_cells} chaos cells violated session invariants");
+        eprintln!("error: {violating_cells} chaos cells failed");
+        return ExitCode::FAILURE;
+    }
+    if !failing.is_empty() {
+        eprintln!("error: {} cells did not complete ok", failing.len());
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `--soak SECS`: stream randomized cells until the wall budget
+/// expires, then print the merged tallies and per-failure reproducers.
+fn run_soak_mode(args: &Args, budget_s: u64) -> ExitCode {
+    let opts = SoakOptions {
+        budget: Duration::from_secs(budget_s),
+        seed: args.soak_seed.unwrap_or(1),
+        jobs: args.jobs,
+        deadline: args.deadline,
+        max_cells: args.soak_cells,
+    };
+    eprintln!(
+        "soaking for {budget_s}s (seed {}, {} workers)...",
+        opts.seed, opts.jobs
+    );
+    let outcome = run_soak(opts);
+    print!("{}", outcome.summary());
+    eprintln!(
+        "{} soak cells in {} batches, {:.0} simulated seconds in {:.2} s wall ({} failing)",
+        outcome.cells,
+        outcome.batches,
+        outcome.sim_seconds,
+        outcome.wall.as_secs_f64(),
+        outcome.failures.len()
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: {} soak cells failed", outcome.failures.len());
+        ExitCode::FAILURE
+    }
 }
 
 #[cfg(test)]
@@ -295,9 +498,13 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let a = parse(&[]).unwrap();
-        assert_eq!(a.experiments, "all");
+        assert_eq!(a.experiments, None);
         assert_eq!(a.chaos, None);
-        assert_eq!(a.chaos_seed, 1);
+        assert_eq!(a.chaos_seed, None);
+        assert_eq!(a.soak, None);
+        assert_eq!(a.soak_seed, None);
+        assert_eq!(a.deadline, None);
+        assert_eq!(a.fixture, None);
         assert!(a.write_json && a.use_cache && !a.list && !a.help);
     }
 
@@ -305,7 +512,7 @@ mod tests {
     fn parses_chaos_options() {
         let a = parse(&["--chaos", "25", "--chaos-seed", "7", "--jobs", "2"]).unwrap();
         assert_eq!(a.chaos, Some(25));
-        assert_eq!(a.chaos_seed, 7);
+        assert_eq!(a.chaos_seed, Some(7));
         assert_eq!(a.jobs, 2);
         assert!(!a.timing_free);
         let a = parse(&["--timing-free"]).unwrap();
@@ -331,7 +538,7 @@ mod tests {
         // A bogus id parses fine here; `experiments::select` rejects it
         // in main with its own message.
         let a = parse(&["-e", "nope"]).unwrap();
-        assert!(experiments::select(&a.experiments).is_err());
+        assert!(experiments::select(a.experiments.as_deref().unwrap()).is_err());
     }
 
     #[test]
@@ -340,8 +547,110 @@ mod tests {
         assert_eq!(e, "--chaos expects a positive cell count");
         let e = parse(&["--chaos", "0"]).unwrap_err();
         assert_eq!(e, "--chaos must be at least 1");
-        let e = parse(&["--chaos-seed", "x"]).unwrap_err();
+        let e = parse(&["--chaos", "5", "--chaos-seed", "x"]).unwrap_err();
         assert_eq!(e, "--chaos-seed expects an unsigned integer");
+    }
+
+    #[test]
+    fn parses_soak_options() {
+        let a = parse(&[
+            "--soak",
+            "30",
+            "--soak-seed",
+            "9",
+            "--soak-cells",
+            "256",
+            "--deadline",
+            "2.5",
+        ])
+        .unwrap();
+        assert_eq!(a.soak, Some(30));
+        assert_eq!(a.soak_seed, Some(9));
+        assert_eq!(a.soak_cells, Some(256));
+        assert_eq!(a.deadline, Some(Duration::from_secs_f64(2.5)));
+    }
+
+    #[test]
+    fn malformed_soak_cells_are_rejected() {
+        let e = parse(&["--soak", "30", "--soak-cells", "many"]).unwrap_err();
+        assert_eq!(e, "--soak-cells expects a positive cell count");
+        let e = parse(&["--soak", "30", "--soak-cells", "0"]).unwrap_err();
+        assert_eq!(e, "--soak-cells must be at least 1");
+        let e = parse(&["--soak-cells", "256"]).unwrap_err();
+        assert_eq!(e, "--soak-cells requires --soak");
+    }
+
+    #[test]
+    fn malformed_soak_budgets_are_rejected() {
+        let e = parse(&["--soak"]).unwrap_err();
+        assert_eq!(e, "--soak requires a value");
+        let e = parse(&["--soak", "forever"]).unwrap_err();
+        assert_eq!(e, "--soak expects a whole, positive number of seconds");
+        let e = parse(&["--soak", "-5"]).unwrap_err();
+        assert_eq!(e, "--soak expects a whole, positive number of seconds");
+        let e = parse(&["--soak", "2.5"]).unwrap_err();
+        assert_eq!(e, "--soak expects a whole, positive number of seconds");
+        let e = parse(&["--soak", "0"]).unwrap_err();
+        assert_eq!(e, "--soak must be at least 1 second");
+    }
+
+    #[test]
+    fn malformed_deadline_is_rejected() {
+        let e = parse(&["--deadline", "soon"]).unwrap_err();
+        assert_eq!(e, "--deadline expects seconds, e.g. 2.5");
+        let e = parse(&["--deadline", "0"]).unwrap_err();
+        assert_eq!(e, "--deadline must be a positive number of seconds");
+        let e = parse(&["--deadline", "-1"]).unwrap_err();
+        assert_eq!(e, "--deadline must be a positive number of seconds");
+        let e = parse(&["--deadline", "inf"]).unwrap_err();
+        assert_eq!(e, "--deadline must be a positive number of seconds");
+    }
+
+    #[test]
+    fn parses_fixture_kinds() {
+        let a = parse(&["--fixture", "panic"]).unwrap();
+        assert_eq!(
+            a.fixture,
+            Some(InjectedFault::Panic {
+                at: FIXTURE_FAULT_AT
+            })
+        );
+        let a = parse(&["--fixture", "runaway"]).unwrap();
+        assert_eq!(
+            a.fixture,
+            Some(InjectedFault::Runaway {
+                at: FIXTURE_FAULT_AT
+            })
+        );
+        let e = parse(&["--fixture", "oom"]).unwrap_err();
+        assert_eq!(e, "--fixture expects panic or runaway, got 'oom'");
+    }
+
+    #[test]
+    fn mode_seeds_require_their_mode() {
+        let e = parse(&["--chaos-seed", "7"]).unwrap_err();
+        assert_eq!(e, "--chaos-seed requires --chaos");
+        let e = parse(&["--soak-seed", "7"]).unwrap_err();
+        assert_eq!(e, "--soak-seed requires --soak");
+    }
+
+    #[test]
+    fn conflicting_modes_are_rejected() {
+        let e = parse(&["--chaos", "5", "--soak", "10"]).unwrap_err();
+        assert_eq!(e, "--chaos, --soak and --fixture are mutually exclusive");
+        let e = parse(&["--soak", "10", "--fixture", "panic"]).unwrap_err();
+        assert_eq!(e, "--chaos, --soak and --fixture are mutually exclusive");
+        let e = parse(&["--chaos", "5", "-e", "e1"]).unwrap_err();
+        assert_eq!(e, "--experiments cannot be combined with --chaos");
+        let e = parse(&["--soak", "10", "-e", "e1"]).unwrap_err();
+        assert_eq!(e, "--experiments cannot be combined with --soak");
+        let e = parse(&["--fixture", "panic", "-e", "e1"]).unwrap_err();
+        assert_eq!(e, "--experiments cannot be combined with --fixture");
+        let e = parse(&["--soak", "10", "--obs", "full"]).unwrap_err();
+        assert_eq!(
+            e,
+            "--soak cannot be combined with --obs (soak cells are unobserved)"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The work-stealing cell pool, with content-addressed memoization.
+//! The work-stealing cell pool, with content-addressed memoization and
+//! fault isolation.
 //!
 //! Cells are independent and seed-deterministic, so the pool can hand
 //! them to any worker in any order: workers claim the next unclaimed
@@ -19,19 +20,120 @@
 //! back in cell order with per-cell labels intact, so tables and JSON
 //! stay byte-identical to an uncached serial run (timing fields aside).
 //!
+//! **Fault isolation.** One bad cell must not take down a
+//! thousand-cell sweep. Each simulation runs inside
+//! [`catch_unwind`](std::panic::catch_unwind), and the cache stores a
+//! `Result` per content address: a panicked computation is recorded
+//! once and *echoed* deterministically at every grid position that
+//! addresses it — waiters on the `OnceLock` see the stored failure
+//! instead of deadlocking, and the `thread::scope` never aborts. The
+//! kernel-level runaway guard (event budget + sim-time horizon, see
+//! `ravel_pipeline::SessionGuard`) surfaces here as
+//! [`CellStatus::Runaway`]; a wall-clock deadline
+//! ([`PoolOptions::deadline`]) is enforced by a supervisor thread that
+//! flags overdue workers' sessions for cooperative cancellation,
+//! surfacing as [`CellStatus::TimedOut`]. Panic and runaway failures
+//! are fully deterministic (same status and failure digest at any
+//! worker count and on cache hits); whether a timeout *fires* depends
+//! on the host's speed, but its reported detail is still
+//! deterministic.
+//!
 //! std-only by design: `std::thread::scope` plus one `AtomicUsize`, one
 //! `Mutex`ed slot vector and one `Mutex`ed cache map; no registry
 //! dependencies.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ravel_obs::ObsMode;
-use ravel_pipeline::SessionResult;
+use ravel_pipeline::{Invariant, SessionResult};
 
 use crate::cell::Cell;
+
+/// How one cell's computation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The session ran to completion (it may still have non-runaway
+    /// invariant violations — those are the *session's* verdict, not
+    /// the executor's).
+    Ok,
+    /// The simulation panicked; the cell was quarantined and the rest
+    /// of the grid completed normally.
+    Panicked,
+    /// The supervisor's wall-clock deadline cancelled the session
+    /// before it finished.
+    TimedOut,
+    /// The kernel's runaway guard (event budget / sim-time horizon)
+    /// terminated the session.
+    Runaway,
+}
+
+impl CellStatus {
+    /// Stable, report-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Panicked => "panicked",
+            CellStatus::TimedOut => "timed_out",
+            CellStatus::Runaway => "runaway",
+        }
+    }
+
+    /// True for [`CellStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok)
+    }
+
+    /// True when the cell carries real (possibly truncated) session
+    /// measurements: a runaway session still produced a deterministic
+    /// prefix, while panicked and timed-out cells report an empty
+    /// stand-in result.
+    pub fn has_metrics(&self) -> bool {
+        matches!(self, CellStatus::Ok | CellStatus::Runaway)
+    }
+}
+
+/// A quarantined cell failure: what happened plus a deterministic,
+/// human-readable detail (panic message, runaway violation detail, or
+/// deadline description — all free of wall-clock content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The failure class (never [`CellStatus::Ok`]).
+    pub status: CellStatus,
+    /// Deterministic description of the failure.
+    pub detail: String,
+}
+
+impl CellFailure {
+    /// A failure record for `status` with `detail`.
+    pub fn new(status: CellStatus, detail: String) -> CellFailure {
+        CellFailure { status, detail }
+    }
+
+    /// A 64-bit FNV-1a digest of `status|detail`, rendered as 16 hex
+    /// digits — the compact identity CI artifacts and the failure
+    /// summary table key on. Deterministic across worker counts and
+    /// cache hits because its inputs are.
+    pub fn digest(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self
+            .status
+            .name()
+            .bytes()
+            .chain(std::iter::once(b'|'))
+            .chain(self.detail.bytes())
+        {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        format!("{hash:016x}")
+    }
+}
 
 /// One finished cell: its measurements plus wall-clock accounting for
 /// the perf report. Everything except `wall` and `cache_hit` is
@@ -51,8 +153,20 @@ pub struct CellRun {
     /// than executing the simulation (schedule-dependent; excluded from
     /// byte-compared output).
     pub cache_hit: bool,
-    /// The full session measurements.
+    /// How the computation ended.
+    pub status: CellStatus,
+    /// The failure record when `status` is not [`CellStatus::Ok`].
+    pub failure: Option<CellFailure>,
+    /// The full session measurements ([`SessionResult::empty`] for
+    /// panicked and timed-out cells, a truncated prefix for runaways).
     pub result: SessionResult,
+}
+
+impl CellRun {
+    /// True when the cell completed normally.
+    pub fn ok(&self) -> bool {
+        self.status.is_ok()
+    }
 }
 
 /// Pool behaviour switches.
@@ -67,6 +181,13 @@ pub struct PoolOptions {
     /// observation never changes a simulation's outputs, so a cached
     /// result (with its obs log) serves any grid position of the run.
     pub obs: ObsMode,
+    /// Per-cell wall-clock deadline (`--deadline`). When set, a
+    /// supervisor thread watches every in-flight simulation and flags
+    /// overdue ones for cooperative cancellation; the session's event
+    /// loop polls the flag and returns a truncated result, reported as
+    /// [`CellStatus::TimedOut`]. `None` (the default) spawns no
+    /// supervisor.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for PoolOptions {
@@ -74,6 +195,7 @@ impl Default for PoolOptions {
         PoolOptions {
             use_cache: true,
             obs: ObsMode::Off,
+            deadline: None,
         }
     }
 }
@@ -87,7 +209,8 @@ pub struct PoolStats {
     /// given grid, independent of `jobs` and of whether the cache is on.
     pub unique_cells: usize,
     /// Simulations actually executed (`== unique_cells` with the cache
-    /// on, `== total_cells` with it off).
+    /// on, `== total_cells` with it off). Quarantined computations
+    /// count: a panicked cell *executed*, it just failed.
     pub executed: usize,
     /// Grid positions served from the cache (`total_cells - executed`).
     pub cache_hits: usize,
@@ -99,9 +222,123 @@ pub struct PoolStats {
     pub busy: Duration,
 }
 
-/// One memoized computation: the finished result plus its first-run
-/// wall clock (echoed into every duplicate's [`CellRun::wall`]).
-type CachedCell = (SessionResult, Duration);
+/// What one computation produced: the session result, or the
+/// quarantined failure that replaced it.
+type CellOutcome = Result<SessionResult, CellFailure>;
+
+/// One memoized computation: the finished outcome (success *or*
+/// quarantined failure) plus its first-run wall clock (echoed into
+/// every duplicate's [`CellRun::wall`]). Storing the `Result` is what
+/// makes failure echo deterministic: waiters blocked on the `OnceLock`
+/// wake to the recorded failure instead of deadlocking on a
+/// never-initialized slot.
+type CachedCell = (CellOutcome, Duration);
+
+/// One worker's in-flight registration for the supervisor: when it
+/// started its current simulation and the flag that cancels it.
+#[derive(Default)]
+struct WatchSlot(Mutex<Option<(Instant, Arc<AtomicBool>)>>);
+
+impl WatchSlot {
+    fn arm(&self, flag: Arc<AtomicBool>) {
+        *self.0.lock().expect("watch slot poisoned") = Some((Instant::now(), flag));
+    }
+
+    fn disarm(&self) {
+        *self.0.lock().expect("watch slot poisoned") = None;
+    }
+
+    /// Sets the cancel flag if the registered simulation is overdue.
+    fn flag_if_overdue(&self, deadline: Duration) {
+        if let Some((started, flag)) = self.0.lock().expect("watch slot poisoned").as_ref() {
+            if started.elapsed() >= deadline {
+                flag.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` message of a
+/// `panic!`/`assert!`, which is deterministic for a deterministic
+/// simulation).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one simulation under full fault isolation: panic quarantine,
+/// the kernel runaway guard, and (when a deadline is set) supervisor
+/// cancellation.
+fn execute_cell(cell: &Cell, opts: PoolOptions, slot: &WatchSlot) -> CachedCell {
+    let cancel = opts.deadline.map(|_| Arc::new(AtomicBool::new(false)));
+    if let Some(flag) = &cancel {
+        slot.arm(flag.clone());
+    }
+    let started = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        cell.run_guarded(opts.obs, cancel.clone())
+    }));
+    let wall = started.elapsed();
+    if cancel.is_some() {
+        slot.disarm();
+    }
+    let outcome = match caught {
+        Err(payload) => Err(CellFailure::new(
+            CellStatus::Panicked,
+            panic_message(payload.as_ref()),
+        )),
+        Ok(result) if result.cancelled => Err(CellFailure::new(
+            CellStatus::TimedOut,
+            format!(
+                "wall-clock deadline {:.3}s exceeded; session cancelled by the pool supervisor",
+                opts.deadline.unwrap_or_default().as_secs_f64()
+            ),
+        )),
+        Ok(result) => Ok(result),
+    };
+    (outcome, wall)
+}
+
+/// Materializes one grid position's [`CellRun`] from a (possibly
+/// cached) outcome. Derivation is pure, so every position of one
+/// content address reports the identical status, failure, and digest.
+fn make_run(cell: &Cell, wall: Duration, cache_hit: bool, outcome: &CellOutcome) -> CellRun {
+    let (status, failure, result) = match outcome {
+        Ok(result) => {
+            let runaway = result
+                .violations
+                .iter()
+                .find(|v| v.invariant == Invariant::RunawayTermination);
+            match runaway {
+                Some(v) => (
+                    CellStatus::Runaway,
+                    Some(CellFailure::new(CellStatus::Runaway, v.detail.clone())),
+                    result.clone(),
+                ),
+                None => (CellStatus::Ok, None, result.clone()),
+            }
+        }
+        Err(failure) => (
+            failure.status,
+            Some(failure.clone()),
+            SessionResult::empty(),
+        ),
+    };
+    CellRun {
+        label: cell.label.clone(),
+        sim_secs: cell.cfg.duration.as_secs_f64(),
+        wall,
+        cache_hit,
+        status,
+        failure,
+        result,
+    }
+}
 
 /// Runs every cell on `jobs` worker threads with memoization on and
 /// returns results in cell order. See [`run_cells_opts`] for the form
@@ -118,7 +355,8 @@ pub fn run_cells(cells: &[Cell], jobs: usize) -> Vec<CellRun> {
 /// With `opts.use_cache`, each unique content address simulates exactly
 /// once: the first worker to claim an address computes it inside a
 /// per-address [`OnceLock`]; later claimants (and concurrent claimants,
-/// which block on the same lock) clone the finished result.
+/// which block on the same lock) clone the finished outcome — including
+/// quarantined failures, which echo identically at every position.
 pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<CellRun>, PoolStats) {
     let keys: Vec<String> = cells.iter().map(Cell::canonical_key).collect();
     let unique_cells = keys.iter().collect::<HashSet<_>>().len();
@@ -137,12 +375,21 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
     let jobs = jobs.clamp(1, cells.len());
     let next = AtomicUsize::new(0);
     let executed = AtomicUsize::new(0);
+    let workers_done = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CellRun>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
     let busy_total: Mutex<Duration> = Mutex::new(Duration::ZERO);
     let cache: Mutex<HashMap<&str, Arc<OnceLock<CachedCell>>>> = Mutex::new(HashMap::new());
+    let watch: Vec<WatchSlot> = (0..jobs).map(|_| WatchSlot::default()).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
+        for slot in &watch {
+            let next = &next;
+            let executed = &executed;
+            let workers_done = &workers_done;
+            let slots = &slots;
+            let busy_total = &busy_total;
+            let cache = &cache;
+            let keys = &keys;
+            scope.spawn(move || {
                 let mut busy = Duration::ZERO;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -150,7 +397,7 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
                         break;
                     }
                     let cell = &cells[i];
-                    let (result, wall, cache_hit) = if opts.use_cache {
+                    let run = if opts.use_cache {
                         let entry = cache
                             .lock()
                             .expect("cell cache poisoned")
@@ -158,35 +405,39 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
                             .or_default()
                             .clone();
                         let mut computed_here = false;
-                        let (result, wall) = entry.get_or_init(|| {
+                        let (outcome, wall) = entry.get_or_init(|| {
                             computed_here = true;
-                            let started = Instant::now();
-                            let result = cell.run_obs(opts.obs);
-                            (result, started.elapsed())
+                            execute_cell(cell, opts, slot)
                         });
                         if computed_here {
                             busy += *wall;
                             executed.fetch_add(1, Ordering::Relaxed);
                         }
-                        (result.clone(), *wall, !computed_here)
+                        make_run(cell, *wall, !computed_here, outcome)
                     } else {
-                        let started = Instant::now();
-                        let result = cell.run_obs(opts.obs);
-                        let wall = started.elapsed();
+                        let (outcome, wall) = execute_cell(cell, opts, slot);
                         busy += wall;
                         executed.fetch_add(1, Ordering::Relaxed);
-                        (result, wall, false)
-                    };
-                    let run = CellRun {
-                        label: cell.label.clone(),
-                        sim_secs: cell.cfg.duration.as_secs_f64(),
-                        wall,
-                        cache_hit,
-                        result,
+                        make_run(cell, wall, false, &outcome)
                     };
                     slots.lock().expect("pool slots poisoned")[i] = Some(run);
                 }
                 *busy_total.lock().expect("busy total poisoned") += busy;
+                workers_done.fetch_add(1, Ordering::Release);
+            });
+        }
+        if let Some(deadline) = opts.deadline {
+            let watch = &watch;
+            let workers_done = &workers_done;
+            scope.spawn(move || {
+                let poll =
+                    (deadline / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
+                while workers_done.load(Ordering::Acquire) < jobs {
+                    for slot in watch {
+                        slot.flag_if_overdue(deadline);
+                    }
+                    std::thread::sleep(poll);
+                }
             });
         }
     });
@@ -211,8 +462,8 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
 mod tests {
     use super::*;
     use crate::cell::TraceSpec;
-    use ravel_pipeline::{Scheme, SessionConfig};
-    use ravel_sim::Dur;
+    use ravel_pipeline::{InjectedFault, Scheme, SessionConfig};
+    use ravel_sim::{Dur, Time};
 
     fn tiny_grid() -> Vec<Cell> {
         let mut cells = Vec::new();
@@ -246,6 +497,17 @@ mod tests {
             .collect();
         cells.extend(dupes);
         cells
+    }
+
+    fn fixture_cell(label: &str, inject: InjectedFault) -> Cell {
+        let mut cfg = SessionConfig::default_with(Scheme::baseline());
+        cfg.duration = Dur::secs(4);
+        cfg.inject = inject;
+        Cell {
+            label: label.into(),
+            trace: TraceSpec::Constant(3e6),
+            cfg,
+        }
     }
 
     #[test]
@@ -336,5 +598,142 @@ mod tests {
         let computed: Duration = runs.iter().filter(|r| !r.cache_hit).map(|r| r.wall).sum();
         assert_eq!(stats.busy, computed);
         assert!(stats.busy > Duration::ZERO);
+    }
+
+    #[test]
+    fn panicking_cell_is_quarantined_and_the_rest_survive() {
+        let mut cells = tiny_grid();
+        cells.insert(
+            2,
+            fixture_cell(
+                "boom",
+                InjectedFault::Panic {
+                    at: Time::from_secs(1),
+                },
+            ),
+        );
+        let clean = run_cells(&tiny_grid(), 1);
+        let mut reference_digest: Option<String> = None;
+        for jobs in [1, 2, 8] {
+            let (runs, stats) = run_cells_opts(&cells, jobs, PoolOptions::default());
+            assert_eq!(runs.len(), 5);
+            assert_eq!(stats.executed, 5, "jobs={jobs}");
+            let boom = &runs[2];
+            assert_eq!(boom.status, CellStatus::Panicked);
+            let failure = boom.failure.as_ref().expect("failure recorded");
+            assert_eq!(failure.detail, "injected panic fixture at 1.000000");
+            // The digest is stable across worker counts.
+            let digest = failure.digest();
+            if let Some(reference) = &reference_digest {
+                assert_eq!(&digest, reference, "jobs={jobs}");
+            }
+            reference_digest = Some(digest);
+            assert_eq!(boom.result.frames_captured, 0);
+            // Every survivor is byte-identical to the clean run.
+            let survivors: Vec<&CellRun> = runs.iter().filter(|r| r.label != "boom").collect();
+            for (s, c) in survivors.iter().zip(&clean) {
+                assert_eq!(s.label, c.label);
+                assert_eq!(s.status, CellStatus::Ok);
+                assert_eq!(s.result.recorder.records(), c.result.recorder.records());
+                assert_eq!(s.result.events_processed, c.result.events_processed);
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_cell_echoes_from_the_cache_without_deadlock() {
+        let mut cells = vec![
+            fixture_cell(
+                "boom-a",
+                InjectedFault::Panic {
+                    at: Time::from_secs(1),
+                },
+            ),
+            fixture_cell(
+                "boom-b",
+                InjectedFault::Panic {
+                    at: Time::from_secs(1),
+                },
+            ),
+        ];
+        cells.extend(tiny_grid());
+        for jobs in [1, 2, 8] {
+            let (runs, stats) = run_cells_opts(&cells, jobs, PoolOptions::default());
+            // One computation for the two identical fixture positions.
+            assert_eq!(stats.executed, cells.len() - 1, "jobs={jobs}");
+            let (a, b) = (&runs[0], &runs[1]);
+            assert_eq!(a.status, CellStatus::Panicked);
+            assert_eq!(b.status, CellStatus::Panicked);
+            assert_eq!(
+                a.failure.as_ref().map(CellFailure::digest),
+                b.failure.as_ref().map(CellFailure::digest)
+            );
+            // Exactly one of the two positions was the cache hit.
+            assert_eq!([a, b].iter().filter(|r| r.cache_hit).count(), 1);
+            assert_eq!(a.wall, b.wall);
+        }
+    }
+
+    #[test]
+    fn runaway_cell_reports_runaway_status() {
+        let mut cells = tiny_grid();
+        cells.push(fixture_cell(
+            "spin",
+            InjectedFault::Runaway {
+                at: Time::from_secs(1),
+            },
+        ));
+        for jobs in [1, 4] {
+            let (runs, _) = run_cells_opts(&cells, jobs, PoolOptions::default());
+            let spin = runs.last().expect("fixture present");
+            assert_eq!(spin.status, CellStatus::Runaway);
+            let failure = spin.failure.as_ref().expect("failure recorded");
+            assert!(
+                failure.detail.contains("event budget"),
+                "{}",
+                failure.detail
+            );
+            // Runaways keep their (deterministic) truncated result.
+            assert!(spin.result.frames_captured > 0);
+            assert!(!spin.result.violations.is_empty());
+            for run in &runs[..runs.len() - 1] {
+                assert_eq!(run.status, CellStatus::Ok);
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_cancels_a_slow_cell_as_timed_out() {
+        // One deliberately huge cell (hours of simulated time) with a
+        // tight wall deadline: the supervisor must cancel it; its grid
+        // neighbours finish normally.
+        let mut slow_cfg = SessionConfig::default_with(Scheme::baseline());
+        slow_cfg.duration = Dur::secs(4 * 3600);
+        slow_cfg.enable_audio = true;
+        let mut cells = tiny_grid();
+        cells.push(Cell {
+            label: "slow".into(),
+            trace: TraceSpec::Constant(3e6),
+            cfg: slow_cfg,
+        });
+        let (runs, _) = run_cells_opts(
+            &cells,
+            2,
+            PoolOptions {
+                deadline: Some(Duration::from_millis(250)),
+                ..PoolOptions::default()
+            },
+        );
+        let slow = runs.last().expect("slow cell present");
+        assert_eq!(slow.status, CellStatus::TimedOut);
+        let failure = slow.failure.as_ref().expect("failure recorded");
+        assert!(
+            failure.detail.contains("wall-clock deadline 0.250s"),
+            "{}",
+            failure.detail
+        );
+        for run in &runs[..runs.len() - 1] {
+            assert_eq!(run.status, CellStatus::Ok, "{}", run.label);
+        }
     }
 }

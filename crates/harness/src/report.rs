@@ -2,11 +2,12 @@
 //!
 //! Serialized with the workspace's hand-rolled JSON module
 //! ([`ravel_trace::json`]) so offline builds never need serde. Schema
-//! (version 3 — version 2 plus the per-cell `violations` array):
+//! (version 4 — version 3 plus the per-cell `status` and, on failing
+//! cells, `failure` + `failure_digest`):
 //!
 //! ```json
 //! {
-//!   "schema": 3,
+//!   "schema": 4,
 //!   "jobs": 8,
 //!   "total_wall_ms": 12345.678,          // omitted when timing is off
 //!   "total_cells": 189,
@@ -26,6 +27,9 @@
 //!         {
 //!           "label": "talking-head/4->2.00M/gcc",
 //!           "sim_secs": 40.0,
+//!           "status": "ok",              // ok | panicked | timed_out | runaway
+//!           "failure": "...",            // only when status != ok
+//!           "failure_digest": "9f2c...", // only when status != ok (16 hex)
 //!           "wall_ms": 812.402,           // omitted when timing is off
 //!           "cache_hit": false,           // omitted when timing is off
 //!           "events": 654321,            // simulation events processed
@@ -69,8 +73,12 @@ use crate::experiments::ExperimentRun;
 use crate::pool::{CellRun, PoolStats};
 
 /// Report schema version. Version 3 added the per-cell `violations`
-/// array (session-invariant breaches, deterministic strings).
-pub const SCHEMA_VERSION: f64 = 3.0;
+/// array (session-invariant breaches, deterministic strings). Version 4
+/// added the per-cell `status` plus, on failing cells, the `failure`
+/// detail and its deterministic `failure_digest` — all inside the
+/// timing-free byte-identity contract, since panic and runaway
+/// failures carry only simulation-derived content.
+pub const SCHEMA_VERSION: f64 = 4.0;
 
 /// A whole harness invocation: every experiment that ran, plus pool
 /// accounting.
@@ -135,11 +143,21 @@ fn r3(x: f64) -> f64 {
 }
 
 fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
-    let all = cell.result.recorder.summarize_all();
     let mut fields = vec![
         ("label".to_string(), Json::Str(cell.label.clone())),
         ("sim_secs".to_string(), Json::Num(r3(cell.sim_secs))),
+        (
+            "status".to_string(),
+            Json::Str(cell.status.name().to_string()),
+        ),
     ];
+    // The failure detail and its digest are deterministic (panic
+    // messages and runaway details carry only simulation values), so
+    // they live inside the timing-free contract alongside `status`.
+    if let Some(failure) = &cell.failure {
+        fields.push(("failure".to_string(), Json::Str(failure.detail.clone())));
+        fields.push(("failure_digest".to_string(), Json::Str(failure.digest())));
+    }
     if with_timing {
         fields.push((
             "wall_ms".to_string(),
@@ -147,32 +165,39 @@ fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
         ));
         fields.push(("cache_hit".to_string(), Json::Bool(cell.cache_hit)));
     }
-    fields.push((
-        "events".to_string(),
-        Json::Num(cell.result.events_processed as f64),
-    ));
-    if with_timing {
-        let wall = cell.wall.as_secs_f64();
-        let rate = if wall > 0.0 {
-            cell.result.events_processed as f64 / wall
-        } else {
-            0.0
-        };
-        fields.push(("events_per_sec".to_string(), Json::Num(r3(rate))));
-    }
-    fields.extend([
-        ("mean_ms".to_string(), Json::Num(r3(all.mean_latency_ms))),
-        ("p50_ms".to_string(), Json::Num(r3(all.p50_latency_ms))),
-        ("p95_ms".to_string(), Json::Num(r3(all.p95_latency_ms))),
-        ("ssim".to_string(), Json::Num(r3(all.mean_ssim))),
-    ]);
-    // Non-finite samples the metrics collectors rejected. These used to
-    // be counted inside `RunningStats`/`Percentiles` and then silently
-    // dropped on the floor here, so a NaN-emitting session produced a
-    // clean-looking report. Emitted only when nonzero: healthy grids
-    // stay byte-identical to earlier schema-3 reports.
-    if all.rejected > 0 {
-        fields.push(("rejected".to_string(), Json::Num(all.rejected as f64)));
+    // Panicked and timed-out cells produced no measurements — their
+    // stand-in result is all zeros — so the metric fields are omitted
+    // rather than rendered as meaningless NaN/0 values. Runaway cells
+    // keep theirs: the truncated prefix is real, deterministic data.
+    if cell.status.has_metrics() {
+        let all = cell.result.recorder.summarize_all();
+        fields.push((
+            "events".to_string(),
+            Json::Num(cell.result.events_processed as f64),
+        ));
+        if with_timing {
+            let wall = cell.wall.as_secs_f64();
+            let rate = if wall > 0.0 {
+                cell.result.events_processed as f64 / wall
+            } else {
+                0.0
+            };
+            fields.push(("events_per_sec".to_string(), Json::Num(r3(rate))));
+        }
+        fields.extend([
+            ("mean_ms".to_string(), Json::Num(r3(all.mean_latency_ms))),
+            ("p50_ms".to_string(), Json::Num(r3(all.p50_latency_ms))),
+            ("p95_ms".to_string(), Json::Num(r3(all.p95_latency_ms))),
+            ("ssim".to_string(), Json::Num(r3(all.mean_ssim))),
+        ]);
+        // Non-finite samples the metrics collectors rejected. These used to
+        // be counted inside `RunningStats`/`Percentiles` and then silently
+        // dropped on the floor here, so a NaN-emitting session produced a
+        // clean-looking report. Emitted only when nonzero: healthy grids
+        // stay byte-identical to earlier reports.
+        if all.rejected > 0 {
+            fields.push(("rejected".to_string(), Json::Num(all.rejected as f64)));
+        }
     }
     // Invariant violations are pure simulation facts (deterministic
     // detail strings, no wall-clock content), so they belong in the
@@ -284,7 +309,7 @@ mod tests {
         };
         let timed = render_json(&report, true);
         let doc = parse(&timed).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(4.0));
         assert_eq!(doc.get("total_cells").and_then(Json::as_f64), Some(3.0));
         assert!(doc.get("unique_cells").and_then(Json::as_f64).is_some());
         assert!(doc.get("executed").and_then(Json::as_f64).is_some());
@@ -302,6 +327,14 @@ mod tests {
         assert!(cells[0].get("events_per_sec").is_some());
         assert!(cells[0].get("p95_ms").and_then(Json::as_f64).is_some());
         assert_eq!(cells[0].get("sim_secs").and_then(Json::as_f64), Some(45.0));
+        // Clean cells report ok status with no failure fields (schema 4).
+        assert_eq!(
+            cells[0].get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{timed}"
+        );
+        assert!(cells[0].get("failure").is_none());
+        assert!(cells[0].get("failure_digest").is_none());
         // Clean cells carry an empty violations array (schema 3).
         let v = cells[0].get("violations").and_then(Json::as_array).unwrap();
         assert!(v.is_empty());
@@ -330,6 +363,85 @@ mod tests {
         // Healthy cells reject nothing, so the field stays omitted and
         // clean reports keep their pre-schema-addition byte layout.
         assert!(cells[0].get("rejected").is_none());
+    }
+
+    #[test]
+    fn failing_cells_render_status_failure_and_digest() {
+        use crate::cell::{Cell, TraceSpec};
+        use crate::pool::{run_cells_opts, CellStatus};
+        use ravel_pipeline::{InjectedFault, Scheme, SessionConfig};
+        use ravel_sim::{Dur, Time};
+
+        let mk = |label: &str, inject| {
+            let mut cfg = SessionConfig::default_with(Scheme::baseline());
+            cfg.duration = Dur::secs(4);
+            cfg.inject = inject;
+            Cell {
+                label: label.into(),
+                trace: TraceSpec::Constant(3e6),
+                cfg,
+            }
+        };
+        let cells = vec![
+            mk("ok", InjectedFault::None),
+            mk(
+                "boom",
+                InjectedFault::Panic {
+                    at: Time::from_secs(1),
+                },
+            ),
+            mk(
+                "spin",
+                InjectedFault::Runaway {
+                    at: Time::from_secs(1),
+                },
+            ),
+        ];
+        let (runs, stats) = run_cells_opts(&cells, 2, PoolOptions::default());
+        assert_eq!(runs[1].status, CellStatus::Panicked);
+        assert_eq!(runs[2].status, CellStatus::Runaway);
+        let report = RunReport {
+            jobs: 2,
+            total_wall: Duration::ZERO,
+            stats,
+            experiments: vec![crate::experiments::ExperimentRun {
+                id: "fx",
+                title: "fixtures",
+                output: crate::experiments::Output::Text(String::new()),
+                cells: runs,
+            }],
+        };
+        let rendered = render_json(&report, false);
+        let doc = parse(&rendered).unwrap();
+        let cells = doc.get("experiments").and_then(Json::as_array).unwrap()[0]
+            .get("cells")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(cells[0].get("status").and_then(Json::as_str), Some("ok"));
+        let boom = &cells[1];
+        assert_eq!(boom.get("status").and_then(Json::as_str), Some("panicked"));
+        assert_eq!(
+            boom.get("failure").and_then(Json::as_str),
+            Some("injected panic fixture at 1.000000")
+        );
+        let digest = boom.get("failure_digest").and_then(Json::as_str).unwrap();
+        assert_eq!(digest.len(), 16);
+        // Panicked cells carry no metric fields.
+        assert!(boom.get("mean_ms").is_none());
+        assert!(boom.get("events").is_none());
+        // Runaway cells keep their truncated (deterministic) metrics
+        // and surface the guard's violation.
+        let spin = &cells[2];
+        assert_eq!(spin.get("status").and_then(Json::as_str), Some("runaway"));
+        assert!(spin.get("events").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(spin
+            .get("violations")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .any(|v| v.as_str().unwrap().starts_with("runaway-termination")));
+        // The timing-free rendering of a failing grid is reproducible.
+        assert_eq!(rendered, render_json(&report, false));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! the schedule, and the oracle re-runs the *same* seeded session, so
 //! the same failing cell always minimizes to the same reproducer.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use ravel_net::ChaosSchedule;
 use ravel_obs::ObsMode;
 use ravel_pipeline::{run_session_chaos, run_session_chaos_obs};
@@ -86,16 +88,24 @@ pub fn shrink_schedule(
     current
 }
 
-/// Shrinks the schedule that made `cell` violate its invariants, using
-/// a fresh deterministic session per probe as the oracle. Returns the
-/// minimal schedule, or `None` if the cell does not actually violate
-/// with the given schedule (nothing to shrink — e.g. the violation was
-/// a harness bug, not a session one).
+/// Shrinks the schedule that made `cell` fail, using a fresh
+/// deterministic session per probe as the oracle. A probe counts as
+/// failing if it reports any invariant violation (including
+/// [`runaway-termination`](ravel_pipeline::Invariant::RunawayTermination))
+/// **or** panics outright — panicking probes are quarantined with
+/// `catch_unwind`, so shrinking a crashing cell minimizes the crash
+/// reproducer instead of tearing down the harness. Returns the minimal
+/// schedule, or `None` if the cell does not actually fail with the
+/// given schedule (nothing to shrink — e.g. the failure was a harness
+/// bug, not a session one).
 pub fn shrink_cell(cell: &Cell, schedule: &ChaosSchedule) -> Option<ChaosSchedule> {
     let violates = |s: &ChaosSchedule| {
-        !run_session_chaos(cell.trace.build(), cell.cfg, Some(s.clone()))
-            .violations
-            .is_empty()
+        catch_unwind(AssertUnwindSafe(|| {
+            !run_session_chaos(cell.trace.build(), cell.cfg, Some(s.clone()))
+                .violations
+                .is_empty()
+        }))
+        .unwrap_or(true)
     };
     if !violates(schedule) {
         return None;
@@ -108,21 +118,29 @@ pub fn shrink_cell(cell: &Cell, schedule: &ChaosSchedule) -> Option<ChaosSchedul
 /// report that accompanies a minimized reproducer. Deterministic: the
 /// same cell and schedule always print the same digest (observation
 /// never perturbs the simulation).
+/// Panicking cells have no timeline to render; for those the digest is
+/// replaced with a fixed placeholder so callers printing a minimized
+/// crash reproducer still get deterministic output.
 pub fn violating_timeline(cell: &Cell, schedule: &ChaosSchedule) -> String {
-    run_session_chaos_obs(
-        cell.trace.build(),
-        cell.cfg,
-        Some(schedule.clone()),
-        ObsMode::Full,
-    )
-    .obs
-    .digest(&cell.label)
+    catch_unwind(AssertUnwindSafe(|| {
+        run_session_chaos_obs(
+            cell.trace.build(),
+            cell.cfg,
+            Some(schedule.clone()),
+            ObsMode::Full,
+        )
+        .obs
+        .digest(&cell.label)
+    }))
+    .unwrap_or_else(|_| format!("{}: (session panicked; no timeline)\n", cell.label))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cell::TraceSpec;
     use ravel_net::{FaultKind, FaultSegment};
+    use ravel_pipeline::{InjectedFault, Scheme, SessionConfig};
     use ravel_sim::Time;
 
     fn seg(from_s: u64, until_s: u64) -> FaultSegment {
@@ -166,6 +184,29 @@ mod tests {
         let sched = ChaosSchedule::from_segments(vec![seg(1, 2), seg(3, 4)]);
         let min = shrink_schedule(&sched, |_| true);
         assert!(min.is_empty());
+    }
+
+    #[test]
+    fn panicking_cells_shrink_instead_of_tearing_down_the_shrinker() {
+        let mut cfg = SessionConfig::default_with(Scheme::adaptive());
+        cfg.duration = Dur::secs(4);
+        cfg.inject = InjectedFault::Panic {
+            at: Time::from_secs(1),
+        };
+        let cell = Cell {
+            label: "boom".into(),
+            trace: TraceSpec::Constant(3e6),
+            cfg,
+        };
+        let sched = ChaosSchedule::from_segments(vec![seg(1, 2), seg(3, 4)]);
+        let min = shrink_cell(&cell, &sched).expect("a panicking probe counts as failing");
+        // The injected panic fires regardless of the schedule, so every
+        // segment is irrelevant and the reproducer shrinks to empty.
+        assert!(min.is_empty());
+        assert_eq!(
+            violating_timeline(&cell, &min),
+            "boom: (session panicked; no timeline)\n"
+        );
     }
 
     #[test]

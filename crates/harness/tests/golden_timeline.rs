@@ -57,6 +57,7 @@ fn digests(cells: Vec<Cell>, jobs: usize, use_cache: bool) -> Vec<String> {
     let opts = PoolOptions {
         use_cache,
         obs: ObsMode::Full,
+        deadline: None,
     };
     let (runs, _) = run_suite_opts(&exps, jobs, opts);
     runs[0]

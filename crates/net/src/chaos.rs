@@ -135,7 +135,9 @@ impl FaultSegment {
 /// A reproducible timeline of forward-path faults.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ChaosSchedule {
-    /// The fault segments, in generation order (may overlap).
+    /// The fault segments, sorted by `(from, until)` when generated
+    /// (explicitly-built schedules keep their caller's order). Segments
+    /// may overlap.
     pub segments: Vec<FaultSegment>,
 }
 
@@ -156,7 +158,10 @@ impl ChaosSchedule {
     /// yields the same segments. Faults are confined to the
     /// `[15%, 60%]` window of the session so every schedule leaves a
     /// clean tail in which freeze termination and rate recovery are
-    /// checkable.
+    /// checkable. The segments come out sorted by `(from, until)` (the
+    /// stable sort keeps draw order for exact ties), so reproducer
+    /// specs read chronologically and overlapping same-kind faults
+    /// resolve to the earliest-starting segment.
     pub fn generate(spec: ChaosSpec, session_len: Dur) -> ChaosSchedule {
         let mut rng = Rng::substream(spec.seed, CHAOS_STREAM);
         let len = session_len.as_secs_f64();
@@ -200,6 +205,7 @@ impl ChaosSchedule {
                 kind,
             });
         }
+        segments.sort_by_key(|seg| (seg.from, seg.until));
         ChaosSchedule { segments }
     }
 
@@ -291,6 +297,112 @@ impl ChaosSchedule {
             ));
         }
         out
+    }
+
+    /// Parses a [`ChaosSchedule::reproducer`] spec back into a schedule.
+    ///
+    /// Exact inverse for every schedule the generator can produce:
+    /// instants print with full microsecond precision (`{:.6}` seconds
+    /// over an integer-µs clock), fault parameters print with `f64`'s
+    /// shortest-roundtrip formatting, and generated reorder jitter
+    /// (3–30 ms) lands in the µs-exact millisecond tier of [`Dur`]'s
+    /// display — so `parse_reproducer(s.reproducer()) == Ok(s)`. The
+    /// only lossy corner is a hand-built `Dur` of ≥ 1 s with sub-ms
+    /// digits, which the display tier rounds.
+    pub fn parse_reproducer(text: &str) -> Result<ChaosSchedule, String> {
+        let mut segments = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "(empty schedule)" {
+                continue;
+            }
+            let (name, rest) = line
+                .split_once(" [")
+                .ok_or_else(|| format!("malformed segment line '{line}'"))?;
+            let (span, detail) = rest
+                .split_once(']')
+                .ok_or_else(|| format!("unterminated time span in '{line}'"))?;
+            let (from, until) = span
+                .split_once(" .. ")
+                .ok_or_else(|| format!("malformed time span '{span}'"))?;
+            segments.push(FaultSegment {
+                from: parse_instant(from)?,
+                until: parse_instant(until)?,
+                kind: parse_kind(name, detail.trim())?,
+            });
+        }
+        Ok(ChaosSchedule { segments })
+    }
+}
+
+/// Parses `Time`'s display form — seconds with exactly six decimals —
+/// back to the integer-microsecond instant, digit-exactly.
+fn parse_instant(s: &str) -> Result<Time, String> {
+    let bad = || format!("malformed instant '{s}' (want seconds with 6 decimals)");
+    let (whole, frac) = s.split_once('.').ok_or_else(bad)?;
+    if frac.len() != 6 {
+        return Err(bad());
+    }
+    let secs: u64 = whole.parse().map_err(|_| bad())?;
+    let micros: u64 = frac.parse().map_err(|_| bad())?;
+    Ok(Time::from_micros(secs * 1_000_000 + micros))
+}
+
+/// Parses `Dur`'s tiered display form (`1.500s`, `12.345ms`, `800us`).
+fn parse_span(s: &str) -> Result<Dur, String> {
+    let bad = || format!("malformed duration '{s}'");
+    if let Some(us) = s.strip_suffix("us") {
+        return Ok(Dur::micros(us.parse().map_err(|_| bad())?));
+    }
+    if let Some(ms) = s.strip_suffix("ms") {
+        let v: f64 = ms.parse().map_err(|_| bad())?;
+        return Ok(Dur::from_secs_f64(v * 1e-3));
+    }
+    if let Some(secs) = s.strip_suffix('s') {
+        let v: f64 = secs.parse().map_err(|_| bad())?;
+        return Ok(Dur::from_secs_f64(v));
+    }
+    Err(bad())
+}
+
+/// Parses one `key=value` detail field out of `detail`.
+fn field<'a>(detail: &'a str, key: &str) -> Result<&'a str, String> {
+    detail
+        .split_whitespace()
+        .find_map(|pair| pair.strip_prefix(key).and_then(|p| p.strip_prefix('=')))
+        .ok_or_else(|| format!("missing field '{key}' in '{detail}'"))
+}
+
+fn num<T: std::str::FromStr>(detail: &str, key: &str) -> Result<T, String> {
+    field(detail, key)?
+        .parse()
+        .map_err(|_| format!("malformed field '{key}' in '{detail}'"))
+}
+
+fn parse_kind(name: &str, detail: &str) -> Result<FaultKind, String> {
+    match name {
+        "blackout" => Ok(FaultKind::Blackout),
+        "burst-loss" => Ok(FaultKind::BurstLoss(GilbertElliott {
+            p_good_to_bad: num(detail, "p_g2b")?,
+            p_bad_to_good: num(detail, "p_b2g")?,
+            bad_loss: num(detail, "bad_loss")?,
+        })),
+        "capacity-collapse" => Ok(FaultKind::CapacityCollapse {
+            factor: num(detail, "factor")?,
+        }),
+        "reorder" => Ok(FaultKind::Reorder {
+            jitter_std: parse_span(field(detail, "jitter_std")?)?,
+        }),
+        "duplicate" => Ok(FaultKind::Duplicate {
+            prob: num(detail, "prob")?,
+        }),
+        "mtu-shrink" => Ok(FaultKind::MtuShrink {
+            payload_mtu: num(detail, "payload_mtu")?,
+        }),
+        other => Err(format!("unknown fault kind '{other}'")),
     }
 }
 
@@ -562,5 +674,125 @@ mod tests {
         let s = ChaosSchedule::generate(ChaosSpec::new(9, 1.0), Dur::secs(30));
         let repro = s.reproducer();
         assert_eq!(repro.lines().count(), s.segments.len());
+    }
+
+    #[test]
+    fn empty_reproducer_roundtrips() {
+        let empty = ChaosSchedule::empty();
+        assert_eq!(
+            ChaosSchedule::parse_reproducer(&empty.reproducer()),
+            Ok(empty)
+        );
+    }
+
+    #[test]
+    fn explicit_segments_of_every_kind_roundtrip() {
+        let s = ChaosSchedule::from_segments(vec![
+            FaultSegment {
+                from: Time::from_micros(1_234_567),
+                until: Time::from_micros(2_000_001),
+                kind: FaultKind::BurstLoss(GilbertElliott {
+                    p_good_to_bad: 0.125,
+                    p_bad_to_good: 0.25,
+                    bad_loss: 0.875,
+                }),
+            },
+            FaultSegment {
+                from: Time::from_secs(3),
+                until: Time::from_secs(4),
+                kind: FaultKind::Blackout,
+            },
+            FaultSegment {
+                from: Time::from_secs(5),
+                until: Time::from_secs(6),
+                kind: FaultKind::CapacityCollapse { factor: 0.0625 },
+            },
+            FaultSegment {
+                from: Time::from_secs(7),
+                until: Time::from_secs(8),
+                kind: FaultKind::Reorder {
+                    jitter_std: Dur::micros(12_345),
+                },
+            },
+            FaultSegment {
+                from: Time::from_secs(9),
+                until: Time::from_secs(10),
+                kind: FaultKind::Duplicate { prob: 0.3125 },
+            },
+            FaultSegment {
+                from: Time::from_secs(11),
+                until: Time::from_secs(12),
+                kind: FaultKind::MtuShrink { payload_mtu: 600 },
+            },
+        ]);
+        assert_eq!(ChaosSchedule::parse_reproducer(&s.reproducer()), Ok(s));
+    }
+
+    #[test]
+    fn malformed_reproducers_are_rejected_with_context() {
+        let cases = [
+            ("blackout 1.000000 .. 2.000000", "malformed segment line"),
+            ("blackout [1.000000 .. 2.000000", "unterminated time span"),
+            ("blackout [1.000000 - 2.000000]", "malformed time span"),
+            ("blackout [1.5 .. 2.000000]", "malformed instant"),
+            (
+                "warp-core-breach [1.000000 .. 2.000000]",
+                "unknown fault kind",
+            ),
+            ("duplicate [1.000000 .. 2.000000]", "missing field 'prob'"),
+            (
+                "duplicate [1.000000 .. 2.000000] prob=often",
+                "malformed field 'prob'",
+            ),
+            (
+                "reorder [1.000000 .. 2.000000] jitter_std=12.3",
+                "malformed duration",
+            ),
+        ];
+        for (line, want) in cases {
+            let err = ChaosSchedule::parse_reproducer(line).unwrap_err();
+            assert!(err.contains(want), "'{line}' gave '{err}', want '{want}'");
+        }
+    }
+
+    proptest::proptest! {
+        /// Generated schedules come out sorted by `(from, until)` and
+        /// every segment spans positive time, across the whole
+        /// seed × intensity × session-length input space.
+        #[test]
+        fn generated_segments_are_time_ordered_with_positive_durations(
+            seed in 0u64..5_000,
+            intensity_pct in 1u32..101,
+            len_s in 10u64..61,
+        ) {
+            let spec = ChaosSpec::new(seed, intensity_pct as f64 / 100.0);
+            let s = ChaosSchedule::generate(spec, Dur::secs(len_s));
+            for seg in &s.segments {
+                proptest::prop_assert!(
+                    seg.from < seg.until,
+                    "non-positive segment {seg:?}"
+                );
+            }
+            for w in s.segments.windows(2) {
+                proptest::prop_assert!(
+                    (w[0].from, w[0].until) <= (w[1].from, w[1].until),
+                    "out of order: {:?} then {:?}", w[0], w[1]
+                );
+            }
+        }
+
+        /// `reproducer()` is parseable and lossless: the printed spec
+        /// parses back to a schedule equal to the original.
+        #[test]
+        fn reproducer_roundtrips_for_generated_schedules(
+            seed in 0u64..5_000,
+            intensity_pct in 1u32..101,
+            len_s in 10u64..61,
+        ) {
+            let spec = ChaosSpec::new(seed, intensity_pct as f64 / 100.0);
+            let s = ChaosSchedule::generate(spec, Dur::secs(len_s));
+            let parsed = ChaosSchedule::parse_reproducer(&s.reproducer());
+            proptest::prop_assert_eq!(parsed, Ok(s));
+        }
     }
 }

@@ -24,6 +24,10 @@
 //!   terminates every reference-chain break).
 //! * **Rate recovery** — the encoder target climbs back to a fraction
 //!   of the available rate within a bound after the last fault.
+//! * **Runaway termination** — the event loop stays within an
+//!   event-count budget and sim-time horizon derived from the trace
+//!   spec; a session that self-schedules forever is cut off and
+//!   flagged instead of hanging its worker.
 
 use std::fmt;
 
@@ -42,6 +46,9 @@ pub enum Invariant {
     FreezeTermination,
     /// Target bitrate recovers within a bound after the last fault.
     RateRecovery,
+    /// The session exceeded its event-count budget or sim-time horizon
+    /// and was terminated by the runaway guard.
+    RunawayTermination,
 }
 
 impl Invariant {
@@ -54,6 +61,7 @@ impl Invariant {
             Invariant::FiniteMetrics => "finite-metrics",
             Invariant::FreezeTermination => "freeze-termination",
             Invariant::RateRecovery => "rate-recovery",
+            Invariant::RunawayTermination => "runaway-termination",
         }
     }
 }

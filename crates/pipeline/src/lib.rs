@@ -30,6 +30,7 @@ pub mod session;
 pub use invariants::{Invariant, InvariantChecker, InvariantViolation};
 pub use scheme::{CcKind, Scheme};
 pub use session::{
-    run_session, run_session_chaos, run_session_chaos_obs, run_session_obs, SessionConfig,
-    SessionResult,
+    run_session, run_session_chaos, run_session_chaos_obs, run_session_guarded, run_session_obs,
+    InjectedFault, SessionConfig, SessionGuard, SessionResult, CANCEL_POLL_EVERY_EVENTS,
+    RUNAWAY_BASE_EVENTS, RUNAWAY_EVENTS_PER_SIM_SEC,
 };

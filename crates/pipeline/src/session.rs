@@ -1,6 +1,8 @@
 //! The discrete-event session loop.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use ravel_codec::{Decoder, EncodedFrame, Encoder, EncoderConfig};
 use ravel_core::{AdaptiveController, FeedbackWatchdog, FrameDecision, WatchdogConfig};
@@ -80,6 +82,34 @@ pub struct SessionConfig {
     /// duplication, MTU shrink). `None` (the default) adds no faults and
     /// consumes no randomness, so existing runs stay byte-identical.
     pub chaos: Option<ChaosSpec>,
+    /// Test-only fault injection used by the harness's fault-isolation
+    /// fixtures: a deterministic mid-session panic or a self-scheduling
+    /// runaway event storm. [`InjectedFault::None`] (the default) is
+    /// exact passthrough.
+    pub inject: InjectedFault,
+}
+
+/// A deterministic fault injected into the event loop — the fixture
+/// mechanism behind the harness's panic-quarantine and runaway-guard
+/// tests. Injection is keyed to the *simulation* clock, so a fixture
+/// cell fails identically at any worker count and on cache hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectedFault {
+    /// No injection (the default; zero-cost passthrough).
+    #[default]
+    None,
+    /// Panic on the first event at or after `at`.
+    Panic {
+        /// Simulation instant the panic fires at.
+        at: Time,
+    },
+    /// From the first event at or after `at`, schedule a self-renewing
+    /// event at the current instant forever — a sim-time livelock the
+    /// runaway guard must cut off.
+    Runaway {
+        /// Simulation instant the storm starts at.
+        at: Time,
+    },
 }
 
 impl SessionConfig {
@@ -108,7 +138,91 @@ impl SessionConfig {
             seed: 1,
             record_series: false,
             chaos: None,
+            inject: InjectedFault::None,
         }
+    }
+}
+
+/// Event-count allowance per simulated second of session length
+/// (capture plus drain). The busiest committed cells process on the
+/// order of a few thousand events per simulated second; this budget
+/// leaves well over an order of magnitude of headroom while still
+/// cutting off a self-scheduling storm in well under a second of wall
+/// time.
+pub const RUNAWAY_EVENTS_PER_SIM_SEC: u64 = 100_000;
+
+/// Flat event allowance on top of the per-second budget, so very short
+/// sessions keep proportionally generous headroom.
+pub const RUNAWAY_BASE_EVENTS: u64 = 200_000;
+
+/// Slack past the drain deadline before the sim-time horizon trips.
+/// The event loop already stops at `capture_end + DRAIN_GRACE`; the
+/// horizon is the independent backstop that survives a bug in that
+/// logic.
+const HORIZON_MARGIN: Dur = Dur::secs(1);
+
+/// Runaway protection for one session: an event-count budget and a
+/// sim-time horizon derived from the trace spec (session duration),
+/// plus an optional cooperative cancellation flag a supervisor thread
+/// can set when wall-clock time runs out.
+///
+/// Exceeding the budget or horizon terminates the session with a
+/// [`Invariant::RunawayTermination`] violation; a set cancellation flag
+/// terminates it with [`SessionResult::cancelled`] raised. Both paths
+/// return a well-formed (truncated) result instead of hanging a worker.
+#[derive(Debug, Clone, Default)]
+pub struct SessionGuard {
+    /// Maximum events the loop may pop before the guard trips.
+    /// `0` disables the budget.
+    pub max_events: u64,
+    /// Latest simulation instant the loop may reach before the guard
+    /// trips. [`Time::ZERO`] disables the horizon.
+    pub horizon: Time,
+    /// Cooperative cancellation, polled every
+    /// [`CANCEL_POLL_EVERY_EVENTS`] events. `None` disables it.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// How often (in popped events) the loop polls the cancellation flag.
+/// Power of two so the check compiles to a mask.
+pub const CANCEL_POLL_EVERY_EVENTS: u64 = 1024;
+
+impl SessionGuard {
+    /// The standard guard for `cfg`: event budget and horizon scaled to
+    /// the session duration, no cancellation.
+    pub fn for_config(cfg: &SessionConfig) -> SessionGuard {
+        let sim_secs = cfg.duration.as_secs_f64().ceil() as u64 + DRAIN_GRACE.as_secs_f64() as u64;
+        SessionGuard {
+            max_events: RUNAWAY_BASE_EVENTS + sim_secs * RUNAWAY_EVENTS_PER_SIM_SEC,
+            horizon: Time::ZERO + cfg.duration + DRAIN_GRACE + HORIZON_MARGIN,
+            cancel: None,
+        }
+    }
+
+    /// This guard with a cancellation flag attached.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> SessionGuard {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when the budget is enabled and `popped` exceeds it.
+    fn over_budget(&self, popped: u64) -> bool {
+        self.max_events > 0 && popped > self.max_events
+    }
+
+    /// True when the horizon is enabled and `now` is past it.
+    fn over_horizon(&self, now: Time) -> bool {
+        self.horizon > Time::ZERO && now > self.horizon
+    }
+
+    /// Polls the cancellation flag (cheaply: only every
+    /// [`CANCEL_POLL_EVERY_EVENTS`] popped events).
+    fn cancelled(&self, popped: u64) -> bool {
+        popped.is_multiple_of(CANCEL_POLL_EVERY_EVENTS)
+            && self
+                .cancel
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 }
 
@@ -190,6 +304,10 @@ pub struct SessionResult {
     pub reports_discarded: u64,
     /// Watchdog degradation steps fired (0 without a watchdog).
     pub watchdog_timeouts: u64,
+    /// Distinct blind episodes the watchdog saw (0 without a watchdog):
+    /// consecutive timeout steps count as one episode, closed by the
+    /// next valid report.
+    pub watchdog_episodes: u64,
     /// PLI messages the receiver emitted (including retries).
     pub plis_sent: u64,
     /// Forward packets eaten by chaos burst loss (0 without chaos).
@@ -202,6 +320,10 @@ pub struct SessionResult {
     /// not panicked: the harness reports these per cell and can shrink
     /// the chaos schedule that caused them.
     pub violations: Vec<InvariantViolation>,
+    /// True if a supervisor cancelled the session via its
+    /// [`SessionGuard`] before it finished: the result is a truncated
+    /// prefix, and the pool reports the cell as timed out.
+    pub cancelled: bool,
     /// Observability log: empty (and cost-free) unless the session was
     /// started through an `_obs` entry point with a mode other than
     /// [`ObsMode::Off`]. Stamped exclusively with simulation time, so
@@ -241,6 +363,47 @@ enum Event {
     PliArrive,
     /// The feedback watchdog checks its deadline.
     WatchdogTick,
+    /// The [`InjectedFault::Runaway`] fixture's self-renewing event.
+    RunawayTick,
+}
+
+impl SessionResult {
+    /// A zeroed result standing in for a computation that produced
+    /// nothing: the harness pool substitutes this for quarantined
+    /// (panicked or timed-out) cells so downstream table assembly stays
+    /// deterministic without special-casing every consumer.
+    pub fn empty() -> SessionResult {
+        SessionResult {
+            recorder: LatencyRecorder::new(),
+            series: SeriesSet::new(),
+            frames_captured: 0,
+            frames_skipped: 0,
+            frames_encoded: 0,
+            events_processed: 0,
+            packets_delivered: 0,
+            queue_drops: 0,
+            random_losses: 0,
+            drops_handled: 0,
+            retransmissions: 0,
+            fec_recovered: 0,
+            fec_parity_sent: 0,
+            audio_latencies: Vec::new(),
+            nacks_sent: 0,
+            vbv_underflows: 0,
+            reverse_lost: 0,
+            reverse_duplicates: 0,
+            reports_discarded: 0,
+            watchdog_timeouts: 0,
+            watchdog_episodes: 0,
+            plis_sent: 0,
+            chaos_lost: 0,
+            chaos_duplicates: 0,
+            chain_breaks: 0,
+            violations: Vec::new(),
+            cancelled: false,
+            obs: ObsLog::new(ObsMode::Off),
+        }
+    }
 }
 
 /// Bound on how long after the last fault clears the decoder's
@@ -299,6 +462,21 @@ pub fn run_session_chaos_obs<T: BandwidthTrace>(
     cfg: SessionConfig,
     schedule: Option<ChaosSchedule>,
     obs_mode: ObsMode,
+) -> SessionResult {
+    let guard = SessionGuard::for_config(&cfg);
+    run_session_guarded(trace, cfg, schedule, obs_mode, guard)
+}
+
+/// The fully general entry point: an explicit chaos schedule, an
+/// observability mode, and a [`SessionGuard`]. Every other entry point
+/// delegates here with the standard guard for the config, so the
+/// runaway budget and horizon are always armed.
+pub fn run_session_guarded<T: BandwidthTrace>(
+    trace: T,
+    cfg: SessionConfig,
+    schedule: Option<ChaosSchedule>,
+    obs_mode: ObsMode,
+    guard: SessionGuard,
 ) -> SessionResult {
     let schedule = schedule.filter(|s| !s.is_empty());
     // --- components -----------------------------------------------------
@@ -433,6 +611,8 @@ pub fn run_session_chaos_obs<T: BandwidthTrace>(
 
     let capture_end = Time::ZERO + cfg.duration;
     let hard_end = capture_end + DRAIN_GRACE;
+    let mut cancelled = false;
+    let mut runaway_armed = false;
 
     // --- event loop -------------------------------------------------------
     while let Some(scheduled) = queue.pop() {
@@ -445,6 +625,43 @@ pub fn run_session_chaos_obs<T: BandwidthTrace>(
             note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
         }
         last_event_at = now;
+        // Runaway guard. Details carry simulation values only (the
+        // popped-event count at trip time is `budget + 1` on every
+        // run), so the violation is byte-identical at any worker count
+        // and on cache hits.
+        if guard.over_budget(queue.events_popped()) {
+            checker.violate(
+                Invariant::RunawayTermination,
+                format!(
+                    "event budget exhausted at {now}: {} events popped (budget {})",
+                    queue.events_popped(),
+                    guard.max_events
+                ),
+            );
+            note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
+            if matches!(scheduled.event, Event::Arrival(_)) {
+                acct.inflight += 1;
+            }
+            break;
+        }
+        if guard.over_horizon(now) {
+            checker.violate(
+                Invariant::RunawayTermination,
+                format!("sim-time horizon {} exceeded at {now}", guard.horizon),
+            );
+            note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
+            if matches!(scheduled.event, Event::Arrival(_)) {
+                acct.inflight += 1;
+            }
+            break;
+        }
+        if guard.cancelled(queue.events_popped()) {
+            cancelled = true;
+            if matches!(scheduled.event, Event::Arrival(_)) {
+                acct.inflight += 1;
+            }
+            break;
+        }
         if now > hard_end {
             // The popped event is past the session's end; if it was an
             // arrival, the packet is in flight for conservation.
@@ -452,6 +669,20 @@ pub fn run_session_chaos_obs<T: BandwidthTrace>(
                 acct.inflight += 1;
             }
             break;
+        }
+        match cfg.inject {
+            InjectedFault::None => {}
+            InjectedFault::Panic { at } => {
+                if now >= at {
+                    panic!("injected panic fixture at {at}");
+                }
+            }
+            InjectedFault::Runaway { at } => {
+                if now >= at && !runaway_armed {
+                    runaway_armed = true;
+                    queue.push(now, Event::RunawayTick);
+                }
+            }
         }
         while seg_cursor < seg_meta.len() && seg_meta[seg_cursor].0 <= now {
             let (from, until, kind) = seg_meta[seg_cursor];
@@ -890,6 +1121,12 @@ pub fn run_session_chaos_obs<T: BandwidthTrace>(
                     }
                 }
             }
+            Event::RunawayTick => {
+                // The fixture's storm: re-schedule at the current
+                // instant so simulation time never advances and the
+                // event budget is what stops the session.
+                queue.push(now, Event::RunawayTick);
+            }
         }
     }
 
@@ -1096,12 +1333,14 @@ pub fn run_session_chaos_obs<T: BandwidthTrace>(
         reverse_lost: reverse.lost() + reverse.blackout_dropped(),
         reverse_duplicates: reverse.duplicated(),
         reports_discarded,
-        watchdog_timeouts: watchdog.map(|wd| wd.timeouts()).unwrap_or(0),
+        watchdog_timeouts: watchdog.as_ref().map(|wd| wd.timeouts()).unwrap_or(0),
+        watchdog_episodes: watchdog.as_ref().map(|wd| wd.episodes()).unwrap_or(0),
         plis_sent: pli.sent(),
         chaos_lost,
         chaos_duplicates,
         chain_breaks: decoder.chain_breaks(),
         violations: checker.into_violations(),
+        cancelled,
         obs,
     }
 }
@@ -1478,6 +1717,45 @@ mod tests {
     }
 
     #[test]
+    fn second_blackout_redegrades_and_rate_still_recovers() {
+        // The E17 control-plane regime, twice over: the reverse path
+        // blacks out at 8 s and again at 18 s with the watchdog armed.
+        // Each blackout must be its own blind episode (Degraded
+        // re-entry, not a stale phase), and after the *second* recovery
+        // the target must climb back toward the unchanged 4 Mbps
+        // capacity — the rate-recovery contract holds across repeats.
+        let mut cfg = short_cfg(Scheme::adaptive());
+        cfg.duration = Dur::secs(40);
+        cfg.record_series = true;
+        cfg.reverse_path = ReversePathConfig::with_loss(0.0)
+            .add_blackout(Time::from_secs(8), Time::from_secs(10))
+            .add_blackout(Time::from_secs(18), Time::from_secs(20));
+        cfg.watchdog = Some(WatchdogConfig::for_timing(
+            cfg.feedback_interval,
+            cfg.reverse_delay * 2,
+        ));
+        let result = run_session(ConstantTrace::new(4e6), cfg);
+        assert!(result.violations.is_empty(), "{:?}", result.violations);
+        assert_eq!(result.watchdog_episodes, 2, "one episode per blackout");
+        assert!(
+            result.watchdog_timeouts >= 4,
+            "2 s blackouts should each fire several backoff steps, got {}",
+            result.watchdog_timeouts
+        );
+        let tgt = result.series.get("target_bps").expect("series recorded");
+        let blind = tgt.mean_in(Time::from_secs(9), Time::from_secs(10));
+        let recovered = tgt.mean_in(Time::from_secs(34), Time::from_secs(40));
+        assert!(
+            blind < 1e6,
+            "watchdog never cut the target while blind: {blind:.0} bps"
+        );
+        assert!(
+            recovered >= 0.55 * 4e6,
+            "target did not recover after the second blackout: {recovered:.0} bps"
+        );
+    }
+
+    #[test]
     fn chaos_none_equals_empty_schedule_byte_for_byte() {
         // The passthrough contract: an explicitly empty schedule must be
         // indistinguishable from no chaos at all.
@@ -1548,6 +1826,106 @@ mod tests {
         // The timeline digest is deterministic across reruns.
         let full2 = run_session_obs(mk(), cfg, ObsMode::Full);
         assert_eq!(full.obs.digest("cell"), full2.obs.digest("cell"));
+    }
+
+    #[test]
+    fn event_budget_trips_runaway_termination() {
+        let cfg = short_cfg(Scheme::baseline());
+        let mut guard = SessionGuard::for_config(&cfg);
+        // Far below what a healthy 20 s session needs: the guard must
+        // cut the session off and flag it, not hang or panic.
+        guard.max_events = 500;
+        let result = run_session_guarded(ConstantTrace::new(4e6), cfg, None, ObsMode::Off, guard);
+        assert_eq!(result.violations.len(), 1, "{:?}", result.violations);
+        assert_eq!(
+            result.violations[0].invariant,
+            Invariant::RunawayTermination
+        );
+        assert!(result.violations[0].detail.contains("event budget"));
+        assert!(!result.cancelled);
+    }
+
+    #[test]
+    fn sim_time_horizon_trips_runaway_termination() {
+        let cfg = short_cfg(Scheme::baseline());
+        let mut guard = SessionGuard::for_config(&cfg);
+        guard.horizon = Time::from_secs(5);
+        let result = run_session_guarded(ConstantTrace::new(4e6), cfg, None, ObsMode::Off, guard);
+        assert!(
+            result
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::RunawayTermination
+                    && v.detail.contains("horizon")),
+            "{:?}",
+            result.violations
+        );
+        // The session stopped right past the horizon.
+        assert!(result.frames_captured < 200);
+    }
+
+    #[test]
+    fn runaway_guard_is_deterministic() {
+        let mut cfg = short_cfg(Scheme::adaptive());
+        cfg.inject = InjectedFault::Runaway {
+            at: Time::from_secs(2),
+        };
+        let a = run_session(ConstantTrace::new(4e6), cfg);
+        let b = run_session(ConstantTrace::new(4e6), cfg);
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.invariant == Invariant::RunawayTermination),
+            "{:?}",
+            a.violations
+        );
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.recorder.records(), b.recorder.records());
+    }
+
+    #[test]
+    fn injected_panic_fires_at_the_configured_instant() {
+        let mut cfg = short_cfg(Scheme::baseline());
+        cfg.inject = InjectedFault::Panic {
+            at: Time::from_secs(2),
+        };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_session(ConstantTrace::new(4e6), cfg)
+        }));
+        let payload = caught.expect_err("injected panic did not fire");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted string");
+        assert_eq!(msg, "injected panic fixture at 2.000000");
+    }
+
+    #[test]
+    fn cancellation_flag_truncates_the_session() {
+        let cfg = short_cfg(Scheme::baseline());
+        let flag = Arc::new(AtomicBool::new(true));
+        let guard = SessionGuard::for_config(&cfg).with_cancel(flag);
+        let result = run_session_guarded(ConstantTrace::new(4e6), cfg, None, ObsMode::Off, guard);
+        assert!(result.cancelled);
+        assert!(result.violations.is_empty(), "{:?}", result.violations);
+        assert!(result.events_processed <= CANCEL_POLL_EVERY_EVENTS);
+    }
+
+    #[test]
+    fn default_guard_never_fires_on_healthy_sessions() {
+        let mut cfg = short_cfg(Scheme::adaptive());
+        cfg.enable_audio = true;
+        cfg.chaos = Some(ChaosSpec::new(3, 1.0));
+        cfg.duration = Dur::secs(30);
+        let result = run_session(ConstantTrace::new(4e6), cfg);
+        assert!(result.violations.is_empty(), "{:?}", result.violations);
+        assert!(!result.cancelled);
+        let budget = SessionGuard::for_config(&cfg).max_events;
+        assert!(
+            result.events_processed * 10 < budget,
+            "headroom too thin: {} of {budget}",
+            result.events_processed
+        );
     }
 
     #[test]
