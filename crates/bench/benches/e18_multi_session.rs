@@ -1,0 +1,51 @@
+//! E18 — multi-session kernel throughput. Times a 32-session mixed
+//! population two ways: one `run_session` call per session (the old
+//! entry point, one event loop each) versus one `run_sessions` call
+//! interleaving every session through a single shared calendar queue.
+//! Both produce identical results (asserted in `common`'s tests); the
+//! delta is pure kernel overhead.
+
+use criterion::{criterion_group, Criterion};
+use ravel_bench::common::{population, run_population};
+use ravel_pipeline::run_session;
+use ravel_sim::Dur;
+
+const POP: usize = 32;
+const DUR: Dur = Dur::secs(10);
+
+fn print_table() {
+    let results = run_population(POP, DUR);
+    let events: u64 = results.iter().map(|r| r.events_processed).sum();
+    println!("\n=== E18: multi-session kernel, {POP} interleaved sessions ===");
+    println!(
+        "sessions={} events={} frames_captured={}\n",
+        results.len(),
+        events,
+        results.iter().map(|r| r.frames_captured).sum::<u64>()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e18");
+    g.sample_size(10);
+    g.bench_function("sequential_32x10s_sessions", |b| {
+        b.iter(|| {
+            population(POP, DUR)
+                .into_iter()
+                .map(|(trace, cfg)| run_session(trace, cfg))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("interleaved_32x10s_sessions", |b| {
+        b.iter(|| run_population(POP, DUR))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -2,7 +2,8 @@
 //! by `ravel-harness`, re-exported here for compatibility) and serial
 //! session helpers for the Criterion targets.
 
-use ravel_pipeline::{run_session, Scheme, SessionConfig, SessionResult};
+use ravel_pipeline::{run_session, run_sessions, Scheme, SessionConfig, SessionResult};
+use ravel_sim::Dur;
 use ravel_trace::{BandwidthTrace, StepTrace};
 use ravel_video::ContentClass;
 
@@ -17,6 +18,39 @@ pub fn run_drop(scheme: Scheme, content: ContentClass, after_bps: f64) -> Sessio
     cfg.content = content;
     cfg.duration = SESSION_LEN;
     run_session(StepTrace::sudden_drop(PRE_RATE, after_bps, DROP_AT), cfg)
+}
+
+/// Builds a mixed population of `n` drop sessions: schemes, content
+/// classes, drop depths, and seeds all vary with the session index so
+/// the interleaved kernel sees heterogeneous per-session state.
+pub fn population(n: usize, duration: Dur) -> Vec<(StepTrace, SessionConfig)> {
+    let contents = [
+        ContentClass::TalkingHead,
+        ContentClass::ScreenShare,
+        ContentClass::Gaming,
+        ContentClass::Sports,
+    ];
+    (0..n)
+        .map(|i| {
+            let scheme = if i % 2 == 0 {
+                Scheme::baseline()
+            } else {
+                Scheme::adaptive()
+            };
+            let mut cfg = SessionConfig::default_with(scheme);
+            cfg.content = contents[i % contents.len()];
+            cfg.duration = duration;
+            cfg.seed = i as u64 + 1;
+            let after_bps = 0.8e6 + 0.2e6 * (i % 5) as f64;
+            (StepTrace::sudden_drop(PRE_RATE, after_bps, DROP_AT), cfg)
+        })
+        .collect()
+}
+
+/// Runs a [`population`] on the interleaved multi-session kernel —
+/// every session stepped from one shared event queue on one thread.
+pub fn run_population(n: usize, duration: Dur) -> Vec<SessionResult> {
+    run_sessions(population(n, duration))
 }
 
 /// Runs one session over an arbitrary trace with config tweaks applied
@@ -47,6 +81,22 @@ mod tests {
     fn fmt_reduction_reads_positively_for_improvements() {
         assert_eq!(fmt_reduction(100.0, 25.0), "75.00%");
         assert_eq!(fmt_reduction(100.0, 125.0), "-25.00%");
+    }
+
+    #[test]
+    fn population_kernel_matches_sequential_sessions() {
+        let dur = Dur::secs(8);
+        let interleaved = run_population(4, dur);
+        let sequential: Vec<SessionResult> = population(4, dur)
+            .into_iter()
+            .map(|(trace, cfg)| run_session(trace, cfg))
+            .collect();
+        assert_eq!(interleaved.len(), sequential.len());
+        for (a, b) in interleaved.iter().zip(&sequential) {
+            assert_eq!(a.events_processed, b.events_processed);
+            assert_eq!(a.recorder.records(), b.recorder.records());
+            assert_eq!(a.violations, b.violations);
+        }
     }
 
     #[test]

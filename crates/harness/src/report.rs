@@ -2,12 +2,12 @@
 //!
 //! Serialized with the workspace's hand-rolled JSON module
 //! ([`ravel_trace::json`]) so offline builds never need serde. Schema
-//! (version 4 — version 3 plus the per-cell `status` and, on failing
-//! cells, `failure` + `failure_digest`):
+//! (version 5 — version 4 plus per-experiment aggregate `events` and
+//! the timing-gated `events_per_sec` throughput):
 //!
 //! ```json
 //! {
-//!   "schema": 4,
+//!   "schema": 5,
 //!   "jobs": 8,
 //!   "total_wall_ms": 12345.678,          // omitted when timing is off
 //!   "total_cells": 189,
@@ -23,6 +23,8 @@
 //!     {
 //!       "id": "e1",
 //!       "title": "...",
+//!       "events": 1234567,               // aggregate over the cells
+//!       "events_per_sec": 5.6e6,          // omitted when timing is off
 //!       "cells": [
 //!         {
 //!           "label": "talking-head/4->2.00M/gcc",
@@ -77,8 +79,12 @@ use crate::pool::{CellRun, PoolStats};
 /// added the per-cell `status` plus, on failing cells, the `failure`
 /// detail and its deterministic `failure_digest` — all inside the
 /// timing-free byte-identity contract, since panic and runaway
-/// failures carry only simulation-derived content.
-pub const SCHEMA_VERSION: f64 = 4.0;
+/// failures carry only simulation-derived content. Version 5 added the
+/// per-experiment aggregate `events` count (timing-free, deterministic)
+/// and the timing-gated `events_per_sec` aggregate throughput, so the
+/// multi-session kernel's event volume can be gated per experiment
+/// without summing cells by hand.
+pub const SCHEMA_VERSION: f64 = 5.0;
 
 /// A whole harness invocation: every experiment that ran, plus pool
 /// accounting.
@@ -274,14 +280,32 @@ pub fn render_json(report: &RunReport, with_timing: bool) -> String {
         .experiments
         .iter()
         .map(|e| {
-            Json::Obj(vec![
+            let mut exp_fields = vec![
                 ("id".to_string(), Json::Str(e.id.to_string())),
                 ("title".to_string(), Json::Str(e.title.to_string())),
-                (
-                    "cells".to_string(),
-                    Json::Arr(e.cells.iter().map(|c| cell_json(c, with_timing)).collect()),
-                ),
-            ])
+            ];
+            // Schema 5: the experiment's aggregate event volume, the
+            // sum over its grid positions. Deterministic (simulation
+            // counts only), so it lives in the timing-free contract.
+            let events: u64 = e.cells.iter().map(|c| c.result.events_processed).sum();
+            exp_fields.push(("events".to_string(), Json::Num(events as f64)));
+            if with_timing {
+                // Aggregate throughput against summed per-cell wall —
+                // the single-worker-equivalent rate, independent of
+                // `--jobs` overlap.
+                let wall: f64 = e.cells.iter().map(|c| c.wall.as_secs_f64()).sum();
+                let rate = if wall > 0.0 {
+                    events as f64 / wall
+                } else {
+                    0.0
+                };
+                exp_fields.push(("events_per_sec".to_string(), Json::Num(r3(rate))));
+            }
+            exp_fields.push((
+                "cells".to_string(),
+                Json::Arr(e.cells.iter().map(|c| cell_json(c, with_timing)).collect()),
+            ));
+            Json::Obj(exp_fields)
         })
         .collect();
     fields.push(("experiments".to_string(), Json::Arr(experiments)));
@@ -309,7 +333,7 @@ mod tests {
         };
         let timed = render_json(&report, true);
         let doc = parse(&timed).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(5.0));
         assert_eq!(doc.get("total_cells").and_then(Json::as_f64), Some(3.0));
         assert!(doc.get("unique_cells").and_then(Json::as_f64).is_some());
         assert!(doc.get("executed").and_then(Json::as_f64).is_some());
@@ -319,6 +343,10 @@ mod tests {
         assert!(doc.get("events_per_second").is_some());
         let exps_json = doc.get("experiments").and_then(Json::as_array).unwrap();
         assert_eq!(exps_json.len(), 1);
+        // Schema 5: per-experiment aggregate events + throughput.
+        let exp_events = exps_json[0].get("events").and_then(Json::as_f64).unwrap();
+        assert!(exp_events > 0.0);
+        assert!(exps_json[0].get("events_per_sec").is_some());
         let cells = exps_json[0].get("cells").and_then(Json::as_array).unwrap();
         assert_eq!(cells.len(), 3);
         assert!(cells[0].get("wall_ms").is_some());
@@ -351,10 +379,17 @@ mod tests {
         assert!(doc.get("events_per_second").is_none());
         assert!(doc.get("unique_cells").is_some());
         assert!(doc.get("events_total").is_some());
-        let cells = doc.get("experiments").and_then(Json::as_array).unwrap()[0]
-            .get("cells")
-            .and_then(Json::as_array)
-            .unwrap();
+        let exp = &doc.get("experiments").and_then(Json::as_array).unwrap()[0];
+        // The experiment aggregate survives timing-free (deterministic
+        // count) and equals the sum of its per-cell events; only the
+        // throughput field drops.
+        assert!(exp.get("events_per_sec").is_none());
+        let cells = exp.get("cells").and_then(Json::as_array).unwrap();
+        let cell_sum: f64 = cells
+            .iter()
+            .map(|c| c.get("events").and_then(Json::as_f64).unwrap())
+            .sum();
+        assert_eq!(exp.get("events").and_then(Json::as_f64), Some(cell_sum));
         assert!(cells[0].get("wall_ms").is_none());
         assert!(cells[0].get("cache_hit").is_none());
         assert!(cells[0].get("events_per_sec").is_none());

@@ -335,6 +335,29 @@ mod tests {
     }
 
     #[test]
+    fn e20_storm_cell_completes_within_a_sane_event_budget() {
+        // Regression for the E20 no-chaos event storm: soak/s1/c5263
+        // used to schedule a duplicate PacerTick on every pacer
+        // interaction under sustained backlog, snowballing to ~132k
+        // events per simulated second until the runaway budget cut the
+        // session short (masking the bug as a "runaway" failure). With
+        // pacer ticks deduped the cell completes normally at ~1.3k
+        // events per simulated second.
+        let cell = soak_cell(1, 5263);
+        let result = cell.run();
+        assert!(
+            result.violations.is_empty(),
+            "cell must complete without tripping the runaway backstop: {:?}",
+            result.violations
+        );
+        assert!(
+            result.events_processed < 200_000,
+            "event volume regressed: {} events for this soak cell (expected ~38k)",
+            result.events_processed
+        );
+    }
+
+    #[test]
     fn soak_stream_covers_the_randomization_axes() {
         // 64 cells should exercise every trace shape and content class,
         // and mix chaos / impairment / watchdog on and off.

@@ -1,9 +1,20 @@
 //! The discrete-event session loop.
+//!
+//! The session is an explicit poll-based state machine: [`SessionState`]
+//! holds every piece of sender/receiver state, and the event kernel
+//! (single- or multi-session) pops events off an [`EventQueue`] and
+//! feeds them to [`SessionState::step`]. One worker thread can
+//! interleave thousands of sessions over a shared queue via
+//! [`run_sessions`]; the classic [`run_session`] entry points drive a
+//! single state machine over a private queue and are byte-identical to
+//! the historical monolithic loop.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::mem;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use ravel_cc::CongestionController;
 use ravel_codec::{Decoder, EncodedFrame, Encoder, EncoderConfig};
 use ravel_core::{AdaptiveController, FeedbackWatchdog, FrameDecision, WatchdogConfig};
 use ravel_metrics::{FrameOutcomeKind, FrameRecord, LatencyRecorder};
@@ -259,6 +270,20 @@ const PACER_FLOOR_BPS: f64 = 100_000.0;
 /// one IDR, so a lossy burst cannot trigger an IDR storm.
 const PLI_MIN_INTERVAL: Dur = Dur::millis(300);
 
+/// Receiver NACK poll cadence.
+const NACK_POLL_EVERY: Dur = Dur::millis(10);
+
+/// One Opus frame per tick.
+const AUDIO_TICK: Dur = Dur::millis(20);
+
+/// Audio packets carry frame indexes in a disjoint namespace so they
+/// never collide with video frames in feedback-side bookkeeping.
+const AUDIO_INDEX_BASE: u64 = 1 << 40;
+
+/// Most recent sent video packets the simulation retains for FEC
+/// reconstruction (the omniscient sent-video window).
+const SENT_VIDEO_WINDOW: usize = 4096;
+
 /// What the session produced.
 #[derive(Debug, Clone)]
 pub struct SessionResult {
@@ -343,8 +368,10 @@ enum SentFrame {
 enum Event {
     /// Capture the next frame.
     Capture,
-    /// An encoded frame is ready to packetize (encode finished).
-    EncodeDone(EncodedFrame),
+    /// An encoded frame is ready to packetize (encode finished). Boxed:
+    /// frames are ~30/s against thousands of packet events, and boxing
+    /// halves the size of every queued event.
+    EncodeDone(Box<EncodedFrame>),
     /// The pacer may have packets due.
     PacerTick,
     /// A packet reached the receiver.
@@ -478,199 +505,514 @@ pub fn run_session_guarded<T: BandwidthTrace>(
     obs_mode: ObsMode,
     guard: SessionGuard,
 ) -> SessionResult {
-    let schedule = schedule.filter(|s| !s.is_empty());
-    // --- components -----------------------------------------------------
-    let mut source = VideoSource::new(cfg.content.profile(), cfg.resolution, cfg.fps, cfg.seed);
-    let mut enc_cfg = EncoderConfig::rtc(cfg.start_rate_bps, cfg.fps);
-    enc_cfg.capture_resolution = cfg.resolution;
-    enc_cfg.temporal_layers = cfg.temporal_layers;
-    let mut encoder = Encoder::new(enc_cfg);
-    let mut cc = cfg.scheme.cc.build(cfg.start_rate_bps);
-    let mut controller = cfg.scheme.adaptive.map(|acfg| {
-        let mut ctl = AdaptiveController::new(acfg, cfg.fps);
-        // Tell the controller what the transport adds around the
-        // encoder's payload: ~4% packet headers, plus FEC parity, plus
-        // the audio flow's wire rate.
-        let mut factor = 1.04;
-        if cfg.enable_fec {
-            factor *= 1.0 + 1.0 / cfg.fec_group_size as f64;
-        }
-        let reserved = if cfg.enable_audio {
-            // Audio wire rate: payload bitrate plus 40 B of headers on
-            // each of the 50 packets per second.
-            cfg.audio_bitrate_bps + 40.0 * 8.0 * 50.0
-        } else {
-            0.0
-        };
-        ctl.set_rate_overheads(factor, reserved);
-        ctl
-    });
-    let mut packetizer = Packetizer::new();
-    let mut pacer = Pacer::new(cfg.start_rate_bps, 2.5);
-    // The link always sees a chaos-wrapped trace: outside every capacity
-    // fault (and always, for the empty schedule) the wrapper multiplies
-    // by exactly 1.0, so chaos-free sessions stay byte-identical.
-    let mut link = Link::new(
-        ChaosTrace::new(trace, schedule.clone().unwrap_or_default()),
-        cfg.link,
-        cfg.seed,
-    );
-    // Per-packet chaos (burst loss, reordering, duplication) applied
-    // after the link's delivery decision, at the send boundary — the
-    // link itself enforces FIFO, so reordering must live outside it.
-    let mut fwd_chaos = schedule
-        .as_ref()
-        .map(|s| ForwardChaos::new(s.clone(), cfg.seed));
-    let mut acct = ForwardAcct::default();
-    let mut checker = InvariantChecker::new();
-    let mut obs = ObsLog::new(obs_mode);
-    // Violations already mirrored into the obs log (index into the
-    // checker's first-flagged order).
-    let mut obs_violations_seen = 0usize;
-    // Chaos segments are announced as the event clock crosses their
-    // start. Empty when obs is off, so the loop-top scan is free.
-    let seg_meta: Vec<(Time, Time, &'static str)> = if obs.enabled() {
-        let mut meta: Vec<_> = schedule
-            .as_ref()
-            .map(|s| {
-                s.segments
-                    .iter()
-                    .map(|seg| (seg.from, seg.until, seg.kind.name()))
-                    .collect()
-            })
-            .unwrap_or_default();
-        meta.sort_by_key(|&(from, _, _)| from);
-        meta
-    } else {
-        Vec::new()
-    };
-    let mut seg_cursor = 0usize;
-    // Recovery invariants are anchored to the end of the last fault.
-    let chaos_bounds = cfg.chaos.unwrap_or_else(|| ChaosSpec::new(0, 1.0));
-    let chaos_clear = schedule.as_ref().and_then(|s| s.last_fault_end());
-    let recovery_deadline = chaos_clear.map(|c| c + chaos_bounds.recovery_within);
-    let mut max_target_after_deadline = 0.0f64;
-    let mut last_event_at = Time::ZERO;
-    let mut assembler = FrameAssembler::new();
-    let mut feedback = FeedbackBuilder::new();
-    // WebRTC-flavoured RTX: 30 ms NACK retries, give up after the
-    // playout deadline (PLI takes over), 1 s of sender history.
-    let mut rtx_buffer = RtxBuffer::new(Dur::SECOND, 2048);
-    let mut nack_gen = NackGenerator::new(Dur::millis(30), 5, cfg.max_playout_delay);
-    let mut fec_encoder = cfg.enable_fec.then(|| FecEncoder::new(cfg.fec_group_size));
-    // RTX token bucket (see the RTX_* constants).
-    let mut rtx_tokens_bits: f64 = RTX_INITIAL_TOKENS_BITS;
-    let mut rtx_tokens_updated = Time::ZERO;
-    let mut fec_decoder = FecDecoder::new();
-    // The simulation's omniscient view of sent video packets, used to
-    // materialize FEC-reconstructed packets (a real XOR decoder holds
-    // the actual recovered bytes; the metadata is identical).
-    let mut sent_video: BTreeMap<u64, Packet> = BTreeMap::new();
-    const NACK_POLL_EVERY: Dur = Dur::millis(10);
-
-    let expected_frames = (cfg.duration.as_secs_f64() * cfg.fps as f64).ceil() as usize + 1;
-    let mut sent: Vec<SentFrame> = Vec::with_capacity(expected_frames);
-    let mut completed: BTreeMap<u64, Time> = BTreeMap::new();
-    let mut series = SeriesSet::new();
-    // Hot-path scratch buffers, reused across the whole event loop so
-    // packetization and pacer release stop allocating per event.
-    let mut pkt_scratch: Vec<Packet> = Vec::new();
-    let mut release_scratch: Vec<Packet> = Vec::new();
-    let mut frames_encoded = 0u64;
-
-    let mut last_pli = Time::ZERO;
-    // All receiver → sender traffic crosses the (possibly impaired)
-    // reverse path; the receiver keeps PLI requests alive until a
-    // post-request keyframe actually lands.
-    let mut reverse = ReversePath::new(cfg.reverse_path, cfg.reverse_delay, cfg.seed);
-    let mut pli = PliRequester::new();
-    // Report integrity: the sender processes each report at most once and
-    // never lets a reordered (stale) report reach GCC/the drop detector.
-    let mut last_report_seq: Option<u64> = None;
-    let mut reports_discarded = 0u64;
-    let mut watchdog = cfg.watchdog.map(FeedbackWatchdog::new);
-    let mut blind_skip_toggle = false;
-    let mut queue = EventQueue::new();
-    queue.push(Time::ZERO, Event::Capture);
-    queue.push(Time::ZERO + cfg.feedback_interval, Event::FeedbackFlush);
-    if cfg.enable_rtx {
-        queue.push(Time::ZERO + NACK_POLL_EVERY, Event::NackPoll);
-    }
-    if watchdog.is_some() {
-        queue.push(Time::ZERO + cfg.feedback_interval, Event::WatchdogTick);
-    }
-    const AUDIO_TICK: Dur = Dur::millis(20);
-    /// Audio packets carry frame indexes in a disjoint namespace so they
-    /// never collide with video frames in feedback-side bookkeeping.
-    const AUDIO_INDEX_BASE: u64 = 1 << 40;
-    let mut audio_seq_count: u64 = 0;
-    let mut audio_latencies: Vec<(Time, Dur)> = Vec::new();
-    if cfg.enable_audio {
-        queue.push(Time::ZERO, Event::AudioTick);
-    }
-
-    let capture_end = Time::ZERO + cfg.duration;
-    let hard_end = capture_end + DRAIN_GRACE;
-    let mut cancelled = false;
-    let mut runaway_armed = false;
-
-    // --- event loop -------------------------------------------------------
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut state = SessionState::new(trace, cfg, schedule, obs_mode, guard);
+    state.start(&mut queue);
     while let Some(scheduled) = queue.pop() {
-        let now = scheduled.at;
-        if now < last_event_at {
-            checker.violate(
-                Invariant::MonotonicDelivery,
-                format!("event clock ran backwards: {now} after {last_event_at}"),
-            );
-            note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
+        if let Step::Stop = state.step(scheduled.at, scheduled.event, &mut queue) {
+            break;
         }
-        last_event_at = now;
+    }
+    // Drain without processing: whatever the loop left in the queue is
+    // counted as in-flight for the conservation invariant.
+    while let Some(leftover) = queue.pop() {
+        state.note_leftover(&leftover.event);
+    }
+    state.finish()
+}
+
+/// Runs a batch of sessions interleaved over ONE shared event queue on
+/// the calling thread — the multi-session kernel. Each session's
+/// result is byte-identical to running it alone through
+/// [`run_session`]: sessions share no state, and the shared queue's
+/// FIFO tie-break preserves every per-session event order.
+pub fn run_sessions<T: BandwidthTrace>(sessions: Vec<(T, SessionConfig)>) -> Vec<SessionResult> {
+    run_sessions_obs(sessions, ObsMode::Off)
+}
+
+/// [`run_sessions`] with an observability mode applied to every session.
+pub fn run_sessions_obs<T: BandwidthTrace>(
+    sessions: Vec<(T, SessionConfig)>,
+    obs_mode: ObsMode,
+) -> Vec<SessionResult> {
+    let mut queue: EventQueue<(u32, Event)> = EventQueue::new();
+    let mut states: Vec<(SessionState<T>, bool)> = Vec::with_capacity(sessions.len());
+    for (session, (trace, cfg)) in sessions.into_iter().enumerate() {
+        let schedule = cfg
+            .chaos
+            .map(|spec| ChaosSchedule::generate(spec, cfg.duration));
+        let guard = SessionGuard::for_config(&cfg);
+        let mut state = SessionState::new(trace, cfg, schedule, obs_mode, guard);
+        state.start(&mut TaggedSink {
+            queue: &mut queue,
+            session: session as u32,
+        });
+        states.push((state, false));
+    }
+    while let Some(scheduled) = queue.pop() {
+        let (session, event) = scheduled.event;
+        let (state, stopped) = &mut states[session as usize];
+        if *stopped {
+            // A stopped session's leftovers count as in-flight, exactly
+            // like the single-session post-loop drain.
+            state.note_leftover(&event);
+            continue;
+        }
+        let mut sink = TaggedSink {
+            queue: &mut queue,
+            session,
+        };
+        if let Step::Stop = state.step(scheduled.at, event, &mut sink) {
+            *stopped = true;
+        }
+    }
+    states
+        .into_iter()
+        .map(|(state, _stopped)| state.finish())
+        .collect()
+}
+
+/// Where a stepped session schedules its future events. The
+/// single-session kernel hands the state machine its private queue; the
+/// multi-session kernel hands it a [`TaggedSink`] that stamps the
+/// session id onto every push.
+trait EventSink {
+    /// Schedules `event` at `at`.
+    fn push(&mut self, at: Time, event: Event);
+}
+
+impl EventSink for EventQueue<Event> {
+    fn push(&mut self, at: Time, event: Event) {
+        EventQueue::push(self, at, event);
+    }
+}
+
+/// A view of the shared multi-session queue scoped to one session.
+struct TaggedSink<'a> {
+    queue: &'a mut EventQueue<(u32, Event)>,
+    session: u32,
+}
+
+impl EventSink for TaggedSink<'_> {
+    fn push(&mut self, at: Time, event: Event) {
+        self.queue.push(at, (self.session, event));
+    }
+}
+
+/// What [`SessionState::step`] tells the kernel after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Keep stepping.
+    Continue,
+    /// The session is done (end of drain window, guard trip, or
+    /// cancellation): stop feeding it events and route the remainder to
+    /// [`SessionState::note_leftover`].
+    Stop,
+}
+
+/// The simulation's bounded omniscient view of sent video packets, used
+/// to materialize FEC-reconstructed packets (a real XOR decoder holds
+/// the actual recovered bytes; the metadata is identical).
+///
+/// Packet seqs are handed out monotonically, so the window is a plain
+/// ring of packets in seq order: O(1) insert/evict, binary-search get —
+/// the struct-of-arrays replacement for the old `BTreeMap`, with no
+/// panic path when the window is empty.
+#[derive(Debug, Default)]
+struct SentVideoWindow {
+    packets: VecDeque<Packet>,
+}
+
+impl SentVideoWindow {
+    /// Records a sent packet, evicting the oldest past the window bound.
+    fn insert(&mut self, p: Packet) {
+        debug_assert!(
+            self.packets.back().is_none_or(|b| b.seq < p.seq),
+            "sent-video seqs must be monotone"
+        );
+        self.packets.push_back(p);
+        while self.packets.len() > SENT_VIDEO_WINDOW {
+            self.packets.pop_front();
+        }
+    }
+
+    /// Looks a packet up by seq; `None` when evicted, never recorded,
+    /// or the window is empty.
+    fn get(&self, seq: u64) -> Option<Packet> {
+        let idx = self.packets.partition_point(|p| p.seq < seq);
+        self.packets.get(idx).filter(|p| p.seq == seq).copied()
+    }
+}
+
+/// Frame completion instants, dense by frame index (video frame indexes
+/// start at 0 and grow by 1 per capture) — the struct-of-arrays
+/// replacement for the old `BTreeMap<u64, Time>`.
+#[derive(Debug, Default)]
+struct CompletedFrames {
+    slots: Vec<Option<Time>>,
+}
+
+impl CompletedFrames {
+    /// Records the first completion of `frame_index` (duplicates and
+    /// FEC/RTX re-completions keep the earliest instant).
+    fn note(&mut self, frame_index: u64, at: Time) {
+        let idx = frame_index as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        let slot = &mut self.slots[idx];
+        if slot.is_none() {
+            *slot = Some(at);
+        }
+    }
+
+    /// The completion instant of `frame_index`, if it ever assembled.
+    fn get(&self, frame_index: u64) -> Option<Time> {
+        self.slots.get(frame_index as usize).copied().flatten()
+    }
+}
+
+/// Staleness (in frame intervals) of a late frame. A late verdict
+/// implies a completion record; if bookkeeping ever desyncs, this
+/// records a [`Invariant::FiniteMetrics`] violation and displays the
+/// frame un-stale instead of aborting the cell.
+fn late_staleness(
+    latency: Option<Dur>,
+    fps: u32,
+    pts: Time,
+    checker: &mut InvariantChecker,
+) -> f64 {
+    match latency {
+        Some(l) => l / frame_interval(fps),
+        None => {
+            checker.violate(
+                Invariant::FiniteMetrics,
+                format!("late frame at pts {pts} has no completion record"),
+            );
+            0.0
+        }
+    }
+}
+
+/// One session's complete state, stepped event-by-event by the kernel.
+///
+/// Everything the historical monolithic loop held in locals lives here,
+/// so the kernel can interleave thousands of sessions on one thread:
+/// pop an event, call [`SessionState::step`], repeat.
+struct SessionState<T: BandwidthTrace> {
+    cfg: SessionConfig,
+    guard: SessionGuard,
+    schedule: Option<ChaosSchedule>,
+
+    // --- sender ---------------------------------------------------------
+    source: VideoSource,
+    encoder: Encoder,
+    cc: Box<dyn CongestionController>,
+    controller: Option<AdaptiveController>,
+    packetizer: Packetizer,
+    pacer: Pacer,
+    rtx_buffer: RtxBuffer,
+    fec_encoder: Option<FecEncoder>,
+    rtx_tokens_bits: f64,
+    rtx_tokens_updated: Time,
+    watchdog: Option<FeedbackWatchdog>,
+    blind_skip_toggle: bool,
+    last_pli: Time,
+    last_report_seq: Option<u64>,
+    reports_discarded: u64,
+
+    // --- network --------------------------------------------------------
+    link: Link<ChaosTrace<T>>,
+    fwd_chaos: Option<ForwardChaos>,
+    reverse: ReversePath,
+    acct: ForwardAcct,
+
+    // --- receiver -------------------------------------------------------
+    assembler: FrameAssembler,
+    feedback: FeedbackBuilder,
+    nack_gen: NackGenerator,
+    fec_decoder: FecDecoder,
+    pli: PliRequester,
+    sent_video: SentVideoWindow,
+    completed: CompletedFrames,
+    audio_seq_count: u64,
+    audio_latencies: Vec<(Time, Dur)>,
+
+    // --- bookkeeping ----------------------------------------------------
+    checker: InvariantChecker,
+    obs: ObsLog,
+    /// Violations already mirrored into the obs log (index into the
+    /// checker's first-flagged order).
+    obs_violations_seen: usize,
+    /// Chaos segments announced as the event clock crosses their start.
+    /// Empty when obs is off, so the step-top scan is free.
+    seg_meta: Vec<(Time, Time, &'static str)>,
+    seg_cursor: usize,
+    chaos_bounds: ChaosSpec,
+    chaos_clear: Option<Time>,
+    recovery_deadline: Option<Time>,
+    max_target_after_deadline: f64,
+    last_event_at: Time,
+    sent: Vec<SentFrame>,
+    series: SeriesSet,
+    frames_encoded: u64,
+    /// Hot-path scratch buffers, reused across the whole session so
+    /// packetization, pacer release, and NACK admission stop allocating
+    /// per event.
+    pkt_scratch: Vec<Packet>,
+    release_scratch: Vec<Packet>,
+    affordable_scratch: Vec<u64>,
+
+    // --- kernel ---------------------------------------------------------
+    capture_end: Time,
+    hard_end: Time,
+    cancelled: bool,
+    runaway_armed: bool,
+    /// Events this session has processed (the per-session equivalent of
+    /// the old private queue's popped counter).
+    popped: u64,
+    /// True while a `PacerTick` is in the queue. One outstanding tick
+    /// is always enough: `Pacer::next_release` only moves forward, and
+    /// until the pending tick fires every re-poll computes the same
+    /// release instant — so deduplicating changes no release time, it
+    /// only stops the queue population from growing without bound (the
+    /// E20 event storm).
+    pacer_tick_pending: bool,
+}
+
+impl<T: BandwidthTrace> SessionState<T> {
+    /// Builds the initial state. Mirrors the historical setup section
+    /// exactly, including its RNG draw order.
+    fn new(
+        trace: T,
+        cfg: SessionConfig,
+        schedule: Option<ChaosSchedule>,
+        obs_mode: ObsMode,
+        guard: SessionGuard,
+    ) -> SessionState<T> {
+        let schedule = schedule.filter(|s| !s.is_empty());
+        let source = VideoSource::new(cfg.content.profile(), cfg.resolution, cfg.fps, cfg.seed);
+        let mut enc_cfg = EncoderConfig::rtc(cfg.start_rate_bps, cfg.fps);
+        enc_cfg.capture_resolution = cfg.resolution;
+        enc_cfg.temporal_layers = cfg.temporal_layers;
+        let encoder = Encoder::new(enc_cfg);
+        let cc = cfg.scheme.cc.build(cfg.start_rate_bps);
+        let controller = cfg.scheme.adaptive.map(|acfg| {
+            let mut ctl = AdaptiveController::new(acfg, cfg.fps);
+            // Tell the controller what the transport adds around the
+            // encoder's payload: ~4% packet headers, plus FEC parity, plus
+            // the audio flow's wire rate.
+            let mut factor = 1.04;
+            if cfg.enable_fec {
+                factor *= 1.0 + 1.0 / cfg.fec_group_size as f64;
+            }
+            let reserved = if cfg.enable_audio {
+                // Audio wire rate: payload bitrate plus 40 B of headers on
+                // each of the 50 packets per second.
+                cfg.audio_bitrate_bps + 40.0 * 8.0 * 50.0
+            } else {
+                0.0
+            };
+            ctl.set_rate_overheads(factor, reserved);
+            ctl
+        });
+        // The link always sees a chaos-wrapped trace: outside every capacity
+        // fault (and always, for the empty schedule) the wrapper multiplies
+        // by exactly 1.0, so chaos-free sessions stay byte-identical.
+        let link = Link::new(
+            ChaosTrace::new(trace, schedule.clone().unwrap_or_default()),
+            cfg.link,
+            cfg.seed,
+        );
+        // Per-packet chaos (burst loss, reordering, duplication) applied
+        // after the link's delivery decision, at the send boundary — the
+        // link itself enforces FIFO, so reordering must live outside it.
+        let fwd_chaos = schedule
+            .as_ref()
+            .map(|s| ForwardChaos::new(s.clone(), cfg.seed));
+        let obs = ObsLog::new(obs_mode);
+        let seg_meta: Vec<(Time, Time, &'static str)> = if obs.enabled() {
+            let mut meta: Vec<_> = schedule
+                .as_ref()
+                .map(|s| {
+                    s.segments
+                        .iter()
+                        .map(|seg| (seg.from, seg.until, seg.kind.name()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            meta.sort_by_key(|&(from, _, _)| from);
+            meta
+        } else {
+            Vec::new()
+        };
+        // Recovery invariants are anchored to the end of the last fault.
+        let chaos_bounds = cfg.chaos.unwrap_or_else(|| ChaosSpec::new(0, 1.0));
+        let chaos_clear = schedule.as_ref().and_then(|s| s.last_fault_end());
+        let recovery_deadline = chaos_clear.map(|c| c + chaos_bounds.recovery_within);
+        let expected_frames = (cfg.duration.as_secs_f64() * cfg.fps as f64).ceil() as usize + 1;
+        let capture_end = Time::ZERO + cfg.duration;
+        SessionState {
+            guard,
+            source,
+            encoder,
+            cc,
+            controller,
+            packetizer: Packetizer::new(),
+            pacer: Pacer::new(cfg.start_rate_bps, 2.5),
+            // WebRTC-flavoured RTX: 30 ms NACK retries, give up after the
+            // playout deadline (PLI takes over), 1 s of sender history.
+            rtx_buffer: RtxBuffer::new(Dur::SECOND, 2048),
+            fec_encoder: cfg.enable_fec.then(|| FecEncoder::new(cfg.fec_group_size)),
+            rtx_tokens_bits: RTX_INITIAL_TOKENS_BITS,
+            rtx_tokens_updated: Time::ZERO,
+            watchdog: cfg.watchdog.map(FeedbackWatchdog::new),
+            blind_skip_toggle: false,
+            last_pli: Time::ZERO,
+            last_report_seq: None,
+            reports_discarded: 0,
+            link,
+            fwd_chaos,
+            // All receiver → sender traffic crosses the (possibly impaired)
+            // reverse path; the receiver keeps PLI requests alive until a
+            // post-request keyframe actually lands.
+            reverse: ReversePath::new(cfg.reverse_path, cfg.reverse_delay, cfg.seed),
+            acct: ForwardAcct::default(),
+            assembler: FrameAssembler::new(),
+            feedback: FeedbackBuilder::new(),
+            nack_gen: NackGenerator::new(Dur::millis(30), 5, cfg.max_playout_delay),
+            fec_decoder: FecDecoder::new(),
+            pli: PliRequester::new(),
+            sent_video: SentVideoWindow::default(),
+            completed: CompletedFrames::default(),
+            audio_seq_count: 0,
+            audio_latencies: Vec::new(),
+            checker: InvariantChecker::new(),
+            obs,
+            obs_violations_seen: 0,
+            seg_meta,
+            seg_cursor: 0,
+            chaos_bounds,
+            chaos_clear,
+            recovery_deadline,
+            max_target_after_deadline: 0.0,
+            last_event_at: Time::ZERO,
+            sent: Vec::with_capacity(expected_frames),
+            series: SeriesSet::new(),
+            frames_encoded: 0,
+            pkt_scratch: Vec::new(),
+            release_scratch: Vec::new(),
+            affordable_scratch: Vec::new(),
+            capture_end,
+            hard_end: capture_end + DRAIN_GRACE,
+            cancelled: false,
+            runaway_armed: false,
+            popped: 0,
+            pacer_tick_pending: false,
+            cfg,
+            schedule,
+        }
+    }
+
+    /// Schedules the session's seed events (same order as the
+    /// historical loop, so FIFO tie-breaks are preserved).
+    fn start(&mut self, sink: &mut impl EventSink) {
+        sink.push(Time::ZERO, Event::Capture);
+        sink.push(
+            Time::ZERO + self.cfg.feedback_interval,
+            Event::FeedbackFlush,
+        );
+        if self.cfg.enable_rtx {
+            sink.push(Time::ZERO + NACK_POLL_EVERY, Event::NackPoll);
+        }
+        if self.watchdog.is_some() {
+            sink.push(Time::ZERO + self.cfg.feedback_interval, Event::WatchdogTick);
+        }
+        if self.cfg.enable_audio {
+            sink.push(Time::ZERO, Event::AudioTick);
+        }
+    }
+
+    /// Counts an unprocessed leftover event: queued arrivals are
+    /// in-flight packets for the conservation invariant.
+    fn note_leftover(&mut self, event: &Event) {
+        if matches!(event, Event::Arrival(_)) {
+            self.acct.inflight += 1;
+        }
+    }
+
+    /// Mirrors any violations the checker flagged since the last call
+    /// into the observability log, stamped at `at`.
+    fn note_violations(&mut self, at: Time) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let all = self.checker.violations();
+        while self.obs_violations_seen < all.len() {
+            let v = &all[self.obs_violations_seen];
+            self.obs.record(at, || ObsEvent::InvariantViolated {
+                name: v.invariant.name(),
+                detail: v.detail.clone(),
+            });
+            self.obs_violations_seen += 1;
+        }
+    }
+
+    /// Processes one popped event. The check order (monotonic clock,
+    /// budget, horizon, cancellation, drain deadline, fault injection,
+    /// chaos-segment announcements, then the event itself) matches the
+    /// historical loop exactly, so guard trips and violation details
+    /// are byte-identical.
+    fn step(&mut self, now: Time, event: Event, sink: &mut impl EventSink) -> Step {
+        self.popped += 1;
+        if now < self.last_event_at {
+            self.checker.violate(
+                Invariant::MonotonicDelivery,
+                format!(
+                    "event clock ran backwards: {now} after {}",
+                    self.last_event_at
+                ),
+            );
+            self.note_violations(now);
+        }
+        self.last_event_at = now;
         // Runaway guard. Details carry simulation values only (the
         // popped-event count at trip time is `budget + 1` on every
         // run), so the violation is byte-identical at any worker count
         // and on cache hits.
-        if guard.over_budget(queue.events_popped()) {
-            checker.violate(
+        if self.guard.over_budget(self.popped) {
+            self.checker.violate(
                 Invariant::RunawayTermination,
                 format!(
                     "event budget exhausted at {now}: {} events popped (budget {})",
-                    queue.events_popped(),
-                    guard.max_events
+                    self.popped, self.guard.max_events
                 ),
             );
-            note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
-            if matches!(scheduled.event, Event::Arrival(_)) {
-                acct.inflight += 1;
-            }
-            break;
+            self.note_violations(now);
+            self.note_leftover(&event);
+            return Step::Stop;
         }
-        if guard.over_horizon(now) {
-            checker.violate(
+        if self.guard.over_horizon(now) {
+            self.checker.violate(
                 Invariant::RunawayTermination,
-                format!("sim-time horizon {} exceeded at {now}", guard.horizon),
+                format!("sim-time horizon {} exceeded at {now}", self.guard.horizon),
             );
-            note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
-            if matches!(scheduled.event, Event::Arrival(_)) {
-                acct.inflight += 1;
-            }
-            break;
+            self.note_violations(now);
+            self.note_leftover(&event);
+            return Step::Stop;
         }
-        if guard.cancelled(queue.events_popped()) {
-            cancelled = true;
-            if matches!(scheduled.event, Event::Arrival(_)) {
-                acct.inflight += 1;
-            }
-            break;
+        if self.guard.cancelled(self.popped) {
+            self.cancelled = true;
+            self.note_leftover(&event);
+            return Step::Stop;
         }
-        if now > hard_end {
+        if now > self.hard_end {
             // The popped event is past the session's end; if it was an
             // arrival, the packet is in flight for conservation.
-            if matches!(scheduled.event, Event::Arrival(_)) {
-                acct.inflight += 1;
-            }
-            break;
+            self.note_leftover(&event);
+            return Step::Stop;
         }
-        match cfg.inject {
+        match self.cfg.inject {
             InjectedFault::None => {}
             InjectedFault::Panic { at } => {
                 if now >= at {
@@ -678,687 +1020,716 @@ pub fn run_session_guarded<T: BandwidthTrace>(
                 }
             }
             InjectedFault::Runaway { at } => {
-                if now >= at && !runaway_armed {
-                    runaway_armed = true;
-                    queue.push(now, Event::RunawayTick);
+                if now >= at && !self.runaway_armed {
+                    self.runaway_armed = true;
+                    sink.push(now, Event::RunawayTick);
                 }
             }
         }
-        while seg_cursor < seg_meta.len() && seg_meta[seg_cursor].0 <= now {
-            let (from, until, kind) = seg_meta[seg_cursor];
-            obs.record(now, || ObsEvent::ChaosSegmentEntered { kind, from, until });
-            seg_cursor += 1;
+        while self.seg_cursor < self.seg_meta.len() && self.seg_meta[self.seg_cursor].0 <= now {
+            let (from, until, kind) = self.seg_meta[self.seg_cursor];
+            self.obs
+                .record(now, || ObsEvent::ChaosSegmentEntered { kind, from, until });
+            self.seg_cursor += 1;
         }
-        match scheduled.event {
-            Event::Capture => {
-                let frame = source.next_frame();
-                debug_assert_eq!(frame.pts, now, "capture clock drift");
-                obs.record(now, || ObsEvent::FrameCaptured { index: frame.index });
-                // While the feedback loop is blind, optionally skip every
-                // other frame (both schemes): at a given target rate this
-                // halves the data fired into an unobservable network.
-                let blind_skip = watchdog
-                    .as_ref()
-                    .is_some_and(|wd| wd.is_degraded() && wd.config().skip_while_blind)
-                    && {
-                        blind_skip_toggle = !blind_skip_toggle;
-                        blind_skip_toggle
-                    };
-                let decision = if blind_skip {
-                    encoder.skip_frame();
-                    FrameDecision::Skip
-                } else {
-                    match controller.as_mut() {
-                        Some(ctl) => ctl.on_frame(&frame, now, &mut encoder),
-                        None => FrameDecision::Encode,
-                    }
-                };
-                match decision {
-                    FrameDecision::Skip => {
-                        sent.push(SentFrame::Skipped {
-                            pts: frame.pts,
-                            temporal: frame.complexity.temporal,
-                        });
-                    }
-                    FrameDecision::Encode => {
-                        let encoded = encoder.encode(&frame, now);
-                        frames_encoded += 1;
-                        obs.record(now, || ObsEvent::FrameEncoded {
-                            index: encoded.index,
-                            size_bytes: encoded.size_bytes,
-                            qp: encoded.qp.value(),
-                            target_bps: encoder.target_bps(),
-                        });
-                        if encoded.frame_type.is_intra() {
-                            obs.record(now, || ObsEvent::KeyframeEmitted);
-                        }
-                        if cfg.record_series {
-                            series.push("qp", now, encoded.qp.value());
-                            series.push(
-                                "send_rate_bps",
-                                now,
-                                encoded.size_bits() as f64 * cfg.fps as f64,
-                            );
-                        }
-                        queue.push(encoded.encoded_at, Event::EncodeDone(encoded));
-                        sent.push(SentFrame::Encoded {
-                            frame: encoded,
-                            temporal: frame.complexity.temporal,
-                        });
-                    }
-                }
-                let next_pts = source.pts_of(frame.index + 1);
-                if next_pts < capture_end {
-                    queue.push(next_pts, Event::Capture);
-                }
-            }
-            Event::EncodeDone(encoded) => {
-                if let Some(sched) = schedule.as_ref() {
-                    packetizer.set_payload_mtu(sched.payload_mtu(now));
-                }
-                packetizer.packetize_into(&encoded, &mut pkt_scratch);
-                if let Some(fec) = fec_encoder.as_mut() {
-                    for p in pkt_scratch.drain(..) {
-                        sent_video.insert(p.seq, p);
-                        let parity = fec.on_media_packet(&p, || packetizer.take_seq(), now);
-                        pacer.enqueue(std::iter::once(p).chain(parity));
-                    }
-                    // Bound the omniscient map.
-                    while sent_video.len() > 4096 {
-                        let oldest = *sent_video.keys().next().expect("non-empty");
-                        sent_video.remove(&oldest);
-                    }
-                } else {
-                    pacer.enqueue(pkt_scratch.drain(..));
-                }
-                release_pacer_rtx(
-                    &mut pacer,
-                    &mut ForwardLane {
-                        link: &mut link,
-                        chaos: fwd_chaos.as_mut(),
-                        acct: &mut acct,
-                        obs: &mut obs,
-                    },
-                    &mut queue,
-                    now,
-                    cfg.enable_rtx.then_some(&mut rtx_buffer),
-                    &mut release_scratch,
-                );
-            }
+        match event {
+            Event::Capture => self.on_capture(now, sink),
+            Event::EncodeDone(encoded) => self.on_encode_done(now, &encoded, sink),
             Event::PacerTick => {
-                release_pacer_rtx(
-                    &mut pacer,
-                    &mut ForwardLane {
-                        link: &mut link,
-                        chaos: fwd_chaos.as_mut(),
-                        acct: &mut acct,
-                        obs: &mut obs,
-                    },
-                    &mut queue,
-                    now,
-                    cfg.enable_rtx.then_some(&mut rtx_buffer),
-                    &mut release_scratch,
-                );
+                self.pacer_tick_pending = false;
+                self.release_pacer(sink, now);
             }
-            Event::Arrival(packet) => {
-                acct.arrivals += 1;
-                obs.record(now, || ObsEvent::PacketDelivered { seq: packet.seq });
-                if now < packet.send_time {
-                    checker.violate(
-                        Invariant::MonotonicDelivery,
-                        format!(
-                            "packet seq {} arrived at {now} before its send time {}",
-                            packet.seq, packet.send_time
-                        ),
-                    );
-                    note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
-                }
-                feedback.on_packet(&packet, now);
-                if cfg.enable_rtx {
-                    nack_gen.on_packet(packet.seq, now);
-                }
-                if cfg.enable_fec && packet.kind != MediaKind::Fec {
-                    // Every non-parity arrival in a covered span counts
-                    // toward that span's recovery bookkeeping.
-                    for seq in fec_decoder.on_media_packet(packet.seq) {
-                        if let Some(rec) = sent_video.get(&seq).copied() {
-                            nack_gen.on_packet(seq, now);
-                            if let Some(done) = assembler.push(&rec, now) {
-                                // Only a COMPLETE keyframe satisfies an
-                                // outstanding PLI (a lone fragment may
-                                // never assemble; retries must go on).
-                                if done.is_keyframe {
-                                    pli.on_keyframe(rec.send_time);
-                                }
-                                completed
-                                    .entry(done.frame_index)
-                                    .or_insert(done.complete_at);
-                            }
-                        }
-                    }
-                }
-                match packet.kind {
-                    MediaKind::Audio => {
-                        audio_latencies.push((packet.pts, now.saturating_since(packet.pts)));
-                    }
-                    MediaKind::Fec => {
-                        for seq in fec_decoder.on_parity_packet(&packet) {
-                            if let Some(rec) = sent_video.get(&seq).copied() {
-                                nack_gen.on_packet(seq, now);
-                                if let Some(done) = assembler.push(&rec, now) {
-                                    if done.is_keyframe {
-                                        pli.on_keyframe(rec.send_time);
-                                    }
-                                    completed
-                                        .entry(done.frame_index)
-                                        .or_insert(done.complete_at);
-                                }
-                            }
-                        }
-                    }
-                    MediaKind::Video => {
-                        if let Some(done) = assembler.push(&packet, now) {
-                            if done.is_keyframe {
-                                pli.on_keyframe(packet.send_time);
-                            }
-                            completed
-                                .entry(done.frame_index)
-                                .or_insert(done.complete_at);
-                        }
-                    }
-                }
-            }
-            Event::FeedbackFlush => {
-                let backlog = link.backlog_bytes(now);
-                checker.check(
-                    Invariant::BoundedBacklog,
-                    backlog <= cfg.link.queue_capacity_bytes,
-                    || {
-                        format!(
-                            "link backlog {backlog} B exceeds queue capacity {} B at {now}",
-                            cfg.link.queue_capacity_bytes
-                        )
-                    },
-                );
-                note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
-                if let Some(report) = feedback.flush(now) {
-                    // Reported losses mean some frame will be
-                    // undecodable: arm (or keep alive) the keyframe
-                    // request. It stays armed until a post-request
-                    // keyframe actually arrives.
-                    if report.lost_count() > 0 {
-                        pli.request(now);
-                    }
-                    for at in reverse.transit(now).into_iter().flatten() {
-                        queue.push(at, Event::FeedbackArrive(report.clone()));
-                    }
-                }
-                // PLI emission (first send and backoff retries) shares
-                // the feedback cadence — and the impaired reverse path.
-                if pli.poll(now) {
-                    obs.record(now, || ObsEvent::PliSent);
-                    for at in reverse.transit(now).into_iter().flatten() {
-                        queue.push(at, Event::PliArrive);
-                    }
-                }
-                let next = now + cfg.feedback_interval;
-                if next <= hard_end {
-                    queue.push(next, Event::FeedbackFlush);
-                }
-            }
-            Event::AudioTick => {
-                // One Opus frame: bitrate x 20 ms of payload + headers.
-                let payload =
-                    ((cfg.audio_bitrate_bps * AUDIO_TICK.as_secs_f64()) / 8.0).ceil() as u64;
-                let audio = Packet {
-                    kind: MediaKind::Audio,
-                    seq: packetizer.take_seq(),
-                    frame_index: AUDIO_INDEX_BASE + audio_seq_count,
-                    fragment: 0,
-                    num_fragments: 1,
-                    size_bytes: payload + ravel_net::packet::HEADER_BYTES,
-                    pts: now,
-                    send_time: now,
-                    is_keyframe: false,
-                };
-                audio_seq_count += 1;
-                // Audio bypasses the video pacer (WebRTC sends it
-                // directly) but shares the bottleneck and feedback.
-                if cfg.enable_rtx {
-                    rtx_buffer.store(&audio, now);
-                }
-                send_forward(
-                    &mut ForwardLane {
-                        link: &mut link,
-                        chaos: fwd_chaos.as_mut(),
-                        acct: &mut acct,
-                        obs: &mut obs,
-                    },
-                    &mut queue,
-                    audio,
-                    now,
-                );
-                let next = now + AUDIO_TICK;
-                if next < capture_end {
-                    queue.push(next, Event::AudioTick);
-                }
-            }
-            Event::NackPoll => {
-                let abandoned_before = nack_gen.abandoned();
-                let batch = nack_gen.poll(now);
-                if nack_gen.abandoned() > abandoned_before {
-                    // RTX gave up on a gap: some frame will never
-                    // assemble and the reference chain will break when
-                    // playout reaches it. Feedback already reported the
-                    // loss (possibly while an earlier PLI was pending and
-                    // got satisfied by a keyframe that predates this
-                    // gap), so this is the receiver's only remaining
-                    // signal — recovery is the PLI path's job now.
-                    pli.request(now);
-                }
-                if let Some(batch) = batch {
-                    for at in reverse.transit(now).into_iter().flatten() {
-                        queue.push(at, Event::NackArrive(batch.clone()));
-                    }
-                }
-                let next = now + NACK_POLL_EVERY;
-                if next <= hard_end {
-                    queue.push(next, Event::NackPoll);
-                }
-            }
-            Event::NackArrive(batch) => {
-                // Refill the RTX bucket, capped at one burst.
-                let elapsed = now.saturating_since(rtx_tokens_updated);
-                rtx_tokens_updated = now;
-                rtx_tokens_bits = (rtx_tokens_bits
-                    + RTX_RATE_FRACTION * encoder.target_bps() * elapsed.as_secs_f64())
-                .min(RTX_BURST_BITS);
-                let affordable: Vec<u64> = batch
-                    .seqs
-                    .iter()
-                    .copied()
-                    .take_while(|_| {
-                        if rtx_tokens_bits >= RTX_GRANT_BITS {
-                            rtx_tokens_bits -= RTX_GRANT_BITS;
-                            true
-                        } else {
-                            false
-                        }
-                    })
-                    .collect();
-                let packets = rtx_buffer.retransmit(&affordable);
-                if !packets.is_empty() {
-                    pacer.enqueue(packets);
-                    release_pacer_rtx(
-                        &mut pacer,
-                        &mut ForwardLane {
-                            link: &mut link,
-                            chaos: fwd_chaos.as_mut(),
-                            acct: &mut acct,
-                            obs: &mut obs,
-                        },
-                        &mut queue,
-                        now,
-                        cfg.enable_rtx.then_some(&mut rtx_buffer),
-                        &mut release_scratch,
-                    );
-                }
-            }
-            Event::FeedbackArrive(report) => {
-                // Report integrity: a duplicated or reordered reverse
-                // path may deliver a report twice, or deliver an older
-                // report after a newer one. Both would corrupt GCC's
-                // inter-arrival model and the drop detector's windows —
-                // discard them before any estimator sees them.
-                if last_report_seq.is_some_and(|last| report.report_seq <= last) {
-                    reports_discarded += 1;
-                    continue;
-                }
-                last_report_seq = Some(report.report_seq);
-                obs.record(now, || ObsEvent::FeedbackReceived {
-                    report_seq: report.report_seq,
-                    lost: report.lost_count() as u64,
-                });
-                let old_target = encoder.target_bps();
-                if let Some(wd) = watchdog.as_mut() {
-                    wd.on_valid_report(now);
-                }
-                let gcc_target = cc.on_feedback(&report, now);
-                match controller.as_mut() {
-                    Some(ctl) => {
-                        ctl.on_feedback(&report, gcc_target, now, &mut encoder);
-                    }
-                    None => {
-                        // Baseline: production slow path.
-                        encoder.set_target_bitrate(gcc_target);
-                    }
-                }
-                pacer.set_target_bitrate(encoder.target_bps().max(PACER_FLOOR_BPS));
-                let target = encoder.target_bps();
-                if target != old_target {
-                    obs.record(now, || ObsEvent::TargetChanged {
-                        old_bps: old_target,
-                        new_bps: target,
-                        reason: cc.decision_reason(),
-                    });
-                }
-                if !target.is_finite() || !gcc_target.is_finite() {
-                    checker.violate(
-                        Invariant::FiniteMetrics,
-                        format!("non-finite rate at {now}: encoder {target}, gcc {gcc_target}"),
-                    );
-                    note_violations(&mut obs, &checker, &mut obs_violations_seen, now);
-                }
-                // Recovery-within-T: the target counts as recovered if
-                // it reaches the goal at any point between the last
-                // fault clearing and the deadline.
-                if chaos_clear.is_some_and(|c| now >= c)
-                    && recovery_deadline.is_some_and(|d| now <= d)
-                {
-                    max_target_after_deadline = max_target_after_deadline.max(target);
-                }
-                if cfg.record_series {
-                    series.push("target_bps", now, encoder.target_bps());
-                    series.push("gcc_target_bps", now, gcc_target);
-                    if let Some(gcc) = cc.as_any().downcast_ref::<ravel_cc::Gcc>() {
-                        let state = match gcc.detector_state() {
-                            ravel_cc::BandwidthUsage::Normal => 0.0,
-                            ravel_cc::BandwidthUsage::Overusing => 1.0,
-                            ravel_cc::BandwidthUsage::Underusing => -1.0,
-                        };
-                        series.push("gcc_detector", now, state);
-                        series.push("gcc_trend_ms", now, gcc.trend_ms());
-                    }
-                    series.push("capacity_bps", now, link.trace().rate_bps(now));
-                    series.push("link_queue_ms", now, link.queue_delay(now).as_millis_f64());
-                    series.push("pacer_queue_ms", now, pacer.drain_time().as_millis_f64());
-                }
-            }
+            Event::Arrival(packet) => self.on_arrival(now, packet),
+            Event::FeedbackFlush => self.on_feedback_flush(now, sink),
+            Event::FeedbackArrive(report) => self.on_feedback_arrive(now, &report),
+            Event::NackPoll => self.on_nack_poll(now, sink),
+            Event::AudioTick => self.on_audio_tick(now, sink),
+            Event::NackArrive(batch) => self.on_nack_arrive(now, &batch, sink),
             Event::PliArrive => {
                 // Sender-side IDR generation, rate-limited so a burst of
                 // (possibly duplicated) PLIs coalesces into one keyframe.
-                if now.saturating_since(last_pli) >= PLI_MIN_INTERVAL {
-                    encoder.force_idr();
-                    last_pli = now;
+                if now.saturating_since(self.last_pli) >= PLI_MIN_INTERVAL {
+                    self.encoder.force_idr();
+                    self.last_pli = now;
                 }
             }
-            Event::WatchdogTick => {
-                if let Some(wd) = watchdog.as_mut() {
-                    // Capture ends at `capture_end`; the receiver goes
-                    // quiet once the pipe drains, so missing feedback in
-                    // the drain tail is expected, not a blind episode.
-                    if now <= capture_end && wd.poll(now) {
-                        // No valid report within the timeout: back the
-                        // target off toward the floor. The baseline gets
-                        // the same production-equivalent cut through the
-                        // slow path; the adaptive controller routes it
-                        // through its Degraded phase (fast reconfigure +
-                        // Recover hand-off when feedback resumes).
-                        let old_target = encoder.target_bps();
-                        let target = wd.apply_backoff(old_target);
-                        match controller.as_mut() {
-                            Some(ctl) => ctl.on_feedback_timeout(target, now, &mut encoder),
-                            None => encoder.set_target_bitrate(target),
-                        }
-                        pacer.set_target_bitrate(encoder.target_bps().max(PACER_FLOOR_BPS));
-                        let new_target = encoder.target_bps();
-                        if new_target != old_target {
-                            obs.record(now, || ObsEvent::TargetChanged {
-                                old_bps: old_target,
-                                new_bps: new_target,
-                                reason: "watchdog",
-                            });
-                        }
-                        if cfg.record_series {
-                            // FeedbackArrive cannot log while blind, so
-                            // the decay is recorded here.
-                            series.push("target_bps", now, encoder.target_bps());
-                        }
-                    }
-                    let next = now + cfg.feedback_interval;
-                    if next <= capture_end {
-                        queue.push(next, Event::WatchdogTick);
-                    }
-                }
-            }
+            Event::WatchdogTick => self.on_watchdog_tick(now, sink),
             Event::RunawayTick => {
                 // The fixture's storm: re-schedule at the current
                 // instant so simulation time never advances and the
                 // event budget is what stops the session.
-                queue.push(now, Event::RunawayTick);
+                sink.push(now, Event::RunawayTick);
             }
         }
+        Step::Continue
     }
 
-    // Snapshot the processed-event count before draining: the drain
-    // below pops (without processing) whatever the loop left in the
-    // queue, to count in-flight packets for conservation.
-    let events_processed = queue.events_popped();
-    while let Some(leftover) = queue.pop() {
-        if matches!(leftover.event, Event::Arrival(_)) {
-            acct.inflight += 1;
-        }
-    }
-    let chaos_lost = fwd_chaos.as_ref().map(|c| c.lost()).unwrap_or(0);
-    let chaos_duplicates = fwd_chaos.as_ref().map(|c| c.duplicated()).unwrap_or(0);
-    let expected =
-        acct.arrivals + acct.inflight + link.queue_drops() + link.random_losses() + chaos_lost;
-    checker.check(
-        Invariant::Conservation,
-        acct.sent + chaos_duplicates == expected,
-        || {
-            format!(
-                "sent {} + chaos duplicates {} != arrivals {} + in-flight {} \
-                 + queue drops {} + random losses {} + chaos losses {}",
-                acct.sent,
-                chaos_duplicates,
-                acct.arrivals,
-                acct.inflight,
-                link.queue_drops(),
-                link.random_losses(),
-                chaos_lost
-            )
-        },
-    );
-    note_violations(&mut obs, &checker, &mut obs_violations_seen, last_event_at);
-
-    // --- display post-pass --------------------------------------------
-    let mut decoder = Decoder::new();
-    let mut recorder = LatencyRecorder::with_capacity(sent.len());
-    let mut frames_skipped = 0u64;
-    // First capture instant at/after the last fault cleared where the
-    // reference chain was healthy (freeze-termination invariant).
-    let mut chain_ok_after_clear: Option<Time> = None;
-    for (idx, sf) in sent.iter().enumerate() {
-        let idx = idx as u64;
-        match sf {
-            SentFrame::Skipped { pts, temporal } => {
-                frames_skipped += 1;
-                // Sender-side skips freeze one slot but do not break the
-                // reference chain (the encoder references the last
-                // *encoded* frame, which the receiver has).
-                let outcome = decoder.feed_sender_skip(*temporal);
-                recorder.push(FrameRecord {
-                    pts: *pts,
-                    outcome: FrameOutcomeKind::Frozen,
-                    latency: None,
-                    ssim: outcome.displayed_ssim(),
-                    psnr_db: None,
+    fn on_capture(&mut self, now: Time, sink: &mut impl EventSink) {
+        let frame = self.source.next_frame();
+        debug_assert_eq!(frame.pts, now, "capture clock drift");
+        self.obs
+            .record(now, || ObsEvent::FrameCaptured { index: frame.index });
+        // While the feedback loop is blind, optionally skip every
+        // other frame (both schemes): at a given target rate this
+        // halves the data fired into an unobservable network.
+        let blind_skip = self
+            .watchdog
+            .as_ref()
+            .is_some_and(|wd| wd.is_degraded() && wd.config().skip_while_blind)
+            && {
+                self.blind_skip_toggle = !self.blind_skip_toggle;
+                self.blind_skip_toggle
+            };
+        let decision = if blind_skip {
+            self.encoder.skip_frame();
+            FrameDecision::Skip
+        } else {
+            match self.controller.as_mut() {
+                Some(ctl) => ctl.on_frame(&frame, now, &mut self.encoder),
+                None => FrameDecision::Encode,
+            }
+        };
+        match decision {
+            FrameDecision::Skip => {
+                self.sent.push(SentFrame::Skipped {
+                    pts: frame.pts,
+                    temporal: frame.complexity.temporal,
                 });
             }
-            SentFrame::Encoded { frame, temporal } => {
-                let complete_at = completed.get(&idx).copied();
-                let latency =
-                    complete_at.map(|c| (c + DECODE_RENDER_DELAY).saturating_since(frame.pts));
-                let late = latency.map(|l| l > cfg.max_playout_delay).unwrap_or(false);
-                let outcome = if late {
-                    // Blew the playout deadline: decoded for reference,
-                    // displayed stale.
-                    let staleness =
-                        latency.expect("late implies arrived") / frame_interval(cfg.fps);
-                    decoder.feed_late(frame, staleness, *temporal)
-                } else if complete_at.is_none() && frame.temporal_layer == 1 {
-                    // A lost enhancement-layer frame: nothing references
-                    // it, so the display freezes one slot but the chain
-                    // survives — exactly like a sender-side skip.
-                    decoder.feed_sender_skip(*temporal)
-                } else {
-                    decoder.feed(frame.as_opt(complete_at), true, *temporal)
-                };
-                if outcome.is_displayed() {
-                    recorder.push(FrameRecord {
-                        pts: frame.pts,
-                        outcome: FrameOutcomeKind::Displayed,
-                        latency,
-                        ssim: outcome.displayed_ssim(),
-                        psnr_db: Some(frame.psnr_db),
-                    });
-                } else {
-                    recorder.push(FrameRecord {
-                        pts: frame.pts,
-                        outcome: FrameOutcomeKind::Frozen,
-                        // Late frames still carry their measured latency.
-                        latency,
-                        ssim: outcome.displayed_ssim(),
-                        psnr_db: None,
-                    });
+            FrameDecision::Encode => {
+                let encoded = self.encoder.encode(&frame, now);
+                self.frames_encoded += 1;
+                self.obs.record(now, || ObsEvent::FrameEncoded {
+                    index: encoded.index,
+                    size_bytes: encoded.size_bytes,
+                    qp: encoded.qp.value(),
+                    target_bps: self.encoder.target_bps(),
+                });
+                if encoded.frame_type.is_intra() {
+                    self.obs.record(now, || ObsEvent::KeyframeEmitted);
                 }
-                if cfg.record_series {
-                    if let Some(c) = complete_at {
-                        series.push(
-                            "frame_latency_ms",
-                            frame.pts,
-                            (c + DECODE_RENDER_DELAY)
-                                .saturating_since(frame.pts)
-                                .as_millis_f64(),
-                        );
+                if self.cfg.record_series {
+                    self.series.push("qp", now, encoded.qp.value());
+                    self.series.push(
+                        "send_rate_bps",
+                        now,
+                        encoded.size_bits() as f64 * self.cfg.fps as f64,
+                    );
+                }
+                sink.push(encoded.encoded_at, Event::EncodeDone(Box::new(encoded)));
+                self.sent.push(SentFrame::Encoded {
+                    frame: encoded,
+                    temporal: frame.complexity.temporal,
+                });
+            }
+        }
+        let next_pts = self.source.pts_of(frame.index + 1);
+        if next_pts < self.capture_end {
+            sink.push(next_pts, Event::Capture);
+        }
+    }
+
+    fn on_encode_done(&mut self, now: Time, encoded: &EncodedFrame, sink: &mut impl EventSink) {
+        if let Some(sched) = self.schedule.as_ref() {
+            self.packetizer.set_payload_mtu(sched.payload_mtu(now));
+        }
+        let mut pkts = mem::take(&mut self.pkt_scratch);
+        self.packetizer.packetize_into(encoded, &mut pkts);
+        if let Some(fec) = self.fec_encoder.as_mut() {
+            for p in pkts.drain(..) {
+                self.sent_video.insert(p);
+                let parity = fec.on_media_packet(&p, || self.packetizer.take_seq(), now);
+                self.pacer.enqueue(std::iter::once(p).chain(parity));
+            }
+        } else {
+            self.pacer.enqueue(pkts.drain(..));
+        }
+        self.pkt_scratch = pkts;
+        self.release_pacer(sink, now);
+    }
+
+    fn on_arrival(&mut self, now: Time, packet: Packet) {
+        self.acct.arrivals += 1;
+        self.obs
+            .record(now, || ObsEvent::PacketDelivered { seq: packet.seq });
+        if now < packet.send_time {
+            self.checker.violate(
+                Invariant::MonotonicDelivery,
+                format!(
+                    "packet seq {} arrived at {now} before its send time {}",
+                    packet.seq, packet.send_time
+                ),
+            );
+            self.note_violations(now);
+        }
+        self.feedback.on_packet(&packet, now);
+        if self.cfg.enable_rtx {
+            self.nack_gen.on_packet(packet.seq, now);
+        }
+        if self.cfg.enable_fec && packet.kind != MediaKind::Fec {
+            // Every non-parity arrival in a covered span counts
+            // toward that span's recovery bookkeeping.
+            for seq in self.fec_decoder.on_media_packet(packet.seq) {
+                if let Some(rec) = self.sent_video.get(seq) {
+                    self.nack_gen.on_packet(seq, now);
+                    if let Some(done) = self.assembler.push(&rec, now) {
+                        // Only a COMPLETE keyframe satisfies an
+                        // outstanding PLI (a lone fragment may
+                        // never assemble; retries must go on).
+                        if done.is_keyframe {
+                            self.pli.on_keyframe(rec.send_time);
+                        }
+                        self.completed.note(done.frame_index, done.complete_at);
                     }
                 }
             }
         }
-        if chain_ok_after_clear.is_none() {
-            if let Some(clear) = chaos_clear {
-                let pts = match sf {
-                    SentFrame::Skipped { pts, .. } => *pts,
-                    SentFrame::Encoded { frame, .. } => frame.pts,
-                };
-                if pts >= clear && !decoder.chain_broken() {
-                    chain_ok_after_clear = Some(pts);
+        match packet.kind {
+            MediaKind::Audio => {
+                self.audio_latencies
+                    .push((packet.pts, now.saturating_since(packet.pts)));
+            }
+            MediaKind::Fec => {
+                for seq in self.fec_decoder.on_parity_packet(&packet) {
+                    if let Some(rec) = self.sent_video.get(seq) {
+                        self.nack_gen.on_packet(seq, now);
+                        if let Some(done) = self.assembler.push(&rec, now) {
+                            if done.is_keyframe {
+                                self.pli.on_keyframe(rec.send_time);
+                            }
+                            self.completed.note(done.frame_index, done.complete_at);
+                        }
+                    }
+                }
+            }
+            MediaKind::Video => {
+                if let Some(done) = self.assembler.push(&packet, now) {
+                    if done.is_keyframe {
+                        self.pli.on_keyframe(packet.send_time);
+                    }
+                    self.completed.note(done.frame_index, done.complete_at);
                 }
             }
         }
     }
 
-    // --- chaos-conditioned invariants ---------------------------------
-    // Freeze termination: once the last fault clears, the PLI → keyframe
-    // path must repair the reference chain within a bound (checkable
-    // only if capture extends past the bound).
-    if let Some(clear) = chaos_clear {
-        let bound_end = clear + FREEZE_TERMINATION_BOUND;
-        if bound_end <= capture_end {
-            let repaired = chain_ok_after_clear.is_some_and(|t| t <= bound_end);
-            checker.check(Invariant::FreezeTermination, repaired, || {
+    fn on_feedback_flush(&mut self, now: Time, sink: &mut impl EventSink) {
+        let backlog = self.link.backlog_bytes(now);
+        self.checker.check(
+            Invariant::BoundedBacklog,
+            backlog <= self.cfg.link.queue_capacity_bytes,
+            || {
                 format!(
-                    "reference chain not repaired within {FREEZE_TERMINATION_BOUND} \
-                     of the last fault clearing at {clear} (first healthy capture: {:?})",
-                    chain_ok_after_clear
+                    "link backlog {backlog} B exceeds queue capacity {} B at {now}",
+                    self.cfg.link.queue_capacity_bytes
                 )
-            });
+            },
+        );
+        self.note_violations(now);
+        if let Some(report) = self.feedback.flush(now) {
+            // Reported losses mean some frame will be
+            // undecodable: arm (or keep alive) the keyframe
+            // request. It stays armed until a post-request
+            // keyframe actually arrives.
+            if report.lost_count() > 0 {
+                self.pli.request(now);
+            }
+            for at in self.reverse.transit(now).into_iter().flatten() {
+                sink.push(at, Event::FeedbackArrive(report.clone()));
+            }
+        }
+        // PLI emission (first send and backoff retries) shares
+        // the feedback cadence — and the impaired reverse path.
+        if self.pli.poll(now) {
+            self.obs.record(now, || ObsEvent::PliSent);
+            for at in self.reverse.transit(now).into_iter().flatten() {
+                sink.push(at, Event::PliArrive);
+            }
+        }
+        let next = now + self.cfg.feedback_interval;
+        if next <= self.hard_end {
+            sink.push(next, Event::FeedbackFlush);
         }
     }
-    // Rate recovery: the encoder target must climb back to a fraction of
-    // the available rate within the configured bound after the faults.
-    if let (Some(clear), Some(deadline)) = (chaos_clear, recovery_deadline) {
-        if deadline <= capture_end {
-            let mut capacity_floor = cfg.start_rate_bps;
-            let mut t = deadline;
-            while t <= capture_end {
-                capacity_floor = capacity_floor.min(link.trace().rate_bps(t));
-                t += RECOVERY_CAPACITY_PROBE;
+
+    fn on_feedback_arrive(&mut self, now: Time, report: &FeedbackReport) {
+        // Report integrity: a duplicated or reordered reverse
+        // path may deliver a report twice, or deliver an older
+        // report after a newer one. Both would corrupt GCC's
+        // inter-arrival model and the drop detector's windows —
+        // discard them before any estimator sees them.
+        if self
+            .last_report_seq
+            .is_some_and(|last| report.report_seq <= last)
+        {
+            self.reports_discarded += 1;
+            return;
+        }
+        self.last_report_seq = Some(report.report_seq);
+        self.obs.record(now, || ObsEvent::FeedbackReceived {
+            report_seq: report.report_seq,
+            lost: report.lost_count() as u64,
+        });
+        let old_target = self.encoder.target_bps();
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.on_valid_report(now);
+        }
+        let gcc_target = self.cc.on_feedback(report, now);
+        match self.controller.as_mut() {
+            Some(ctl) => {
+                ctl.on_feedback(report, gcc_target, now, &mut self.encoder);
             }
-            let goal = chaos_bounds.recovery_fraction * capacity_floor;
-            checker.check(
-                Invariant::RateRecovery,
-                max_target_after_deadline >= goal,
-                || {
-                    format!(
-                        "target peaked at {max_target_after_deadline:.0} bps after {deadline} \
-                         (last fault cleared {clear}); needed {goal:.0} bps"
-                    )
-                },
+            None => {
+                // Baseline: production slow path.
+                self.encoder.set_target_bitrate(gcc_target);
+            }
+        }
+        self.pacer
+            .set_target_bitrate(self.encoder.target_bps().max(PACER_FLOOR_BPS));
+        let target = self.encoder.target_bps();
+        if target != old_target {
+            self.obs.record(now, || ObsEvent::TargetChanged {
+                old_bps: old_target,
+                new_bps: target,
+                reason: self.cc.decision_reason(),
+            });
+        }
+        if !target.is_finite() || !gcc_target.is_finite() {
+            self.checker.violate(
+                Invariant::FiniteMetrics,
+                format!("non-finite rate at {now}: encoder {target}, gcc {gcc_target}"),
+            );
+            self.note_violations(now);
+        }
+        // Recovery-within-T: the target counts as recovered if
+        // it reaches the goal at any point between the last
+        // fault clearing and the deadline.
+        if self.chaos_clear.is_some_and(|c| now >= c)
+            && self.recovery_deadline.is_some_and(|d| now <= d)
+        {
+            self.max_target_after_deadline = self.max_target_after_deadline.max(target);
+        }
+        if self.cfg.record_series {
+            self.series
+                .push("target_bps", now, self.encoder.target_bps());
+            self.series.push("gcc_target_bps", now, gcc_target);
+            if let Some(gcc) = self.cc.as_any().downcast_ref::<ravel_cc::Gcc>() {
+                let state = match gcc.detector_state() {
+                    ravel_cc::BandwidthUsage::Normal => 0.0,
+                    ravel_cc::BandwidthUsage::Overusing => 1.0,
+                    ravel_cc::BandwidthUsage::Underusing => -1.0,
+                };
+                self.series.push("gcc_detector", now, state);
+                self.series.push("gcc_trend_ms", now, gcc.trend_ms());
+            }
+            self.series
+                .push("capacity_bps", now, self.link.trace().rate_bps(now));
+            self.series.push(
+                "link_queue_ms",
+                now,
+                self.link.queue_delay(now).as_millis_f64(),
+            );
+            self.series.push(
+                "pacer_queue_ms",
+                now,
+                self.pacer.drain_time().as_millis_f64(),
             );
         }
     }
-    // Finite metrics: nothing non-finite may reach the recorder or the
-    // recorded series.
-    if let Some(r) = recorder.records().iter().find(|r| !r.is_finite()) {
-        checker.violate(
-            Invariant::FiniteMetrics,
-            format!("non-finite frame record at pts {}", r.pts),
-        );
+
+    fn on_nack_poll(&mut self, now: Time, sink: &mut impl EventSink) {
+        let abandoned_before = self.nack_gen.abandoned();
+        let batch = self.nack_gen.poll(now);
+        if self.nack_gen.abandoned() > abandoned_before {
+            // RTX gave up on a gap: some frame will never
+            // assemble and the reference chain will break when
+            // playout reaches it. Feedback already reported the
+            // loss (possibly while an earlier PLI was pending and
+            // got satisfied by a keyframe that predates this
+            // gap), so this is the receiver's only remaining
+            // signal — recovery is the PLI path's job now.
+            self.pli.request(now);
+        }
+        if let Some(batch) = batch {
+            for at in self.reverse.transit(now).into_iter().flatten() {
+                sink.push(at, Event::NackArrive(batch.clone()));
+            }
+        }
+        let next = now + NACK_POLL_EVERY;
+        if next <= self.hard_end {
+            sink.push(next, Event::NackPoll);
+        }
     }
-    'series: for (name, s) in series.iter() {
-        for &(at, v) in s.points() {
-            if !v.is_finite() {
-                checker.violate(
-                    Invariant::FiniteMetrics,
-                    format!("series {name} holds non-finite value {v} at {at}"),
-                );
-                break 'series;
+
+    fn on_audio_tick(&mut self, now: Time, sink: &mut impl EventSink) {
+        // One Opus frame: bitrate x 20 ms of payload + headers.
+        let payload = ((self.cfg.audio_bitrate_bps * AUDIO_TICK.as_secs_f64()) / 8.0).ceil() as u64;
+        let audio = Packet {
+            kind: MediaKind::Audio,
+            seq: self.packetizer.take_seq(),
+            frame_index: AUDIO_INDEX_BASE + self.audio_seq_count,
+            fragment: 0,
+            num_fragments: 1,
+            size_bytes: payload + ravel_net::packet::HEADER_BYTES,
+            pts: now,
+            send_time: now,
+            is_keyframe: false,
+        };
+        self.audio_seq_count += 1;
+        // Audio bypasses the video pacer (WebRTC sends it
+        // directly) but shares the bottleneck and feedback.
+        if self.cfg.enable_rtx {
+            self.rtx_buffer.store(&audio, now);
+        }
+        self.send_forward(sink, audio, now);
+        let next = now + AUDIO_TICK;
+        if next < self.capture_end {
+            sink.push(next, Event::AudioTick);
+        }
+    }
+
+    fn on_nack_arrive(&mut self, now: Time, batch: &NackBatch, sink: &mut impl EventSink) {
+        // Refill the RTX bucket, capped at one burst.
+        let elapsed = now.saturating_since(self.rtx_tokens_updated);
+        self.rtx_tokens_updated = now;
+        self.rtx_tokens_bits = (self.rtx_tokens_bits
+            + RTX_RATE_FRACTION * self.encoder.target_bps() * elapsed.as_secs_f64())
+        .min(RTX_BURST_BITS);
+        let mut affordable = mem::take(&mut self.affordable_scratch);
+        affordable.clear();
+        for &seq in batch.seqs.iter() {
+            if self.rtx_tokens_bits >= RTX_GRANT_BITS {
+                self.rtx_tokens_bits -= RTX_GRANT_BITS;
+                affordable.push(seq);
+            } else {
+                break;
+            }
+        }
+        let packets = self.rtx_buffer.retransmit(&affordable);
+        self.affordable_scratch = affordable;
+        if !packets.is_empty() {
+            self.pacer.enqueue(packets);
+            self.release_pacer(sink, now);
+        }
+    }
+
+    fn on_watchdog_tick(&mut self, now: Time, sink: &mut impl EventSink) {
+        if let Some(wd) = self.watchdog.as_mut() {
+            // Capture ends at `capture_end`; the receiver goes
+            // quiet once the pipe drains, so missing feedback in
+            // the drain tail is expected, not a blind episode.
+            if now <= self.capture_end && wd.poll(now) {
+                // No valid report within the timeout: back the
+                // target off toward the floor. The baseline gets
+                // the same production-equivalent cut through the
+                // slow path; the adaptive controller routes it
+                // through its Degraded phase (fast reconfigure +
+                // Recover hand-off when feedback resumes).
+                let old_target = self.encoder.target_bps();
+                let target = wd.apply_backoff(old_target);
+                match self.controller.as_mut() {
+                    Some(ctl) => ctl.on_feedback_timeout(target, now, &mut self.encoder),
+                    None => self.encoder.set_target_bitrate(target),
+                }
+                self.pacer
+                    .set_target_bitrate(self.encoder.target_bps().max(PACER_FLOOR_BPS));
+                let new_target = self.encoder.target_bps();
+                if new_target != old_target {
+                    self.obs.record(now, || ObsEvent::TargetChanged {
+                        old_bps: old_target,
+                        new_bps: new_target,
+                        reason: "watchdog",
+                    });
+                }
+                if self.cfg.record_series {
+                    // FeedbackArrive cannot log while blind, so
+                    // the decay is recorded here.
+                    self.series
+                        .push("target_bps", now, self.encoder.target_bps());
+                }
+            }
+            let next = now + self.cfg.feedback_interval;
+            if next <= self.capture_end {
+                sink.push(next, Event::WatchdogTick);
             }
         }
     }
-    // Post-pass invariants (freeze termination, rate recovery, finite
-    // metrics) are stamped at the last event-loop instant: they are
-    // end-of-run verdicts, not point-in-time observations.
-    note_violations(&mut obs, &checker, &mut obs_violations_seen, last_event_at);
 
-    SessionResult {
-        recorder,
-        series,
-        frames_captured: sent.len() as u64,
-        frames_skipped,
-        frames_encoded,
-        events_processed,
-        packets_delivered: link.delivered(),
-        queue_drops: link.queue_drops(),
-        random_losses: link.random_losses(),
-        drops_handled: controller.map(|c| c.drops_handled()).unwrap_or(0),
-        retransmissions: rtx_buffer.retransmissions(),
-        fec_recovered: fec_decoder.recovered(),
-        fec_parity_sent: fec_encoder.map(|f| f.parity_sent()).unwrap_or(0),
-        audio_latencies,
-        nacks_sent: nack_gen.nacks_sent(),
-        vbv_underflows: encoder.vbv_underflows(),
-        reverse_lost: reverse.lost() + reverse.blackout_dropped(),
-        reverse_duplicates: reverse.duplicated(),
-        reports_discarded,
-        watchdog_timeouts: watchdog.as_ref().map(|wd| wd.timeouts()).unwrap_or(0),
-        watchdog_episodes: watchdog.as_ref().map(|wd| wd.episodes()).unwrap_or(0),
-        plis_sent: pli.sent(),
-        chaos_lost,
-        chaos_duplicates,
-        chain_breaks: decoder.chain_breaks(),
-        violations: checker.into_violations(),
-        cancelled,
-        obs,
+    /// Releases due packets from the pacer onto the link, recording
+    /// them in the RTX history when retransmission is enabled, and
+    /// keeps exactly one `PacerTick` outstanding for the next release.
+    fn release_pacer(&mut self, sink: &mut impl EventSink, now: Time) {
+        let mut scratch = mem::take(&mut self.release_scratch);
+        self.pacer.release_into(now, &mut scratch);
+        for packet in scratch.drain(..) {
+            if self.cfg.enable_rtx {
+                self.rtx_buffer.store(&packet, now);
+            }
+            self.send_forward(sink, packet, now);
+        }
+        self.release_scratch = scratch;
+        if !self.pacer_tick_pending {
+            if let Some(next) = self.pacer.next_release_time() {
+                self.pacer_tick_pending = true;
+                sink.push(next.max(now), Event::PacerTick);
+            }
+        }
     }
-}
 
-/// Mirrors any violations the checker flagged since the last call into
-/// the observability log, stamped at `at`.
-fn note_violations(obs: &mut ObsLog, checker: &InvariantChecker, seen: &mut usize, at: Time) {
-    if !obs.enabled() {
-        return;
-    }
-    let all = checker.violations();
-    while *seen < all.len() {
-        let v = &all[*seen];
-        obs.record(at, || ObsEvent::InvariantViolated {
-            name: v.invariant.name(),
-            detail: v.detail.clone(),
+    /// Sends one packet over the link, routing a delivered packet
+    /// through the per-packet chaos stage (which may drop it, jitter
+    /// its arrival past FIFO order, or inject a duplicate) and
+    /// recording the send for conservation.
+    fn send_forward(&mut self, sink: &mut impl EventSink, packet: Packet, now: Time) {
+        self.acct.sent += 1;
+        self.obs.record(now, || ObsEvent::PacketSent {
+            seq: packet.seq,
+            size_bytes: packet.size_bytes,
         });
-        *seen += 1;
+        match self.link.send(&packet, now) {
+            Delivery::At(arrival) => match self.fwd_chaos.as_mut() {
+                Some(ch) => {
+                    let fate = ch.transit(now, arrival);
+                    if let Some(at) = fate.duplicate {
+                        sink.push(at, Event::Arrival(packet));
+                    }
+                    match fate.arrival {
+                        Some(at) => sink.push(at, Event::Arrival(packet)),
+                        None => self.obs.record(now, || ObsEvent::PacketDropped {
+                            seq: packet.seq,
+                            reason: "chaos",
+                        }),
+                    }
+                }
+                None => sink.push(arrival, Event::Arrival(packet)),
+            },
+            Delivery::QueueDrop => self.obs.record(now, || ObsEvent::PacketDropped {
+                seq: packet.seq,
+                reason: "queue",
+            }),
+            Delivery::Lost => self.obs.record(now, || ObsEvent::PacketDropped {
+                seq: packet.seq,
+                reason: "loss",
+            }),
+        }
+    }
+
+    /// End-of-run checks and result assembly: conservation, the display
+    /// post-pass, chaos-conditioned invariants, finite-metrics sweep.
+    fn finish(mut self) -> SessionResult {
+        let events_processed = self.popped;
+        let chaos_lost = self.fwd_chaos.as_ref().map(|c| c.lost()).unwrap_or(0);
+        let chaos_duplicates = self.fwd_chaos.as_ref().map(|c| c.duplicated()).unwrap_or(0);
+        let expected = self.acct.arrivals
+            + self.acct.inflight
+            + self.link.queue_drops()
+            + self.link.random_losses()
+            + chaos_lost;
+        self.checker.check(
+            Invariant::Conservation,
+            self.acct.sent + chaos_duplicates == expected,
+            || {
+                format!(
+                    "sent {} + chaos duplicates {} != arrivals {} + in-flight {} \
+                     + queue drops {} + random losses {} + chaos losses {}",
+                    self.acct.sent,
+                    chaos_duplicates,
+                    self.acct.arrivals,
+                    self.acct.inflight,
+                    self.link.queue_drops(),
+                    self.link.random_losses(),
+                    chaos_lost
+                )
+            },
+        );
+        let last_event_at = self.last_event_at;
+        self.note_violations(last_event_at);
+
+        // --- display post-pass --------------------------------------------
+        let mut decoder = Decoder::new();
+        let mut recorder = LatencyRecorder::with_capacity(self.sent.len());
+        let mut frames_skipped = 0u64;
+        // First capture instant at/after the last fault cleared where the
+        // reference chain was healthy (freeze-termination invariant).
+        let mut chain_ok_after_clear: Option<Time> = None;
+        for (idx, sf) in self.sent.iter().enumerate() {
+            let idx = idx as u64;
+            match sf {
+                SentFrame::Skipped { pts, temporal } => {
+                    frames_skipped += 1;
+                    // Sender-side skips freeze one slot but do not break the
+                    // reference chain (the encoder references the last
+                    // *encoded* frame, which the receiver has).
+                    let outcome = decoder.feed_sender_skip(*temporal);
+                    recorder.push(FrameRecord {
+                        pts: *pts,
+                        outcome: FrameOutcomeKind::Frozen,
+                        latency: None,
+                        ssim: outcome.displayed_ssim(),
+                        psnr_db: None,
+                    });
+                }
+                SentFrame::Encoded { frame, temporal } => {
+                    let complete_at = self.completed.get(idx);
+                    let latency =
+                        complete_at.map(|c| (c + DECODE_RENDER_DELAY).saturating_since(frame.pts));
+                    let late = latency
+                        .map(|l| l > self.cfg.max_playout_delay)
+                        .unwrap_or(false);
+                    let outcome = if late {
+                        // Blew the playout deadline: decoded for reference,
+                        // displayed stale.
+                        let staleness =
+                            late_staleness(latency, self.cfg.fps, frame.pts, &mut self.checker);
+                        decoder.feed_late(frame, staleness, *temporal)
+                    } else if complete_at.is_none() && frame.temporal_layer == 1 {
+                        // A lost enhancement-layer frame: nothing references
+                        // it, so the display freezes one slot but the chain
+                        // survives — exactly like a sender-side skip.
+                        decoder.feed_sender_skip(*temporal)
+                    } else {
+                        decoder.feed(frame.as_opt(complete_at), true, *temporal)
+                    };
+                    if outcome.is_displayed() {
+                        recorder.push(FrameRecord {
+                            pts: frame.pts,
+                            outcome: FrameOutcomeKind::Displayed,
+                            latency,
+                            ssim: outcome.displayed_ssim(),
+                            psnr_db: Some(frame.psnr_db),
+                        });
+                    } else {
+                        recorder.push(FrameRecord {
+                            pts: frame.pts,
+                            outcome: FrameOutcomeKind::Frozen,
+                            // Late frames still carry their measured latency.
+                            latency,
+                            ssim: outcome.displayed_ssim(),
+                            psnr_db: None,
+                        });
+                    }
+                    if self.cfg.record_series {
+                        if let Some(c) = complete_at {
+                            self.series.push(
+                                "frame_latency_ms",
+                                frame.pts,
+                                (c + DECODE_RENDER_DELAY)
+                                    .saturating_since(frame.pts)
+                                    .as_millis_f64(),
+                            );
+                        }
+                    }
+                }
+            }
+            if chain_ok_after_clear.is_none() {
+                if let Some(clear) = self.chaos_clear {
+                    let pts = match sf {
+                        SentFrame::Skipped { pts, .. } => *pts,
+                        SentFrame::Encoded { frame, .. } => frame.pts,
+                    };
+                    if pts >= clear && !decoder.chain_broken() {
+                        chain_ok_after_clear = Some(pts);
+                    }
+                }
+            }
+        }
+
+        // --- chaos-conditioned invariants ---------------------------------
+        // Freeze termination: once the last fault clears, the PLI → keyframe
+        // path must repair the reference chain within a bound (checkable
+        // only if capture extends past the bound).
+        if let Some(clear) = self.chaos_clear {
+            let bound_end = clear + FREEZE_TERMINATION_BOUND;
+            if bound_end <= self.capture_end {
+                let repaired = chain_ok_after_clear.is_some_and(|t| t <= bound_end);
+                self.checker
+                    .check(Invariant::FreezeTermination, repaired, || {
+                        format!(
+                            "reference chain not repaired within {FREEZE_TERMINATION_BOUND} \
+                         of the last fault clearing at {clear} (first healthy capture: {:?})",
+                            chain_ok_after_clear
+                        )
+                    });
+            }
+        }
+        // Rate recovery: the encoder target must climb back to a fraction of
+        // the available rate within the configured bound after the faults.
+        if let (Some(clear), Some(deadline)) = (self.chaos_clear, self.recovery_deadline) {
+            if deadline <= self.capture_end {
+                let mut capacity_floor = self.cfg.start_rate_bps;
+                let mut t = deadline;
+                while t <= self.capture_end {
+                    capacity_floor = capacity_floor.min(self.link.trace().rate_bps(t));
+                    t += RECOVERY_CAPACITY_PROBE;
+                }
+                let goal = self.chaos_bounds.recovery_fraction * capacity_floor;
+                let max_target_after_deadline = self.max_target_after_deadline;
+                self.checker.check(
+                    Invariant::RateRecovery,
+                    max_target_after_deadline >= goal,
+                    || {
+                        format!(
+                            "target peaked at {max_target_after_deadline:.0} bps after {deadline} \
+                             (last fault cleared {clear}); needed {goal:.0} bps"
+                        )
+                    },
+                );
+            }
+        }
+        // Finite metrics: nothing non-finite may reach the recorder or the
+        // recorded series.
+        if let Some(r) = recorder.records().iter().find(|r| !r.is_finite()) {
+            self.checker.violate(
+                Invariant::FiniteMetrics,
+                format!("non-finite frame record at pts {}", r.pts),
+            );
+        }
+        'series: for (name, s) in self.series.iter() {
+            for &(at, v) in s.points() {
+                if !v.is_finite() {
+                    self.checker.violate(
+                        Invariant::FiniteMetrics,
+                        format!("series {name} holds non-finite value {v} at {at}"),
+                    );
+                    break 'series;
+                }
+            }
+        }
+        // Post-pass invariants (freeze termination, rate recovery, finite
+        // metrics) are stamped at the last event-loop instant: they are
+        // end-of-run verdicts, not point-in-time observations.
+        self.note_violations(last_event_at);
+
+        SessionResult {
+            recorder,
+            series: self.series,
+            frames_captured: self.sent.len() as u64,
+            frames_skipped,
+            frames_encoded: self.frames_encoded,
+            events_processed,
+            packets_delivered: self.link.delivered(),
+            queue_drops: self.link.queue_drops(),
+            random_losses: self.link.random_losses(),
+            drops_handled: self.controller.map(|c| c.drops_handled()).unwrap_or(0),
+            retransmissions: self.rtx_buffer.retransmissions(),
+            fec_recovered: self.fec_decoder.recovered(),
+            fec_parity_sent: self.fec_encoder.map(|f| f.parity_sent()).unwrap_or(0),
+            audio_latencies: self.audio_latencies,
+            nacks_sent: self.nack_gen.nacks_sent(),
+            vbv_underflows: self.encoder.vbv_underflows(),
+            reverse_lost: self.reverse.lost() + self.reverse.blackout_dropped(),
+            reverse_duplicates: self.reverse.duplicated(),
+            reports_discarded: self.reports_discarded,
+            watchdog_timeouts: self.watchdog.as_ref().map(|wd| wd.timeouts()).unwrap_or(0),
+            watchdog_episodes: self.watchdog.as_ref().map(|wd| wd.episodes()).unwrap_or(0),
+            plis_sent: self.pli.sent(),
+            chaos_lost,
+            chaos_duplicates,
+            chain_breaks: decoder.chain_breaks(),
+            violations: self.checker.into_violations(),
+            cancelled: self.cancelled,
+            obs: self.obs,
+        }
     }
 }
 
@@ -1371,59 +1742,6 @@ struct ForwardAcct {
     arrivals: u64,
     /// Arrival events still queued when the session ended.
     inflight: u64,
-}
-
-/// A mutable view of the forward data path — link, per-packet chaos
-/// stage, and conservation accounting — grouped because every forward
-/// send consults all three.
-struct ForwardLane<'a, T: BandwidthTrace> {
-    link: &'a mut Link<T>,
-    chaos: Option<&'a mut ForwardChaos>,
-    acct: &'a mut ForwardAcct,
-    obs: &'a mut ObsLog,
-}
-
-/// Sends one packet over the link, routing a delivered packet through
-/// the per-packet chaos stage (which may drop it, jitter its arrival
-/// past FIFO order, or inject a duplicate) and recording the send for
-/// conservation.
-fn send_forward<T: BandwidthTrace>(
-    lane: &mut ForwardLane<'_, T>,
-    queue: &mut EventQueue<Event>,
-    packet: Packet,
-    now: Time,
-) {
-    lane.acct.sent += 1;
-    lane.obs.record(now, || ObsEvent::PacketSent {
-        seq: packet.seq,
-        size_bytes: packet.size_bytes,
-    });
-    match lane.link.send(&packet, now) {
-        Delivery::At(arrival) => match lane.chaos.as_deref_mut() {
-            Some(ch) => {
-                let fate = ch.transit(now, arrival);
-                if let Some(at) = fate.duplicate {
-                    queue.push(at, Event::Arrival(packet));
-                }
-                match fate.arrival {
-                    Some(at) => queue.push(at, Event::Arrival(packet)),
-                    None => lane.obs.record(now, || ObsEvent::PacketDropped {
-                        seq: packet.seq,
-                        reason: "chaos",
-                    }),
-                }
-            }
-            None => queue.push(arrival, Event::Arrival(packet)),
-        },
-        Delivery::QueueDrop => lane.obs.record(now, || ObsEvent::PacketDropped {
-            seq: packet.seq,
-            reason: "queue",
-        }),
-        Delivery::Lost => lane.obs.record(now, || ObsEvent::PacketDropped {
-            seq: packet.seq,
-            reason: "loss",
-        }),
-    }
 }
 
 /// One frame interval at the session's frame rate.
@@ -1442,29 +1760,6 @@ impl AsOpt for EncodedFrame {
     }
 }
 
-/// Releases due packets from the pacer onto the link, recording them in
-/// the RTX history when retransmission is enabled, and schedules the
-/// next tick.
-fn release_pacer_rtx<T: BandwidthTrace>(
-    pacer: &mut Pacer,
-    lane: &mut ForwardLane<'_, T>,
-    queue: &mut EventQueue<Event>,
-    now: Time,
-    mut rtx: Option<&mut RtxBuffer>,
-    scratch: &mut Vec<Packet>,
-) {
-    pacer.release_into(now, scratch);
-    for packet in scratch.drain(..) {
-        if let Some(buf) = rtx.as_deref_mut() {
-            buf.store(&packet, now);
-        }
-        send_forward(lane, queue, packet, now);
-    }
-    if let Some(next) = pacer.next_release_time() {
-        queue.push(next.max(now), Event::PacerTick);
-    }
-}
-
 // Re-export the raw-frame type for doc examples.
 pub use ravel_video::RawFrame as _RawFrame;
 const _: () = {
@@ -1475,6 +1770,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::CcKind;
     use ravel_trace::{ConstantTrace, StepTrace};
 
     fn short_cfg(scheme: Scheme) -> SessionConfig {
@@ -1948,5 +2244,133 @@ mod tests {
             result.violations
         );
         assert_eq!(result.frames_captured, 901);
+    }
+
+    fn test_packet(seq: u64) -> Packet {
+        Packet {
+            kind: MediaKind::Video,
+            seq,
+            frame_index: seq / 10,
+            fragment: 0,
+            num_fragments: 1,
+            size_bytes: 1250,
+            pts: Time::ZERO,
+            send_time: Time::ZERO,
+            is_keyframe: false,
+        }
+    }
+
+    #[test]
+    fn sent_video_window_handles_empty_and_evicts_in_order() {
+        let mut w = SentVideoWindow::default();
+        // Empty window: lookups are graceful, never a panic.
+        assert_eq!(w.get(0), None);
+        assert_eq!(w.get(u64::MAX), None);
+        let total = SENT_VIDEO_WINDOW as u64 + 10;
+        for seq in 0..total {
+            w.insert(test_packet(seq));
+        }
+        // Bounded: the oldest 10 were evicted, in order.
+        assert_eq!(w.packets.len(), SENT_VIDEO_WINDOW);
+        for seq in 0..10 {
+            assert_eq!(w.get(seq), None, "seq {seq} should be evicted");
+        }
+        assert_eq!(w.get(10).map(|p| p.seq), Some(10));
+        assert_eq!(w.get(total - 1).map(|p| p.seq), Some(total - 1));
+        // Misses inside and past the window are graceful too.
+        assert_eq!(w.get(total + 100), None);
+    }
+
+    #[test]
+    fn completed_frames_keep_first_completion() {
+        let mut c = CompletedFrames::default();
+        assert_eq!(c.get(0), None);
+        c.note(3, Time::from_secs(1));
+        c.note(3, Time::from_secs(2));
+        assert_eq!(c.get(3), Some(Time::from_secs(1)));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1000), None);
+    }
+
+    #[test]
+    fn late_frame_without_completion_records_violation_not_panic() {
+        // The desync path: a frame judged late with no completion record
+        // must flag finite-metrics and display un-stale, not abort.
+        let mut checker = InvariantChecker::new();
+        let s = late_staleness(None, 30, Time::from_secs(1), &mut checker);
+        assert_eq!(s, 0.0);
+        let v = checker.into_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, Invariant::FiniteMetrics);
+        assert!(
+            v[0].detail.contains("no completion record"),
+            "{}",
+            v[0].detail
+        );
+        // The healthy path is the plain ratio, with nothing flagged.
+        let mut checker = InvariantChecker::new();
+        let s = late_staleness(Some(Dur::millis(100)), 30, Time::ZERO, &mut checker);
+        assert!((s - 3.0).abs() < 0.01, "staleness {s}");
+        assert!(checker.into_violations().is_empty());
+    }
+
+    #[test]
+    fn pacer_ticks_stay_bounded_under_sustained_backlog() {
+        // A fixed-rate sender over a link at a third of its rate keeps
+        // the pacer backlogged for the whole session — the E20 soak
+        // regime. With one outstanding tick at a time the event count
+        // stays a few thousand per simulated second; the historical
+        // storm grew it past 100k/sim-s.
+        let cfg = SessionConfig {
+            duration: Dur::secs(20),
+            ..SessionConfig::default_with(Scheme {
+                cc: CcKind::Fixed,
+                adaptive: None,
+            })
+        };
+        let result = run_session(ConstantTrace::new(1.5e6), cfg);
+        assert!(result.violations.is_empty(), "{:?}", result.violations);
+        let per_sim_sec = result.events_processed / 20;
+        assert!(
+            per_sim_sec < 20_000,
+            "pacer tick storm: {} events/sim-s",
+            per_sim_sec
+        );
+    }
+
+    #[test]
+    fn multi_session_kernel_matches_single_session_runs() {
+        // Interleaving sessions over one shared queue must reproduce
+        // each single-session run byte-for-byte, including guard
+        // bookkeeping, violations, and obs timelines.
+        let mk_cfg = |seed: u64| {
+            let mut cfg = short_cfg(if seed.is_multiple_of(2) {
+                Scheme::baseline()
+            } else {
+                Scheme::adaptive()
+            });
+            cfg.seed = seed;
+            if seed == 3 {
+                cfg.chaos = Some(ChaosSpec::new(3, 0.5));
+            }
+            cfg
+        };
+        let mk_trace = || StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10));
+        let singles: Vec<SessionResult> = (1..=3)
+            .map(|seed| run_session_obs(mk_trace(), mk_cfg(seed), ObsMode::Counters))
+            .collect();
+        let batch = run_sessions_obs(
+            (1..=3).map(|seed| (mk_trace(), mk_cfg(seed))).collect(),
+            ObsMode::Counters,
+        );
+        assert_eq!(batch.len(), 3);
+        for (i, (a, b)) in singles.iter().zip(batch.iter()).enumerate() {
+            assert_eq!(a.recorder.records(), b.recorder.records(), "session {i}");
+            assert_eq!(a.events_processed, b.events_processed, "session {i}");
+            assert_eq!(a.packets_delivered, b.packets_delivered, "session {i}");
+            assert_eq!(a.frames_skipped, b.frames_skipped, "session {i}");
+            assert_eq!(a.violations, b.violations, "session {i}");
+            assert_eq!(a.obs.counters, b.obs.counters, "session {i}");
+        }
     }
 }
