@@ -4,9 +4,15 @@
 //! interleaving every session through a single shared calendar queue.
 //! Both produce identical results (asserted in `common`'s tests); the
 //! delta is pure kernel overhead.
+//!
+//! A second sweep drives the population through ONE reused
+//! [`KernelWorkspace`] in batches of 1/4/16/64 sessions with the
+//! event-payload arena on and off — the shape of work a batched
+//! harness worker performs. The batch axis isolates kernel-setup
+//! amortization; the arena axis isolates `EncodeDone` box recycling.
 
 use criterion::{criterion_group, Criterion};
-use ravel_bench::common::{population, run_population};
+use ravel_bench::common::{population, run_population, run_population_batched};
 use ravel_pipeline::run_session;
 use ravel_sim::Dur;
 
@@ -39,6 +45,17 @@ fn bench(c: &mut Criterion) {
     g.bench_function("interleaved_32x10s_sessions", |b| {
         b.iter(|| run_population(POP, DUR))
     });
+    for batch in [1usize, 4, 16, 64] {
+        for arena in [false, true] {
+            let name = format!(
+                "batched_{POP}x10s_batch{batch}_arena_{}",
+                if arena { "on" } else { "off" }
+            );
+            g.bench_function(&name, |b| {
+                b.iter(|| run_population_batched(POP, DUR, batch, arena))
+            });
+        }
+    }
     g.finish();
 }
 

@@ -2,7 +2,11 @@
 //! by `ravel-harness`, re-exported here for compatibility) and serial
 //! session helpers for the Criterion targets.
 
-use ravel_pipeline::{run_session, run_sessions, Scheme, SessionConfig, SessionResult};
+use ravel_harness::ObsMode;
+use ravel_pipeline::{
+    run_session, run_sessions, run_sessions_pooled, KernelWorkspace, Scheme, SessionConfig,
+    SessionResult,
+};
 use ravel_sim::Dur;
 use ravel_trace::{BandwidthTrace, StepTrace};
 use ravel_video::ContentClass;
@@ -53,6 +57,32 @@ pub fn run_population(n: usize, duration: Dur) -> Vec<SessionResult> {
     run_sessions(population(n, duration))
 }
 
+/// Runs a [`population`] through the pooled kernel entry point in
+/// batches of `batch` sessions, reusing ONE workspace across batches —
+/// the shape of work a batched harness worker performs. `pooled`
+/// selects the recycling payload arena; `false` is the allocating
+/// oracle, byte-identical in results.
+pub fn run_population_batched(
+    n: usize,
+    duration: Dur,
+    batch: usize,
+    pooled: bool,
+) -> Vec<SessionResult> {
+    let mut ws = if pooled {
+        KernelWorkspace::new()
+    } else {
+        KernelWorkspace::allocating()
+    };
+    let mut sessions = population(n, duration);
+    let mut out = Vec::with_capacity(n);
+    while !sessions.is_empty() {
+        let rest = sessions.split_off(batch.max(1).min(sessions.len()));
+        let chunk = std::mem::replace(&mut sessions, rest);
+        out.extend(run_sessions_pooled(chunk, ObsMode::Off, &mut ws));
+    }
+    out
+}
+
 /// Runs one session over an arbitrary trace with config tweaks applied
 /// by `adjust`.
 pub fn run_with<T: BandwidthTrace>(
@@ -96,6 +126,23 @@ mod tests {
             assert_eq!(a.events_processed, b.events_processed);
             assert_eq!(a.recorder.records(), b.recorder.records());
             assert_eq!(a.violations, b.violations);
+        }
+    }
+
+    #[test]
+    fn batched_pooled_population_matches_the_full_kernel() {
+        // Chunked through a reused pooled workspace == one allocating
+        // kernel call over the whole population, per session.
+        let dur = Dur::secs(8);
+        let whole = run_population(6, dur);
+        for (batch, pooled) in [(1, true), (2, true), (4, false), (64, true)] {
+            let chunked = run_population_batched(6, dur, batch, pooled);
+            assert_eq!(chunked.len(), whole.len());
+            for (a, b) in chunked.iter().zip(&whole) {
+                assert_eq!(a.events_processed, b.events_processed);
+                assert_eq!(a.recorder.records(), b.recorder.records());
+                assert_eq!(a.violations, b.violations);
+            }
         }
     }
 

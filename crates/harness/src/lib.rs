@@ -10,7 +10,11 @@
 //! * [`run_cells`] — a std-only work-stealing pool (`std::thread::scope`
 //!   plus one atomic job counter) that runs cells on `--jobs N` workers
 //!   and returns results in *cell order*, so aggregated output is
-//!   byte-identical at any thread count. The pool memoizes by content
+//!   byte-identical at any thread count. Workers claim cells in
+//!   *batches* (`--batch`, default auto) and drive each batch as one
+//!   interleaved session population through the shared-queue kernel
+//!   with a per-worker event-payload arena — same bytes out, fewer
+//!   kernel setups and allocations. The pool memoizes by content
 //!   address ([`Cell::canonical_key`]): every *unique* cell simulates
 //!   exactly once per run, and grid positions that repeat it (E1 and E2
 //!   share their entire grid) are served from the in-process cache.
@@ -58,7 +62,7 @@ pub use experiments::{
     Output, DROP_AT, E1_AFTER_BPS, FIXTURE_FAULT_AT, POST_WINDOW, PRE_RATE, SESSION_LEN,
 };
 pub use pool::{
-    run_cells, run_cells_opts, CellFailure, CellRun, CellStatus, PoolOptions, PoolStats,
+    run_cells, run_cells_opts, BatchMode, CellFailure, CellRun, CellStatus, PoolOptions, PoolStats,
 };
 pub use ravel_obs::ObsMode;
 pub use report::{render_json, RunReport};

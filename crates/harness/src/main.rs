@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 
 use ravel_harness::{
     default_jobs, experiments, render_json, render_timeline, run_soak, run_suite_opts, shrink_cell,
-    violating_timeline, CellRun, ObsMode, PoolOptions, RunReport, SoakOptions, FIXTURE_FAULT_AT,
+    violating_timeline, BatchMode, CellRun, ObsMode, PoolOptions, RunReport, SoakOptions,
+    FIXTURE_FAULT_AT,
 };
 use ravel_metrics::Table;
 use ravel_net::ChaosSchedule;
@@ -44,6 +45,12 @@ USAGE:
 
 OPTIONS:
     --jobs N             worker threads (default: all cores)
+    --batch N|auto       grid positions a worker claims per pass and
+                         runs as one interleaved session population
+                         through the shared-queue kernel (default:
+                         auto, sized from the grid and worker count;
+                         1 = the per-cell kernel path; output is
+                         byte-identical at any batch size)
     --experiments LIST   comma-separated ids, e.g. e1,e4,e17 (default: all)
     --chaos N            run an N-cell seeded chaos sweep instead of the
                          experiment grid; exits nonzero if any session
@@ -92,6 +99,7 @@ OPTIONS:
 #[derive(Debug)]
 struct Args {
     jobs: usize,
+    batch: BatchMode,
     experiments: Option<String>,
     chaos: Option<u64>,
     chaos_seed: Option<u64>,
@@ -113,6 +121,7 @@ struct Args {
 fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         jobs: default_jobs(),
+        batch: BatchMode::Auto,
         experiments: None,
         chaos: None,
         chaos_seed: None,
@@ -141,6 +150,20 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 if args.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
+            }
+            "--batch" => {
+                let v = value("--batch")?;
+                args.batch = if v == "auto" {
+                    BatchMode::Auto
+                } else {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| "--batch expects a positive integer or 'auto'".to_string())?;
+                    if n == 0 {
+                        return Err("--batch must be at least 1".into());
+                    }
+                    BatchMode::Fixed(n)
+                };
             }
             "--experiments" | "-e" => args.experiments = Some(value("--experiments")?),
             "--chaos" => {
@@ -260,6 +283,17 @@ fn validate(args: &Args) -> Result<(), String> {
     if args.soak.is_some() && args.obs != ObsMode::Off {
         return Err("--soak cannot be combined with --obs (soak cells are unobserved)".into());
     }
+    if args.deadline.is_some() {
+        if let BatchMode::Fixed(n) = args.batch {
+            if n > 1 {
+                return Err(
+                    "--batch above 1 cannot be combined with --deadline (per-cell \
+                     cancellation needs per-cell kernel calls; use --batch 1 or auto)"
+                        .into(),
+                );
+            }
+        }
+    }
     Ok(())
 }
 
@@ -316,6 +350,7 @@ fn main() -> ExitCode {
         use_cache: args.use_cache,
         obs: args.obs,
         deadline: args.deadline,
+        batch: args.batch,
     };
     let (runs, stats) = run_suite_opts(&selected, args.jobs, opts);
     let report = RunReport {
@@ -410,7 +445,7 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "{} cells ({} unique, {} executed, {} cache hits), {:.0} simulated seconds in {:.2} s wall ({:.1} sim-s/s, {:.2e} events/s, jobs={})",
+        "{} cells ({} unique, {} executed, {} cache hits), {:.0} simulated seconds in {:.2} s wall ({:.1} sim-s/s, {:.2e} events/s, jobs={}, arena {} avoided / hw {})",
         stats.total_cells,
         stats.unique_cells,
         stats.executed,
@@ -419,7 +454,9 @@ fn main() -> ExitCode {
         report.total_wall.as_secs_f64(),
         report.sim_rate(),
         report.events_rate(),
-        report.jobs
+        report.jobs,
+        stats.allocs_avoided,
+        stats.arena_high_water
     );
 
     if args.obs == ObsMode::Full {
@@ -464,6 +501,7 @@ fn run_soak_mode(args: &Args, budget_s: u64) -> ExitCode {
         jobs: args.jobs,
         deadline: args.deadline,
         max_cells: args.soak_cells,
+        batch: args.batch,
     };
     eprintln!(
         "soaking for {budget_s}s (seed {}, {} workers)...",
@@ -592,6 +630,38 @@ mod tests {
         assert_eq!(e, "--soak expects a whole, positive number of seconds");
         let e = parse(&["--soak", "0"]).unwrap_err();
         assert_eq!(e, "--soak must be at least 1 second");
+    }
+
+    #[test]
+    fn parses_batch_modes() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.batch, BatchMode::Auto);
+        let a = parse(&["--batch", "auto"]).unwrap();
+        assert_eq!(a.batch, BatchMode::Auto);
+        let a = parse(&["--batch", "1"]).unwrap();
+        assert_eq!(a.batch, BatchMode::Fixed(1));
+        let a = parse(&["--batch", "16"]).unwrap();
+        assert_eq!(a.batch, BatchMode::Fixed(16));
+    }
+
+    #[test]
+    fn malformed_batch_is_a_clear_error() {
+        let e = parse(&["--batch", "lots"]).unwrap_err();
+        assert_eq!(e, "--batch expects a positive integer or 'auto'");
+        let e = parse(&["--batch", "0"]).unwrap_err();
+        assert_eq!(e, "--batch must be at least 1");
+        let e = parse(&["--batch"]).unwrap_err();
+        assert_eq!(e, "--batch requires a value");
+    }
+
+    #[test]
+    fn explicit_batch_conflicts_with_deadline() {
+        let e = parse(&["--batch", "8", "--deadline", "2"]).unwrap_err();
+        assert!(e.starts_with("--batch above 1 cannot be combined with --deadline"));
+        // Batch 1 and auto stay compatible: auto resolves to 1 when a
+        // deadline is set.
+        assert!(parse(&["--batch", "1", "--deadline", "2"]).is_ok());
+        assert!(parse(&["--batch", "auto", "--deadline", "2"]).is_ok());
     }
 
     #[test]

@@ -9,16 +9,29 @@
 //! *cell order*, not completion order — aggregated output is
 //! byte-identical whether the grid ran on 1 thread or 64.
 //!
+//! **Batching.** Workers claim *ranges* of grid positions
+//! ([`PoolOptions::batch`], default [`BatchMode::Auto`]), group each
+//! range into same-sim-horizon sub-batches, and drive every sub-batch
+//! as one session population through the interleaved kernel
+//! (`run_sessions_pooled`): one shared calendar queue and one
+//! event-payload arena per worker, reused batch after batch so
+//! steady-state event processing is allocation-free. De-interleaved
+//! results land in their grid slots exactly as the per-cell path would
+//! have put them — `BatchMode::Fixed(1)` *is* the historical per-cell
+//! path, kept as the differential oracle, and every batch size yields
+//! byte-identical deterministic output.
+//!
 //! **Memoization.** Many experiments share cells — E1 and E2 expand the
 //! identical drop grid, and the canonical `talking-head/4→1 Mbps/gcc`
 //! cell recurs across most of E1–E17. Every cell has a content address
 //! ([`Cell::canonical_key`]); the pool keeps one in-process map from
-//! address to an [`OnceLock`]ed result, so each *unique* cell simulates
-//! exactly once per run no matter how many grid positions reference it.
-//! The first claimant computes; concurrent duplicates block on the same
-//! `OnceLock` and then clone the finished result. Results still come
-//! back in cell order with per-cell labels intact, so tables and JSON
-//! stay byte-identical to an uncached serial run (timing fields aside).
+//! address to a [`Memo`] slot, so each *unique* cell simulates exactly
+//! once per run no matter how many grid positions reference it. The
+//! first claimant reserves the address (possibly computing it inside a
+//! kernel batch); duplicates block on the memo and then clone the
+//! finished result. Results still come back in cell order with
+//! per-cell labels intact, so tables and JSON stay byte-identical to an
+//! uncached serial run (timing fields aside).
 //!
 //! **Fault isolation.** One bad cell must not take down a
 //! thousand-cell sweep. Each simulation runs inside
@@ -43,13 +56,17 @@
 //! dependencies.
 
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use ravel_obs::ObsMode;
-use ravel_pipeline::{Invariant, SessionResult};
+use ravel_pipeline::{
+    run_sessions_pooled, Invariant, KernelWorkspace, SessionConfig, SessionResult,
+};
+use ravel_trace::BandwidthTrace;
 
 use crate::cell::Cell;
 
@@ -169,6 +186,42 @@ impl CellRun {
     }
 }
 
+/// How many grid positions a worker claims (and runs as one
+/// interleaved session population) per pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Size batches from the grid: `ceil(total / (jobs * 4))` clamped
+    /// to `[1, 2]`. The upper clamp is the measured locality knee:
+    /// pairing cells amortizes workspace reuse (warm queue buckets,
+    /// warm arena free list), but interleaving more sessions through
+    /// one shared queue round-robins across that many live session
+    /// states and the cache misses outweigh the amortization — the
+    /// E18 batch sweep shows per-event cost rising monotonically from
+    /// population 4 upward. Explicit [`BatchMode::Fixed`] sizes are
+    /// honoured as given for anyone who wants the trade.
+    #[default]
+    Auto,
+    /// Exactly `n` positions per claim (`n >= 1`). `Fixed(1)` is the
+    /// historical one-kernel-call-per-cell path and the differential
+    /// oracle batched runs are byte-compared against.
+    Fixed(usize),
+}
+
+impl BatchMode {
+    /// The concrete claim size for a grid. A wall-clock deadline forces
+    /// 1: supervisor cancellation is per-cell, and a shared batch wall
+    /// clock cannot honour a per-cell deadline.
+    fn effective(self, total: usize, jobs: usize, deadline: Option<Duration>) -> usize {
+        if deadline.is_some() {
+            return 1;
+        }
+        match self {
+            BatchMode::Fixed(n) => n.max(1),
+            BatchMode::Auto => total.div_ceil(jobs.max(1) * 4).clamp(1, 2),
+        }
+    }
+}
+
 /// Pool behaviour switches.
 #[derive(Debug, Clone, Copy)]
 pub struct PoolOptions {
@@ -188,6 +241,9 @@ pub struct PoolOptions {
     /// [`CellStatus::TimedOut`]. `None` (the default) spawns no
     /// supervisor.
     pub deadline: Option<Duration>,
+    /// Batch size for worker claims (`--batch`). See [`BatchMode`];
+    /// ignored (forced to 1) while `deadline` is set.
+    pub batch: BatchMode,
 }
 
 impl Default for PoolOptions {
@@ -196,6 +252,7 @@ impl Default for PoolOptions {
             use_cache: true,
             obs: ObsMode::Off,
             deadline: None,
+            batch: BatchMode::Auto,
         }
     }
 }
@@ -218,8 +275,21 @@ pub struct PoolStats {
     /// clock of the simulations *it* executed on a monotonic clock, and
     /// the pool sums those totals. Unlike the run's end-to-end wall,
     /// this excludes claim contention and result cloning, so
-    /// `busy / executed` approximates true per-cell cost.
+    /// `busy / executed` approximates true per-cell cost. Batched
+    /// executions attribute their shared batch wall to cells in
+    /// proportion to kernel-reported per-session event counts, so the
+    /// sum of executed cells' walls still equals busy exactly.
     pub busy: Duration,
+    /// Event-payload allocations served from the per-worker arenas'
+    /// free lists instead of the allocator, summed over all workers.
+    /// Zero on the per-cell path (batch 1), which keeps the historical
+    /// allocating kernel. Schedule-dependent, so excluded from the
+    /// byte-compared (timing-free) report.
+    pub allocs_avoided: u64,
+    /// Peak number of live pooled payload boxes in any single worker's
+    /// arena — a leak here would grow with cell count instead of
+    /// staying at the pipeline's natural in-flight depth.
+    pub arena_high_water: u64,
 }
 
 /// What one computation produced: the session result, or the
@@ -229,10 +299,71 @@ type CellOutcome = Result<SessionResult, CellFailure>;
 /// One memoized computation: the finished outcome (success *or*
 /// quarantined failure) plus its first-run wall clock (echoed into
 /// every duplicate's [`CellRun::wall`]). Storing the `Result` is what
-/// makes failure echo deterministic: waiters blocked on the `OnceLock`
+/// makes failure echo deterministic: waiters blocked on the [`Memo`]
 /// wake to the recorded failure instead of deadlocking on a
-/// never-initialized slot.
+/// never-fulfilled slot.
 type CachedCell = (CellOutcome, Duration);
+
+/// One content address's memoization slot. This replaces the former
+/// `OnceLock`: a batch worker must *reserve* an address up front, run
+/// it inside a kernel batch, and fulfill it afterwards — a
+/// reserve-then-fill shape `OnceLock::get_or_init`'s closure cannot
+/// express. [`Memo::claim`] returns true exactly once per address;
+/// the claimant is obligated to [`Memo::fulfill`] (even when the
+/// computation is a quarantined failure, and even when a batch attempt
+/// panics and falls back to per-cell execution), or waiters would
+/// block forever.
+#[derive(Default)]
+struct Memo {
+    claimed: AtomicBool,
+    slot: Mutex<Option<CachedCell>>,
+    ready: Condvar,
+}
+
+impl Memo {
+    /// Reserves the address; true for the first caller only.
+    fn claim(&self) -> bool {
+        !self.claimed.swap(true, Ordering::AcqRel)
+    }
+
+    /// Publishes the finished computation and wakes every waiter.
+    fn fulfill(&self, value: CachedCell) {
+        *self.slot.lock().expect("memo slot poisoned") = Some(value);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the claimant fulfills, then clones the outcome.
+    fn wait(&self) -> CachedCell {
+        let mut slot = self.slot.lock().expect("memo slot poisoned");
+        loop {
+            if let Some(cached) = slot.as_ref() {
+                return cached.clone();
+            }
+            slot = self.ready.wait(slot).expect("memo slot poisoned");
+        }
+    }
+}
+
+/// Splits a batch's shared wall clock across its sessions in
+/// proportion to the events each processed — the kernel's per-session
+/// event counts are the only deterministic measure of how much of the
+/// batch each cell was. (Even split when the batch processed no events
+/// at all.) The shares sum back to (within rounding of) the batch
+/// wall, so `PoolStats::busy` keeps its meaning, and per-cell
+/// `events_per_sec` derived from the share reflects the batch's actual
+/// aggregate throughput instead of crediting one cell with its batch-
+/// mates' wall time.
+fn attribute_walls(wall: Duration, results: &[SessionResult]) -> Vec<Duration> {
+    let total: u64 = results.iter().map(|r| r.events_processed).sum();
+    if total == 0 {
+        let share = wall / results.len().max(1) as u32;
+        return vec![share; results.len()];
+    }
+    results
+        .iter()
+        .map(|r| wall.mul_f64(r.events_processed as f64 / total as f64))
+        .collect()
+}
 
 /// One worker's in-flight registration for the supervisor: when it
 /// started its current simulation and the flag that cancels it.
@@ -369,16 +500,21 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
                 executed: 0,
                 cache_hits: 0,
                 busy: Duration::ZERO,
+                allocs_avoided: 0,
+                arena_high_water: 0,
             },
         );
     }
     let jobs = jobs.clamp(1, cells.len());
+    let batch = opts.batch.effective(cells.len(), jobs, opts.deadline);
     let next = AtomicUsize::new(0);
     let executed = AtomicUsize::new(0);
     let workers_done = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<CellRun>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
     let busy_total: Mutex<Duration> = Mutex::new(Duration::ZERO);
-    let cache: Mutex<HashMap<&str, Arc<OnceLock<CachedCell>>>> = Mutex::new(HashMap::new());
+    // (allocs_avoided summed, high_water maxed) across workers.
+    let arena_total: Mutex<(u64, u64)> = Mutex::new((0, 0));
+    let cache: Mutex<HashMap<&str, Arc<Memo>>> = Mutex::new(HashMap::new());
     let watch: Vec<WatchSlot> = (0..jobs).map(|_| WatchSlot::default()).collect();
     std::thread::scope(|scope| {
         for slot in &watch {
@@ -387,40 +523,70 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
             let workers_done = &workers_done;
             let slots = &slots;
             let busy_total = &busy_total;
+            let arena_total = &arena_total;
             let cache = &cache;
             let keys = &keys;
             scope.spawn(move || {
                 let mut busy = Duration::ZERO;
+                // Per-worker kernel scratch, reused across batches so
+                // the queue's bucket Vecs and the payload arena's free
+                // list stay warm. The per-cell path (batch 1) keeps
+                // the historical solo kernel and never touches it.
+                let mut ws = (batch > 1).then(KernelWorkspace::new);
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
+                    let start = next.fetch_add(batch, Ordering::Relaxed);
+                    if start >= cells.len() {
                         break;
                     }
-                    let cell = &cells[i];
-                    let run = if opts.use_cache {
-                        let entry = cache
-                            .lock()
-                            .expect("cell cache poisoned")
-                            .entry(keys[i].as_str())
-                            .or_default()
-                            .clone();
-                        let mut computed_here = false;
-                        let (outcome, wall) = entry.get_or_init(|| {
-                            computed_here = true;
-                            execute_cell(cell, opts, slot)
-                        });
-                        if computed_here {
-                            busy += *wall;
+                    let end = (start + batch).min(cells.len());
+                    if batch == 1 {
+                        let i = start;
+                        let cell = &cells[i];
+                        let run = if opts.use_cache {
+                            let memo = cache
+                                .lock()
+                                .expect("cell cache poisoned")
+                                .entry(keys[i].as_str())
+                                .or_default()
+                                .clone();
+                            if memo.claim() {
+                                let (outcome, wall) = execute_cell(cell, opts, slot);
+                                busy += wall;
+                                executed.fetch_add(1, Ordering::Relaxed);
+                                let run = make_run(cell, wall, false, &outcome);
+                                memo.fulfill((outcome, wall));
+                                run
+                            } else {
+                                let (outcome, wall) = memo.wait();
+                                make_run(cell, wall, true, &outcome)
+                            }
+                        } else {
+                            let (outcome, wall) = execute_cell(cell, opts, slot);
+                            busy += wall;
                             executed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        make_run(cell, *wall, !computed_here, outcome)
+                            make_run(cell, wall, false, &outcome)
+                        };
+                        slots.lock().expect("pool slots poisoned")[i] = Some(run);
                     } else {
-                        let (outcome, wall) = execute_cell(cell, opts, slot);
-                        busy += wall;
-                        executed.fetch_add(1, Ordering::Relaxed);
-                        make_run(cell, wall, false, &outcome)
-                    };
-                    slots.lock().expect("pool slots poisoned")[i] = Some(run);
+                        run_batch(
+                            cells,
+                            keys,
+                            start..end,
+                            opts,
+                            cache,
+                            ws.as_mut().expect("workspace exists when batch > 1"),
+                            slot,
+                            slots,
+                            &mut busy,
+                            executed,
+                        );
+                    }
+                }
+                if let Some(ws) = &ws {
+                    let stats = ws.arena_stats();
+                    let mut total = arena_total.lock().expect("arena total poisoned");
+                    total.0 += stats.allocs_avoided;
+                    total.1 = total.1.max(stats.high_water);
                 }
                 *busy_total.lock().expect("busy total poisoned") += busy;
                 workers_done.fetch_add(1, Ordering::Release);
@@ -442,12 +608,16 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
         }
     });
     let executed = executed.into_inner();
+    let (allocs_avoided, arena_high_water) =
+        arena_total.into_inner().expect("arena total poisoned");
     let stats = PoolStats {
         total_cells: cells.len(),
         unique_cells,
         executed,
         cache_hits: cells.len() - executed,
         busy: busy_total.into_inner().expect("busy total poisoned"),
+        allocs_avoided,
+        arena_high_water,
     };
     let runs = slots
         .into_inner()
@@ -456,6 +626,118 @@ pub fn run_cells_opts(cells: &[Cell], jobs: usize, opts: PoolOptions) -> (Vec<Ce
         .map(|slot| slot.expect("every cell index was claimed"))
         .collect();
     (runs, stats)
+}
+
+/// Runs one claimed index range as kernel batches: groups the range
+/// into same-duration sub-batches (the "sim horizon class" — sessions
+/// of one class finish together, so interleaving them wastes no queue
+/// sweeps on a long straggler), reserves cache addresses, drives the
+/// computing positions as one session population through the worker's
+/// [`KernelWorkspace`], then de-interleaves results back into their
+/// grid slots. Cache-hit positions resolve *after* the batch runs, so
+/// a worker never waits on a memo while holding unfulfilled claims.
+///
+/// If anything in the batch panics, the whole attempt is discarded and
+/// every claimed position re-runs through the per-cell quarantine path
+/// ([`execute_cell`]): the panicking cell records exactly the failure
+/// it would have solo, batch-mates recompute cleanly, and every claim
+/// is still fulfilled. The workspace is replaced afterwards (its queue
+/// and arena may hold the aborted batch's state), preserving its arena
+/// counters.
+#[allow(clippy::too_many_arguments)]
+fn run_batch<'g>(
+    cells: &'g [Cell],
+    keys: &'g [String],
+    range: Range<usize>,
+    opts: PoolOptions,
+    cache: &Mutex<HashMap<&'g str, Arc<Memo>>>,
+    ws: &mut KernelWorkspace,
+    slot: &WatchSlot,
+    slots: &Mutex<Vec<Option<CellRun>>>,
+    busy: &mut Duration,
+    executed: &AtomicUsize,
+) {
+    // Same-horizon grouping, order-preserving: first-seen duration
+    // order across groups, ascending index order within each group.
+    let mut groups: Vec<(f64, Vec<usize>)> = Vec::new();
+    for i in range {
+        let horizon = cells[i].cfg.duration.as_secs_f64();
+        match groups.iter_mut().find(|(h, _)| *h == horizon) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((horizon, vec![i])),
+        }
+    }
+    for (_, group) in groups {
+        // Reserve addresses: the first claimant of each unique address
+        // (across the whole run, including within this batch) computes
+        // it; the rest wait. With the cache off every position is its
+        // own session, duplicates included.
+        let mut computing: Vec<(usize, Option<Arc<Memo>>)> = Vec::new();
+        let mut waiting: Vec<(usize, Arc<Memo>)> = Vec::new();
+        for &i in &group {
+            if opts.use_cache {
+                let memo = cache
+                    .lock()
+                    .expect("cell cache poisoned")
+                    .entry(keys[i].as_str())
+                    .or_default()
+                    .clone();
+                if memo.claim() {
+                    computing.push((i, Some(memo)));
+                } else {
+                    waiting.push((i, memo));
+                }
+            } else {
+                computing.push((i, None));
+            }
+        }
+        if !computing.is_empty() {
+            let sessions: Vec<(Box<dyn BandwidthTrace>, SessionConfig)> = computing
+                .iter()
+                .map(|&(i, _)| (cells[i].trace.build(), cells[i].cfg))
+                .collect();
+            let started = Instant::now();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                run_sessions_pooled(sessions, opts.obs, ws)
+            }));
+            let wall = started.elapsed();
+            match attempt {
+                Ok(results) => {
+                    let walls = attribute_walls(wall, &results);
+                    for (((i, memo), result), wall_i) in
+                        computing.into_iter().zip(results).zip(walls)
+                    {
+                        let outcome: CellOutcome = Ok(result);
+                        *busy += wall_i;
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        let run = make_run(&cells[i], wall_i, false, &outcome);
+                        slots.lock().expect("pool slots poisoned")[i] = Some(run);
+                        if let Some(memo) = memo {
+                            memo.fulfill((outcome, wall_i));
+                        }
+                    }
+                }
+                Err(_) => {
+                    ws.quarantine_reset();
+                    for (i, memo) in computing {
+                        let (outcome, wall_i) = execute_cell(&cells[i], opts, slot);
+                        *busy += wall_i;
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        let run = make_run(&cells[i], wall_i, false, &outcome);
+                        slots.lock().expect("pool slots poisoned")[i] = Some(run);
+                        if let Some(memo) = memo {
+                            memo.fulfill((outcome, wall_i));
+                        }
+                    }
+                }
+            }
+        }
+        for (i, memo) in waiting {
+            let (outcome, wall) = memo.wait();
+            let run = make_run(&cells[i], wall, true, &outcome);
+            slots.lock().expect("pool slots poisoned")[i] = Some(run);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,12 +2,13 @@
 //!
 //! Serialized with the workspace's hand-rolled JSON module
 //! ([`ravel_trace::json`]) so offline builds never need serde. Schema
-//! (version 5 — version 4 plus per-experiment aggregate `events` and
-//! the timing-gated `events_per_sec` throughput):
+//! (version 6 — version 5 plus the timing-gated arena counters
+//! `allocs_avoided` and `arena_high_water` from the batched workers'
+//! event-payload pools):
 //!
 //! ```json
 //! {
-//!   "schema": 5,
+//!   "schema": 6,
 //!   "jobs": 8,
 //!   "total_wall_ms": 12345.678,          // omitted when timing is off
 //!   "total_cells": 189,
@@ -15,6 +16,8 @@
 //!   "executed": 161,                     // omitted when timing is off
 //!   "cache_hits": 28,                    // omitted when timing is off
 //!   "busy_ms": 10234.5,                  // omitted when timing is off
+//!   "allocs_avoided": 120034,            // omitted when timing is off
+//!   "arena_high_water": 8,               // omitted when timing is off
 //!   "sim_seconds": 7560.0,
 //!   "sim_seconds_per_second": 612.3,     // omitted when timing is off
 //!   "events_total": 123456789,
@@ -83,8 +86,12 @@ use crate::pool::{CellRun, PoolStats};
 /// per-experiment aggregate `events` count (timing-free, deterministic)
 /// and the timing-gated `events_per_sec` aggregate throughput, so the
 /// multi-session kernel's event volume can be gated per experiment
-/// without summing cells by hand.
-pub const SCHEMA_VERSION: f64 = 5.0;
+/// without summing cells by hand. Version 6 added the timing-gated
+/// `allocs_avoided` / `arena_high_water` aggregates from the batched
+/// workers' event-payload arenas: they depend on batch formation and
+/// worker scheduling, so — like `busy_ms` — they are omitted from the
+/// timing-free rendering.
+pub const SCHEMA_VERSION: f64 = 6.0;
 
 /// A whole harness invocation: every experiment that ran, plus pool
 /// accounting.
@@ -255,6 +262,18 @@ pub fn render_json(report: &RunReport, with_timing: bool) -> String {
             "busy_ms".to_string(),
             Json::Num(r3(report.stats.busy.as_secs_f64() * 1e3)),
         ));
+        // Schema 6: arena accounting from the batched workers' payload
+        // pools. Both numbers depend on batch formation (worker count,
+        // batch size, cache hits), so they sit with the other
+        // schedule-dependent fields behind `with_timing`.
+        fields.push((
+            "allocs_avoided".to_string(),
+            Json::Num(report.stats.allocs_avoided as f64),
+        ));
+        fields.push((
+            "arena_high_water".to_string(),
+            Json::Num(report.stats.arena_high_water as f64),
+        ));
     }
     fields.push((
         "sim_seconds".to_string(),
@@ -333,12 +352,15 @@ mod tests {
         };
         let timed = render_json(&report, true);
         let doc = parse(&timed).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(6.0));
         assert_eq!(doc.get("total_cells").and_then(Json::as_f64), Some(3.0));
         assert!(doc.get("unique_cells").and_then(Json::as_f64).is_some());
         assert!(doc.get("executed").and_then(Json::as_f64).is_some());
         assert!(doc.get("cache_hits").and_then(Json::as_f64).is_some());
         assert!(doc.get("busy_ms").is_some());
+        // Schema 6: arena counters ride with the timing block.
+        assert!(doc.get("allocs_avoided").and_then(Json::as_f64).is_some());
+        assert!(doc.get("arena_high_water").and_then(Json::as_f64).is_some());
         assert!(doc.get("events_total").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(doc.get("events_per_second").is_some());
         let exps_json = doc.get("experiments").and_then(Json::as_array).unwrap();
@@ -376,6 +398,8 @@ mod tests {
         assert!(doc.get("executed").is_none());
         assert!(doc.get("cache_hits").is_none());
         assert!(doc.get("busy_ms").is_none());
+        assert!(doc.get("allocs_avoided").is_none());
+        assert!(doc.get("arena_high_water").is_none());
         assert!(doc.get("events_per_second").is_none());
         assert!(doc.get("unique_cells").is_some());
         assert!(doc.get("events_total").is_some());

@@ -30,7 +30,7 @@ use ravel_sim::{Dur, Rng, Time};
 use ravel_video::ContentClass;
 
 use crate::cell::{Cell, TraceSpec};
-use crate::pool::{run_cells_opts, CellRun, CellStatus, PoolOptions, PoolStats};
+use crate::pool::{run_cells_opts, BatchMode, CellRun, CellStatus, PoolOptions, PoolStats};
 use crate::shrink::shrink_cell;
 
 /// RNG substream tag for soak cell generation (distinct from the chaos
@@ -57,6 +57,8 @@ pub struct SoakOptions {
     /// `max_cells` even with budget left, making coverage independent
     /// of host speed (CI runs the exact same cell range everywhere).
     pub max_cells: Option<u64>,
+    /// Kernel batch size for each pumped pool batch (`--batch`).
+    pub batch: BatchMode,
 }
 
 /// One failing soak cell, with everything needed to reproduce it.
@@ -275,6 +277,7 @@ pub fn run_soak(opts: SoakOptions) -> SoakOutcome {
         use_cache: true,
         obs: ObsMode::Off,
         deadline: opts.deadline,
+        batch: opts.batch,
     };
     let mut outcome = SoakOutcome {
         seed: opts.seed,
@@ -399,6 +402,7 @@ mod tests {
             jobs: 2,
             deadline: None,
             max_cells: None,
+            batch: BatchMode::Auto,
         };
         let a = run_soak(opts);
         let b = run_soak(opts);
@@ -422,6 +426,7 @@ mod tests {
             jobs: 2,
             deadline: None,
             max_cells: Some(10),
+            batch: BatchMode::Auto,
         };
         let capped = run_soak(opts);
         assert_eq!(capped.cells, 10);

@@ -4,8 +4,8 @@
 use std::time::Duration;
 
 use ravel_harness::{
-    experiments, render_json, run_suite, run_suite_opts, Cell, Experiment, ExperimentRun, Output,
-    PoolOptions, RunReport, TraceSpec,
+    experiments, render_json, run_suite, run_suite_opts, BatchMode, Cell, Experiment,
+    ExperimentRun, Output, PoolOptions, RunReport, TraceSpec,
 };
 use ravel_metrics::Table;
 use ravel_pipeline::{Scheme, SessionConfig};
@@ -158,6 +158,140 @@ fn cached_output_matches_no_cache_serial_reference_exactly() {
         assert_eq!(table, ref_table, "jobs={jobs}: cached table diverged");
         assert_eq!(json, ref_json, "jobs={jobs}: cached JSON diverged");
     }
+}
+
+#[test]
+fn batched_output_matches_batch_1_oracle_exactly() {
+    // The batched-worker acceptance bar: `--batch 1` (the historical
+    // per-cell path) is the oracle, and every other batch mode must
+    // reproduce its tables and timing-free JSON byte-for-byte — at any
+    // pool width, with the cache on or off. The grid is doubled so the
+    // cached runs exercise memo claim/wait *inside* batches.
+    let base = smoke_grid();
+    let mut cells = base.cells.clone();
+    cells.extend(base.cells.iter().cloned());
+    let mk = || {
+        [Experiment::new(
+            "batched",
+            "doubled smoke grid",
+            cells.clone(),
+            smoke_assemble,
+        )]
+    };
+
+    let run_with = |jobs, batch, use_cache| {
+        let opts = PoolOptions {
+            use_cache,
+            batch,
+            ..PoolOptions::default()
+        };
+        let (runs, stats) = run_suite_opts(&mk(), jobs, opts);
+        let rendered = runs[0].output.render();
+        let report = RunReport {
+            jobs: 1, // pin the header so JSON compares across widths
+            total_wall: Duration::ZERO,
+            stats,
+            experiments: runs,
+        };
+        (rendered, render_json(&report, false), stats)
+    };
+
+    for use_cache in [false, true] {
+        let (ref_table, ref_json, _) = run_with(1, BatchMode::Fixed(1), use_cache);
+        for jobs in [1, 2, 8] {
+            for batch in [BatchMode::Fixed(1), BatchMode::Fixed(8), BatchMode::Auto] {
+                let (table, json, stats) = run_with(jobs, batch, use_cache);
+                assert_eq!(
+                    table, ref_table,
+                    "table diverged from the --batch 1 oracle \
+                     (jobs={jobs}, batch={batch:?}, cache={use_cache})"
+                );
+                assert_eq!(
+                    json, ref_json,
+                    "timing-free JSON diverged from the --batch 1 oracle \
+                     (jobs={jobs}, batch={batch:?}, cache={use_cache})"
+                );
+                if use_cache {
+                    assert_eq!(
+                        stats.executed, stats.unique_cells,
+                        "jobs={jobs}, batch={batch:?}: each unique cell \
+                         must execute exactly once"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_duration_grid_batches_without_divergence() {
+    // Batch formation splits a claimed range into same-duration groups;
+    // a grid that interleaves 6 s and 8 s cells must still match the
+    // per-cell oracle byte-for-byte.
+    let mut cells = Vec::new();
+    for (i, secs) in [8u64, 6, 8, 6, 6, 8, 8, 6, 6, 8].iter().enumerate() {
+        let scheme = if i % 2 == 0 {
+            Scheme::baseline()
+        } else {
+            Scheme::adaptive()
+        };
+        let mut cfg = SessionConfig::default_with(scheme);
+        cfg.duration = Dur::secs(*secs);
+        cells.push(Cell {
+            label: format!("mix{i}/{secs}s/{}", scheme.name()),
+            trace: TraceSpec::SuddenDrop {
+                pre_bps: 4e6,
+                after_bps: 1.2e6,
+                at: Time::from_secs(2),
+            },
+            cfg,
+        });
+    }
+    let mk = || {
+        [Experiment::new(
+            "mixed",
+            "mixed-duration grid",
+            cells.clone(),
+            smoke_assemble,
+        )]
+    };
+    let run_with = |jobs, batch| {
+        let opts = PoolOptions {
+            batch,
+            ..PoolOptions::default()
+        };
+        let (runs, stats) = run_suite_opts(&mk(), jobs, opts);
+        let rendered = runs[0].output.render();
+        let report = RunReport {
+            jobs: 1,
+            total_wall: Duration::ZERO,
+            stats,
+            experiments: runs,
+        };
+        (rendered, render_json(&report, false))
+    };
+    let reference = run_with(1, BatchMode::Fixed(1));
+    for jobs in [1, 2, 8] {
+        for batch in [BatchMode::Fixed(4), BatchMode::Fixed(8), BatchMode::Auto] {
+            assert_eq!(
+                run_with(jobs, batch),
+                reference,
+                "mixed-duration grid diverged (jobs={jobs}, batch={batch:?})"
+            );
+        }
+    }
+}
+
+fn smoke_assemble(_: &Experiment, runs: &[ravel_harness::CellRun]) -> Output {
+    let mut out = String::new();
+    for run in runs {
+        let s = run.result.recorder.summarize_all();
+        out.push_str(&format!(
+            "{} mean={:.3} p95={:.3} events={}\n",
+            run.label, s.mean_latency_ms, s.p95_latency_ms, run.result.events_processed
+        ));
+    }
+    Output::Text(out)
 }
 
 #[test]

@@ -3,12 +3,22 @@
 //! at any `--jobs` count and on cache hits — while every surviving
 //! cell's output stays byte-identical to a clean run.
 
-use ravel_harness::{experiments, run_suite_opts, CellRun, CellStatus, ExperimentRun, PoolOptions};
+use ravel_harness::{
+    experiments, run_suite_opts, BatchMode, CellRun, CellStatus, ExperimentRun, PoolOptions,
+};
 use ravel_pipeline::InjectedFault;
 
 fn run_fixture(fault: InjectedFault, jobs: usize) -> ExperimentRun {
+    run_fixture_batched(fault, jobs, BatchMode::Auto)
+}
+
+fn run_fixture_batched(fault: InjectedFault, jobs: usize, batch: BatchMode) -> ExperimentRun {
     let exps = [experiments::fixture(fault)];
-    let (mut runs, _) = run_suite_opts(&exps, jobs, PoolOptions::default());
+    let opts = PoolOptions {
+        batch,
+        ..PoolOptions::default()
+    };
+    let (mut runs, _) = run_suite_opts(&exps, jobs, opts);
     runs.remove(0)
 }
 
@@ -114,6 +124,52 @@ fn survivors_are_byte_identical_to_a_clean_run() {
             survivor_rows(&clean),
             survivor_rows(&faulted),
             "{fault:?} perturbed a surviving cell"
+        );
+    }
+}
+
+#[test]
+fn panic_inside_a_batch_quarantines_without_poisoning_batch_mates() {
+    // `Fixed(8)` packs the whole fixture grid — the panicking cell and
+    // every healthy mate — into one claimed batch, so the panic unwinds
+    // out of the *shared* interleaved kernel. The pool must fall back to
+    // per-cell execution on a fresh workspace: the failure keeps its
+    // per-cell status and digest, and every batch-mate's output is
+    // byte-identical to the --batch 1 oracle and to a clean run.
+    let fault = || InjectedFault::Panic {
+        at: experiments::FIXTURE_FAULT_AT,
+    };
+    let oracle = run_fixture_batched(fault(), 1, BatchMode::Fixed(1));
+    let oracle_digest = oracle
+        .cells
+        .iter()
+        .find(|c| !c.ok())
+        .unwrap()
+        .failure
+        .as_ref()
+        .unwrap()
+        .digest();
+    let clean = run_fixture_batched(InjectedFault::None, 1, BatchMode::Fixed(8));
+    for jobs in [1, 2, 8] {
+        let batched = run_fixture_batched(fault(), jobs, BatchMode::Fixed(8));
+        assert_eq!(
+            oracle.output.render(),
+            batched.output.render(),
+            "jobs={jobs}: batched fixture table diverged from the --batch 1 oracle"
+        );
+        let faulty: Vec<&CellRun> = batched.cells.iter().filter(|c| !c.ok()).collect();
+        assert_eq!(faulty.len(), 1, "jobs={jobs}: exactly one cell fails");
+        assert_eq!(faulty[0].label, "fx/panic");
+        assert_eq!(faulty[0].status, CellStatus::Panicked);
+        assert_eq!(
+            faulty[0].failure.as_ref().unwrap().digest(),
+            oracle_digest,
+            "jobs={jobs}: digest changed under batching"
+        );
+        assert_eq!(
+            survivor_rows(&clean),
+            survivor_rows(&batched),
+            "jobs={jobs}: a batch-mate was poisoned by the panic"
         );
     }
 }

@@ -18,7 +18,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use ravel_harness::{
-    experiments, run_suite_opts, Cell, CellRun, Experiment, ObsMode, Output, PoolOptions,
+    experiments, run_suite_opts, BatchMode, Cell, CellRun, Experiment, ObsMode, Output, PoolOptions,
 };
 use ravel_sim::Dur;
 
@@ -48,6 +48,15 @@ fn assemble(_: &Experiment, _: &[CellRun]) -> Output {
 
 /// Runs the golden cells and returns each cell's digest, in grid order.
 fn digests(cells: Vec<Cell>, jobs: usize, use_cache: bool) -> Vec<String> {
+    digests_batched(cells, jobs, use_cache, BatchMode::Auto)
+}
+
+fn digests_batched(
+    cells: Vec<Cell>,
+    jobs: usize,
+    use_cache: bool,
+    batch: BatchMode,
+) -> Vec<String> {
     let exps = [Experiment::new(
         "golden",
         "golden timeline cells",
@@ -57,7 +66,8 @@ fn digests(cells: Vec<Cell>, jobs: usize, use_cache: bool) -> Vec<String> {
     let opts = PoolOptions {
         use_cache,
         obs: ObsMode::Full,
-        deadline: None,
+        batch,
+        ..PoolOptions::default()
     };
     let (runs, _) = run_suite_opts(&exps, jobs, opts);
     runs[0]
@@ -107,6 +117,24 @@ fn digests_are_byte_identical_across_job_counts() {
             at_1, at_n,
             "digests diverged between jobs=1 and jobs={jobs}"
         );
+    }
+}
+
+#[test]
+fn digests_are_byte_identical_across_batch_modes() {
+    // The golden cells share one duration class, so `Fixed(8)` drives
+    // all four through a single interleaved kernel population with the
+    // payload arena on. Full-observability digests must match the
+    // per-cell oracle byte-for-byte.
+    let oracle = digests_batched(golden_cells(), 1, false, BatchMode::Fixed(1));
+    for jobs in [1, 4] {
+        for batch in [BatchMode::Fixed(8), BatchMode::Auto] {
+            let got = digests_batched(golden_cells(), jobs, false, batch);
+            assert_eq!(
+                oracle, got,
+                "digests diverged from --batch 1 (jobs={jobs}, batch={batch:?})"
+            );
+        }
     }
 }
 

@@ -31,6 +31,7 @@ pub use invariants::{Invariant, InvariantChecker, InvariantViolation};
 pub use scheme::{CcKind, Scheme};
 pub use session::{
     run_session, run_session_chaos, run_session_chaos_obs, run_session_guarded, run_session_obs,
-    run_sessions, run_sessions_obs, InjectedFault, SessionConfig, SessionGuard, SessionResult,
-    CANCEL_POLL_EVERY_EVENTS, RUNAWAY_BASE_EVENTS, RUNAWAY_EVENTS_PER_SIM_SEC,
+    run_sessions, run_sessions_obs, run_sessions_pooled, InjectedFault, KernelWorkspace,
+    SessionConfig, SessionGuard, SessionResult, CANCEL_POLL_EVERY_EVENTS, RUNAWAY_BASE_EVENTS,
+    RUNAWAY_EVENTS_PER_SIM_SEC,
 };

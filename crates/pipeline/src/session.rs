@@ -25,7 +25,7 @@ use ravel_net::{
     RtxBuffer,
 };
 use ravel_obs::{ObsEvent, ObsLog, ObsMode};
-use ravel_sim::{Dur, EventQueue, SeriesSet, Time};
+use ravel_sim::{ArenaStats, BoxPool, Dur, EventQueue, SeriesSet, Time};
 use ravel_trace::BandwidthTrace;
 use ravel_video::{ContentClass, RawFrame, Resolution, VideoSource};
 
@@ -506,10 +506,13 @@ pub fn run_session_guarded<T: BandwidthTrace>(
     guard: SessionGuard,
 ) -> SessionResult {
     let mut queue: EventQueue<Event> = EventQueue::new();
+    // Solo sessions keep the plain allocating path: it is the historical
+    // behaviour and the oracle the pooled kernel is tested against.
+    let mut pool: BoxPool<EncodedFrame> = BoxPool::disabled();
     let mut state = SessionState::new(trace, cfg, schedule, obs_mode, guard);
     state.start(&mut queue);
     while let Some(scheduled) = queue.pop() {
-        if let Step::Stop = state.step(scheduled.at, scheduled.event, &mut queue) {
+        if let Step::Stop = state.step(scheduled.at, scheduled.event, &mut queue, &mut pool) {
             break;
         }
     }
@@ -531,11 +534,95 @@ pub fn run_sessions<T: BandwidthTrace>(sessions: Vec<(T, SessionConfig)>) -> Vec
 }
 
 /// [`run_sessions`] with an observability mode applied to every session.
+///
+/// Runs through a throwaway allocating [`KernelWorkspace`]: identical
+/// results to [`run_sessions_pooled`], without payload recycling. This
+/// is the arena test oracle.
 pub fn run_sessions_obs<T: BandwidthTrace>(
     sessions: Vec<(T, SessionConfig)>,
     obs_mode: ObsMode,
 ) -> Vec<SessionResult> {
-    let mut queue: EventQueue<(u32, Event)> = EventQueue::new();
+    let mut ws = KernelWorkspace::allocating();
+    run_sessions_pooled(sessions, obs_mode, &mut ws)
+}
+
+/// Reusable per-worker kernel scratch: the shared multi-session event
+/// queue and the boxed-payload arena.
+///
+/// A worker that drives batch after batch through one workspace gets
+/// allocation-free steady-state event processing: the queue's bucket
+/// `Vec`s keep their capacity across [`EventQueue::reset`], and the
+/// [`BoxPool`] free list carries recycled `EncodeDone` boxes from one
+/// batch into the next. The arena counters accumulate across batches —
+/// harvest them once per worker with [`KernelWorkspace::arena_stats`].
+pub struct KernelWorkspace {
+    queue: EventQueue<(u32, Event)>,
+    pool: BoxPool<EncodedFrame>,
+}
+
+impl KernelWorkspace {
+    /// A workspace whose arena recycles event payload boxes.
+    pub fn new() -> Self {
+        KernelWorkspace {
+            queue: EventQueue::new(),
+            pool: BoxPool::pooled(),
+        }
+    }
+
+    /// A workspace whose arena is a pure allocating passthrough —
+    /// behaviourally the pre-arena kernel, used as the test oracle.
+    pub fn allocating() -> Self {
+        KernelWorkspace {
+            queue: EventQueue::new(),
+            pool: BoxPool::disabled(),
+        }
+    }
+
+    /// Arena counters accumulated over every batch this workspace ran.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.pool.stats()
+    }
+
+    /// Discards all scratch state — used after an aborted (panicked)
+    /// batch leaves the queue and free list possibly inconsistent —
+    /// while carrying the arena's lifetime counters forward.
+    /// `outstanding` resets to zero: boxes that were live during the
+    /// unwind were dropped with the queue.
+    pub fn quarantine_reset(&mut self) {
+        let stats = self.pool.stats();
+        let pooled = self.pool.is_pooled();
+        self.queue = EventQueue::new();
+        self.pool = if pooled {
+            BoxPool::pooled()
+        } else {
+            BoxPool::disabled()
+        };
+        self.pool.set_stats(ArenaStats {
+            outstanding: 0,
+            ..stats
+        });
+    }
+}
+
+impl Default for KernelWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// [`run_sessions_obs`] against a caller-owned [`KernelWorkspace`],
+/// recycling event-payload boxes through its arena. Results are
+/// byte-identical to [`run_sessions`] / solo [`run_session`] runs: the
+/// arena only changes *where* a payload box's memory comes from, never
+/// its contents or the event order.
+pub fn run_sessions_pooled<T: BandwidthTrace>(
+    sessions: Vec<(T, SessionConfig)>,
+    obs_mode: ObsMode,
+    ws: &mut KernelWorkspace,
+) -> Vec<SessionResult> {
+    let queue = &mut ws.queue;
+    let pool = &mut ws.pool;
+    queue.reset();
     let mut states: Vec<(SessionState<T>, bool)> = Vec::with_capacity(sessions.len());
     for (session, (trace, cfg)) in sessions.into_iter().enumerate() {
         let schedule = cfg
@@ -544,7 +631,7 @@ pub fn run_sessions_obs<T: BandwidthTrace>(
         let guard = SessionGuard::for_config(&cfg);
         let mut state = SessionState::new(trace, cfg, schedule, obs_mode, guard);
         state.start(&mut TaggedSink {
-            queue: &mut queue,
+            queue,
             session: session as u32,
         });
         states.push((state, false));
@@ -556,13 +643,11 @@ pub fn run_sessions_obs<T: BandwidthTrace>(
             // A stopped session's leftovers count as in-flight, exactly
             // like the single-session post-loop drain.
             state.note_leftover(&event);
+            reclaim(event, pool);
             continue;
         }
-        let mut sink = TaggedSink {
-            queue: &mut queue,
-            session,
-        };
-        if let Step::Stop = state.step(scheduled.at, event, &mut sink) {
+        let mut sink = TaggedSink { queue, session };
+        if let Step::Stop = state.step(scheduled.at, event, &mut sink, pool) {
             *stopped = true;
         }
     }
@@ -570,6 +655,13 @@ pub fn run_sessions_obs<T: BandwidthTrace>(
         .into_iter()
         .map(|(state, _stopped)| state.finish())
         .collect()
+}
+
+/// Returns an event's boxed payload (if any) to the worker's arena.
+fn reclaim(event: Event, pool: &mut BoxPool<EncodedFrame>) {
+    if let Event::EncodeDone(frame) = event {
+        pool.recycle(frame);
+    }
 }
 
 /// Where a stepped session schedules its future events. The
@@ -963,7 +1055,13 @@ impl<T: BandwidthTrace> SessionState<T> {
     /// chaos-segment announcements, then the event itself) matches the
     /// historical loop exactly, so guard trips and violation details
     /// are byte-identical.
-    fn step(&mut self, now: Time, event: Event, sink: &mut impl EventSink) -> Step {
+    fn step(
+        &mut self,
+        now: Time,
+        event: Event,
+        sink: &mut impl EventSink,
+        pool: &mut BoxPool<EncodedFrame>,
+    ) -> Step {
         self.popped += 1;
         if now < self.last_event_at {
             self.checker.violate(
@@ -990,6 +1088,7 @@ impl<T: BandwidthTrace> SessionState<T> {
             );
             self.note_violations(now);
             self.note_leftover(&event);
+            reclaim(event, pool);
             return Step::Stop;
         }
         if self.guard.over_horizon(now) {
@@ -999,17 +1098,20 @@ impl<T: BandwidthTrace> SessionState<T> {
             );
             self.note_violations(now);
             self.note_leftover(&event);
+            reclaim(event, pool);
             return Step::Stop;
         }
         if self.guard.cancelled(self.popped) {
             self.cancelled = true;
             self.note_leftover(&event);
+            reclaim(event, pool);
             return Step::Stop;
         }
         if now > self.hard_end {
             // The popped event is past the session's end; if it was an
             // arrival, the packet is in flight for conservation.
             self.note_leftover(&event);
+            reclaim(event, pool);
             return Step::Stop;
         }
         match self.cfg.inject {
@@ -1033,8 +1135,11 @@ impl<T: BandwidthTrace> SessionState<T> {
             self.seg_cursor += 1;
         }
         match event {
-            Event::Capture => self.on_capture(now, sink),
-            Event::EncodeDone(encoded) => self.on_encode_done(now, &encoded, sink),
+            Event::Capture => self.on_capture(now, sink, pool),
+            Event::EncodeDone(encoded) => {
+                self.on_encode_done(now, &encoded, sink);
+                pool.recycle(encoded);
+            }
             Event::PacerTick => {
                 self.pacer_tick_pending = false;
                 self.release_pacer(sink, now);
@@ -1064,7 +1169,12 @@ impl<T: BandwidthTrace> SessionState<T> {
         Step::Continue
     }
 
-    fn on_capture(&mut self, now: Time, sink: &mut impl EventSink) {
+    fn on_capture(
+        &mut self,
+        now: Time,
+        sink: &mut impl EventSink,
+        pool: &mut BoxPool<EncodedFrame>,
+    ) {
         let frame = self.source.next_frame();
         debug_assert_eq!(frame.pts, now, "capture clock drift");
         self.obs
@@ -1116,7 +1226,7 @@ impl<T: BandwidthTrace> SessionState<T> {
                         encoded.size_bits() as f64 * self.cfg.fps as f64,
                     );
                 }
-                sink.push(encoded.encoded_at, Event::EncodeDone(Box::new(encoded)));
+                sink.push(encoded.encoded_at, Event::EncodeDone(pool.alloc(encoded)));
                 self.sent.push(SentFrame::Encoded {
                     frame: encoded,
                     temporal: frame.complexity.temporal,
@@ -1860,6 +1970,98 @@ mod tests {
         // Every capture, packet arrival and feedback flush is an event.
         assert!(result.events_processed > result.frames_captured);
         assert!(result.packets_delivered > 0);
+    }
+
+    /// Compares two session results field-by-field on everything the
+    /// harness report derives from (LatencyRecorder/SeriesSet don't
+    /// implement PartialEq wholesale).
+    fn assert_results_identical(a: &SessionResult, b: &SessionResult) {
+        assert_eq!(a.recorder.records(), b.recorder.records());
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.frames_captured, b.frames_captured);
+        assert_eq!(a.frames_encoded, b.frames_encoded);
+        assert_eq!(a.frames_skipped, b.frames_skipped);
+        assert_eq!(a.packets_delivered, b.packets_delivered);
+        assert_eq!(a.drops_handled, b.drops_handled);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.cancelled, b.cancelled);
+    }
+
+    #[test]
+    fn pooled_workspace_reuses_boxes_and_leaks_nothing() {
+        // A known cell: baseline scheme, 4 s on a constant 3 Mbps link —
+        // the same fixture the harness quarantine tests use.
+        let mut cfg = SessionConfig::default_with(Scheme::baseline());
+        cfg.duration = Dur::secs(4);
+        let mut ws = KernelWorkspace::new();
+        let first =
+            run_sessions_pooled(vec![(ConstantTrace::new(3e6), cfg)], ObsMode::Off, &mut ws);
+        let after_first = ws.arena_stats();
+        // Every EncodeDone box must come back: a leak here would mean a
+        // payload escaped the recycle sites in `step`.
+        assert_eq!(after_first.outstanding, 0, "payload boxes leaked");
+        // The capture→encode pipeline keeps at most a couple of encoded
+        // frames in flight at once; the observed peak for this cell is
+        // exactly one box live at a time.
+        assert_eq!(after_first.high_water, 1);
+        // Same cell again through the same workspace: the free list is
+        // warm, so every payload allocation is now served from it.
+        let second =
+            run_sessions_pooled(vec![(ConstantTrace::new(3e6), cfg)], ObsMode::Off, &mut ws);
+        let after_second = ws.arena_stats();
+        assert_eq!(after_second.outstanding, 0);
+        assert_eq!(after_second.high_water, 1);
+        assert_eq!(
+            after_second.allocs_avoided - after_first.allocs_avoided,
+            second[0].frames_encoded,
+            "second batch should alloc entirely from the free list"
+        );
+        assert_results_identical(&first[0], &second[0]);
+    }
+
+    // The arena only changes where payload boxes come from — pooled
+    // populations must match the allocating oracle result-for-result
+    // across seeds, drop depths, and population sizes.
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig {
+            cases: 24,
+            ..proptest::ProptestConfig::default()
+        })]
+        #[test]
+        fn pooled_kernel_matches_allocating_kernel(
+            seed in 0u64..1_000,
+            after_kbps in 200u64..2_000,
+            n in 1usize..4,
+        ) {
+            let sessions = || -> Vec<(StepTrace, SessionConfig)> {
+                (0..n)
+                    .map(|i| {
+                        let scheme = if i % 2 == 0 {
+                            Scheme::baseline()
+                        } else {
+                            Scheme::adaptive()
+                        };
+                        let mut cfg = SessionConfig::default_with(scheme);
+                        cfg.duration = Dur::secs(4);
+                        cfg.seed = seed + i as u64;
+                        let trace = StepTrace::sudden_drop(
+                            4e6,
+                            after_kbps as f64 * 1e3,
+                            Time::from_secs(2),
+                        );
+                        (trace, cfg)
+                    })
+                    .collect()
+            };
+            let mut ws = KernelWorkspace::new();
+            let pooled = run_sessions_pooled(sessions(), ObsMode::Off, &mut ws);
+            let allocating = run_sessions_obs(sessions(), ObsMode::Off);
+            proptest::prop_assert_eq!(pooled.len(), allocating.len());
+            for (a, b) in pooled.iter().zip(&allocating) {
+                assert_results_identical(a, b);
+            }
+            proptest::prop_assert_eq!(ws.arena_stats().outstanding, 0);
+        }
     }
 
     #[test]

@@ -347,6 +347,18 @@ impl<E> EventQueue<E> {
         self.cur_sorted = false;
         self.len = 0;
     }
+
+    /// Rewinds the queue to a fresh state while retaining bucket `Vec`
+    /// capacities, so a worker can run many simulations back to back
+    /// without re-growing the ring each time. The clock returns to
+    /// [`Time::ZERO`] and sequence numbers restart; only the lifetime
+    /// [`EventQueue::events_popped`] counter survives.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.cursor_day = 0;
+        self.next_seq = 0;
+        self.now = Time::ZERO;
+    }
 }
 
 #[cfg(test)]
@@ -591,5 +603,43 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
         assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn reset_behaves_like_a_fresh_queue() {
+        let mut used = EventQueue::new();
+        // Dirty the queue thoroughly: advance the clock, cross bucket
+        // boundaries, touch the overflow heap, leave events pending.
+        used.push(Time::from_millis(3), "x");
+        used.push(Time::from_secs(30), "y");
+        used.pop();
+        used.push(Time::from_millis(700), "z");
+        assert!(used.now() > Time::ZERO);
+        let popped_before = used.events_popped();
+        used.reset();
+        assert!(used.is_empty());
+        assert_eq!(used.now(), Time::ZERO);
+        assert_eq!(
+            used.events_popped(),
+            popped_before,
+            "lifetime counter survives"
+        );
+
+        // A reset queue must produce the same pop sequence as a new one,
+        // including seq-based FIFO tie-breaks starting from zero again.
+        let mut fresh = EventQueue::new();
+        let schedule = [(5u64, "b"), (1, "a"), (5, "c"), (1_200, "over")];
+        for &(ms, tag) in &schedule {
+            used.push(Time::from_millis(ms), tag);
+            fresh.push(Time::from_millis(ms), tag);
+        }
+        loop {
+            let u = used.pop().map(|s| (s.at, s.seq, s.event));
+            let f = fresh.pop().map(|s| (s.at, s.seq, s.event));
+            assert_eq!(u, f);
+            if u.is_none() {
+                break;
+            }
+        }
     }
 }
