@@ -10,9 +10,15 @@
 //! bottleneck queue grows unboundedly for the whole blind period.
 //!
 //! [`FeedbackWatchdog`] bounds that damage. It tracks the arrival of
-//! *valid* (fresh, non-duplicate) feedback reports; when none arrives
-//! within a timeout, it fires a degradation step, and keeps firing one
-//! per elapsed timeout until feedback resumes. Each step multiplies the
+//! *valid* (fresh, non-duplicate, validator-accepted) feedback reports;
+//! when none arrives within a timeout, it fires a degradation step, and
+//! keeps firing one per elapsed timeout until feedback resumes. Reports
+//! the sender's `FeedbackValidator` rejects must **not** be fed to
+//! [`FeedbackWatchdog::on_valid_report`]: arriving bytes are not
+//! liveness, and a reverse path full of corrupted reports has to
+//! degrade exactly like a silent one — otherwise a corrupting attacker
+//! doubles as a watchdog-suppression attacker, holding the sender at
+//! full rate while feeding it garbage. Each step multiplies the
 //! send target by a backoff factor, decaying it exponentially toward a
 //! floor — the same "cut while blind" behavior production RTC stacks
 //! implement. When feedback resumes, the caller hands control back
@@ -117,10 +123,13 @@ impl FeedbackWatchdog {
         &self.cfg
     }
 
-    /// Records a valid (fresh, non-duplicate) feedback report. Returns
-    /// true if the watchdog had fired since the previous valid report —
-    /// i.e. this report ends a blind episode and the caller should run
-    /// its recovery hand-off.
+    /// Records a valid (fresh, non-duplicate, validator-accepted)
+    /// feedback report. Returns true if the watchdog had fired since
+    /// the previous valid report — i.e. this report ends a blind
+    /// episode and the caller should run its recovery hand-off. Callers
+    /// must not invoke this for reports their validator rejected: a
+    /// rejected report does not re-arm the deadline (see the module
+    /// doc on corruption-as-silence).
     pub fn on_valid_report(&mut self, now: Time) -> bool {
         let was_degraded = self.degraded_steps > 0;
         self.last_valid = now;

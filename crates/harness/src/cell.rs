@@ -7,7 +7,8 @@ use std::sync::Arc;
 use ravel_net::ChaosSchedule;
 use ravel_obs::ObsMode;
 use ravel_pipeline::{
-    run_session, run_session_guarded, run_session_obs, SessionConfig, SessionGuard, SessionResult,
+    run_session, run_session_guarded, run_session_obs, ContractSpec, SessionConfig, SessionGuard,
+    SessionResult,
 };
 use ravel_sim::{Dur, Time};
 use ravel_trace::{BandwidthTrace, CellularProfile, ConstantTrace, StepTrace, StochasticTrace};
@@ -105,6 +106,12 @@ pub struct Cell {
     pub trace: TraceSpec,
     /// Full session configuration (scheme, content, seed, tweaks).
     pub cfg: SessionConfig,
+    /// Recovery contract this cell is held to, if any. Deliberately
+    /// *outside* [`Cell::canonical_key`]: verdicts are a pure function
+    /// of the finished [`SessionResult`], so two cells that differ only
+    /// in contract share one simulation and re-derive their own
+    /// verdicts from the cached result.
+    pub contracts: Option<ContractSpec>,
 }
 
 impl Cell {
@@ -220,6 +227,7 @@ mod tests {
             label: label.into(),
             trace: TraceSpec::Constant(3e6),
             cfg,
+            contracts: None,
         };
         let a = mk("first", cfg);
         let b = mk("renamed", cfg);
@@ -235,6 +243,13 @@ mod tests {
         let mut d = mk("first", cfg);
         d.trace = TraceSpec::Constant(3.000_001e6);
         assert_ne!(a.canonical_key(), d.canonical_key());
+
+        // Contracts are derived from the result, not part of the sim:
+        // attaching one must not split the content address.
+        let mut e = mk("first", cfg);
+        e.contracts = Some(ContractSpec::for_drop(Time::from_secs(10), 1e6));
+        assert_eq!(a.canonical_key(), e.canonical_key());
+        assert_eq!(a.fingerprint(), e.fingerprint());
     }
 
     #[test]
@@ -245,6 +260,7 @@ mod tests {
             label: "smoke".into(),
             trace: TraceSpec::Constant(3e6),
             cfg,
+            contracts: None,
         };
         let (a, b) = (cell.run(), cell.run());
         assert_eq!(a.recorder.records(), b.recorder.records());

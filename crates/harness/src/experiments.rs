@@ -15,8 +15,8 @@
 
 use ravel_core::{AdaptiveConfig, WatchdogConfig};
 use ravel_metrics::{LatencySummary, Table};
-use ravel_net::{ChaosSchedule, ChaosSpec, ReversePathConfig};
-use ravel_pipeline::{CcKind, InjectedFault, Scheme, SessionConfig, SessionResult};
+use ravel_net::{ChaosSchedule, ChaosSpec, CorruptSpec, ReversePathConfig};
+use ravel_pipeline::{CcKind, ContractSpec, InjectedFault, Scheme, SessionConfig, SessionResult};
 use ravel_sim::{Dur, Time};
 use ravel_video::ContentClass;
 
@@ -244,6 +244,7 @@ fn drop_cell(scheme: Scheme, content: ContentClass, after_bps: f64) -> Cell {
             at: DROP_AT,
         },
         cfg,
+        contracts: None,
     }
 }
 
@@ -258,7 +259,12 @@ fn cell_with(
     let mut cfg = SessionConfig::default_with(scheme);
     cfg.duration = SESSION_LEN;
     adjust(&mut cfg);
-    Cell { label, trace, cfg }
+    Cell {
+        label,
+        trace,
+        cfg,
+        contracts: None,
+    }
 }
 
 fn canonical_drop() -> TraceSpec {
@@ -1297,6 +1303,7 @@ fn chaos_cell(seed: u64, intensity: f64) -> Cell {
         label: format!("chaos/seed{seed}/i{intensity:.2}"),
         trace: TraceSpec::Constant(PRE_RATE),
         cfg,
+        contracts: None,
     }
 }
 
@@ -1410,6 +1417,194 @@ pub fn chaos_sweep(n: u64, seed0: u64) -> Experiment {
     }
 }
 
+/// E21 corruption intensities — the control-plane analogue of E18's
+/// severity axis.
+pub const E21_INTENSITIES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// The fixed corruption seed of the E21 grid (the `--corrupt` sweep
+/// varies seeds; E21 varies intensity and scheme under one seed so the
+/// table is comparable row to row).
+pub const E21_SEED: u64 = 7;
+
+/// The recovery contract every corruption cell is held to, expressed
+/// against the canonical 4 → 1 Mbps drop. The recovery deadline is
+/// generous (25 s) by design: corruption windows land anywhere in the
+/// first 60 % of the session, and a blind watchdog episode legitimately
+/// *suspends* recovery until honest feedback resumes — the contract
+/// asserts the sender gets back up once the garbage stops, not that
+/// garbage is free.
+pub fn corruption_contract() -> ContractSpec {
+    ContractSpec::for_drop(DROP_AT, 1e6).with_recover_within(Dur::secs(25))
+}
+
+/// One corruption cell: the canonical drop with a seeded field-level
+/// corruption schedule on the reverse path, the feedback watchdog
+/// armed, series recording on (contracts need the target trajectory),
+/// and [`corruption_contract`] attached.
+fn corrupt_cell(label: String, seed: u64, intensity: f64, scheme: Scheme) -> Cell {
+    let mut cell = cell_with(label, scheme, canonical_drop(), |cfg| {
+        cfg.seed = seed;
+        cfg.record_series = true;
+        cfg.corrupt = Some(CorruptSpec::new(seed, intensity));
+        cfg.watchdog = Some(WatchdogConfig::for_timing(
+            cfg.feedback_interval,
+            cfg.reverse_delay * 2,
+        ));
+    });
+    cell.contracts = Some(corruption_contract());
+    cell
+}
+
+/// Renders contract verdicts for a table cell: `"4/4"` when everything
+/// held, otherwise the failing clause names.
+fn contracts_cell(run: &CellRun) -> String {
+    let failed = run.failed_contracts();
+    if failed.is_empty() {
+        format!("{}/{}", run.contracts.len(), run.contracts.len())
+    } else {
+        format!(
+            "FAIL:{}",
+            failed.iter().map(|v| v.name).collect::<Vec<_>>().join("+")
+        )
+    }
+}
+
+/// E21 — control-plane corruption: seeded field-level mutation of
+/// in-flight feedback reports (sequence replay/warp, time warps,
+/// impossible timestamps, absurd sizes, truncation, forgery) across
+/// intensities and both schemes, with the sender-side validator
+/// counting rejections by reason and the machine-checked recovery
+/// contract judging every cell. CI gates on zero failed clauses.
+pub fn e21() -> Experiment {
+    let mut cells = Vec::new();
+    for intensity in E21_INTENSITIES {
+        for scheme in base_adpt() {
+            cells.push(corrupt_cell(
+                format!("corrupt/i{intensity:.2}/{}", scheme.name()),
+                E21_SEED,
+                intensity,
+                scheme,
+            ));
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut t = Table::new(&[
+            "intensity",
+            "scheme",
+            "corrupted",
+            "rejected",
+            "reasons",
+            "pli_supp",
+            "wd_eps",
+            "p95_ms",
+            "violations",
+            "contracts",
+        ]);
+        let mut i = 0;
+        for intensity in E21_INTENSITIES {
+            for name in BASE_ADPT {
+                let run = &runs[i];
+                i += 1;
+                let result = &run.result;
+                let reasons = result
+                    .rejected_by_reason
+                    .iter()
+                    .map(|(reason, n)| format!("{reason}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                t.row_owned(vec![
+                    format!("{intensity:.2}"),
+                    name.to_string(),
+                    result.feedback_corrupted.to_string(),
+                    result.rejected_reports.to_string(),
+                    if reasons.is_empty() {
+                        "-".to_string()
+                    } else {
+                        reasons
+                    },
+                    result.plis_suppressed.to_string(),
+                    result.watchdog_episodes.to_string(),
+                    format!("{:.1}", window_after(result).p95_latency_ms),
+                    result.violations.len().to_string(),
+                    contracts_cell(run),
+                ]);
+            }
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e21",
+        title: "control-plane corruption with recovery contracts",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// The `--corrupt N` sweep: `n` seeded corruption cells starting at
+/// `seed0`, intensity cycling through [`E21_INTENSITIES`], adaptive
+/// scheme over the canonical drop. The corruption seed doubles as the
+/// session seed, so every cell reproduces from its label alone. Used by
+/// the CLI's corrupt mode and the corrupt-smoke CI gate; failed
+/// contracts and invariant violations both fail the run.
+pub fn corrupt_sweep(n: u64, seed0: u64) -> Experiment {
+    let cells = (0..n)
+        .map(|i| {
+            let seed = seed0 + i;
+            let intensity = E21_INTENSITIES[(i % 4) as usize];
+            corrupt_cell(
+                format!("corrupt/seed{seed}/i{intensity:.2}"),
+                seed,
+                intensity,
+                Scheme::adaptive(),
+            )
+        })
+        .collect();
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut t = Table::new(&[
+            "cell",
+            "corrupted",
+            "rejected",
+            "pli_supp",
+            "wd_eps",
+            "violations",
+            "contracts",
+        ]);
+        let mut violating = 0usize;
+        let mut failed_contracts = 0usize;
+        for run in runs {
+            if !run.result.violations.is_empty() {
+                violating += 1;
+            }
+            failed_contracts += run.failed_contracts().len();
+            t.row_owned(vec![
+                run.label.clone(),
+                run.result.feedback_corrupted.to_string(),
+                run.result.rejected_reports.to_string(),
+                run.result.plis_suppressed.to_string(),
+                run.result.watchdog_episodes.to_string(),
+                run.result.violations.len().to_string(),
+                contracts_cell(run),
+            ]);
+        }
+        t.row_owned(vec![
+            "TOTAL".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{violating} violating cells"),
+            format!("{failed_contracts} failed clauses"),
+        ]);
+        Output::Table(t)
+    }
+    Experiment {
+        id: "corrupt",
+        title: "seeded feedback-corruption sweep with recovery contracts",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
 /// Simulation instant the `--fixture` injected faults fire at.
 pub const FIXTURE_FAULT_AT: Time = Time::from_secs(2);
 
@@ -1429,6 +1624,7 @@ pub fn fixture(fault: InjectedFault) -> Experiment {
             label,
             trace: TraceSpec::Constant(PRE_RATE),
             cfg,
+            contracts: None,
         }
     };
     let name = match fault {
@@ -1501,6 +1697,7 @@ pub fn all() -> Vec<Experiment> {
         e16(),
         e17(),
         e18(),
+        e21(),
     ]
 }
 
@@ -1557,7 +1754,7 @@ mod tests {
 
     #[test]
     fn expansions_cover_the_full_cross_product_without_duplicates() {
-        let expected: [(&str, usize); 17] = [
+        let expected: [(&str, usize); 18] = [
             ("e1", 2 * 3 * 2),
             ("e2", 2 * 3 * 2),
             ("e3", 2),
@@ -1575,6 +1772,7 @@ mod tests {
             ("e16", 3),
             ("e17", 4 * 3 * 2 * 2),
             ("e18", 3 * 4),
+            ("e21", 4 * 2),
         ];
         let registry = all();
         assert_eq!(registry.len(), expected.len());
@@ -1605,7 +1803,7 @@ mod tests {
         // Canonical order, independent of request order.
         assert_eq!(picked[0].id, "e1");
         assert_eq!(picked[1].id, "e4");
-        assert_eq!(select("all").unwrap().len(), 17);
+        assert_eq!(select("all").unwrap().len(), 18);
         assert!(select("e10").is_err());
         assert!(select("e99").is_err());
         assert!(select("").is_err());

@@ -1,7 +1,7 @@
 //! # ravel-harness — the parallel deterministic experiment harness
 //!
-//! The E1–E18 evaluation grid (DESIGN.md §5, plus the chaos grid) is
-//! embarrassingly parallel:
+//! The E1–E21 evaluation grid (DESIGN.md §5, plus the chaos and
+//! corruption grids) is embarrassingly parallel:
 //! every `(scheme, content, drop severity, seed)` cell is an independent,
 //! seed-deterministic session. This crate exploits that:
 //!
@@ -19,9 +19,12 @@
 //!   exactly once per run, and grid positions that repeat it (E1 and E2
 //!   share their entire grid) are served from the in-process cache.
 //!   `--no-cache` / [`PoolOptions`] restores cold execution.
-//! * [`experiments`] — E1–E18 ported to expansion + assembly form, plus
+//! * [`experiments`] — E1–E21 ported to expansion + assembly form, plus
 //!   the [`experiments::select`] registry the CLI uses and the
-//!   [`experiments::chaos_sweep`] generator behind `--chaos N`.
+//!   [`experiments::chaos_sweep`] / [`experiments::corrupt_sweep`]
+//!   generators behind `--chaos N` and `--corrupt N`. Cells may carry a
+//!   declarative recovery contract ([`ravel_pipeline::ContractSpec`]);
+//!   verdicts are evaluated per cell and failed clauses fail the run.
 //!   The pool is also the fault-isolation boundary: each simulation
 //!   runs under panic quarantine, the kernel's runaway guard, and an
 //!   optional wall-clock deadline, so one bad cell reports a
@@ -66,7 +69,10 @@ pub use pool::{
 };
 pub use ravel_obs::ObsMode;
 pub use report::{render_json, RunReport};
-pub use shrink::{shrink_cell, shrink_schedule, violating_timeline, MIN_SEGMENT};
+pub use shrink::{
+    corrupt_violating_timeline, shrink_cell, shrink_corrupt_cell, shrink_corrupt_schedule,
+    shrink_schedule, violating_timeline, MIN_SEGMENT,
+};
 pub use soak::{run_soak, soak_cell, SoakFailure, SoakOptions, SoakOutcome, SOAK_SESSION_LEN};
 pub use timeline::{record_json, render_timeline};
 

@@ -15,7 +15,13 @@
 //! N-cell seeded fault sweep. Any cell that fails — invariant
 //! violation, panic, runaway — is minimized with the shrinker and its
 //! reproducer spec is printed; the process then exits nonzero so CI
-//! gates on it.
+//! gates on it. Corrupt mode (`--corrupt N`) is the control-plane
+//! analogue: an N-cell seeded feedback-corruption sweep whose failures
+//! (invariant violations *or* broken recovery contracts) shrink to a
+//! minimal corruption schedule the same way.
+//!
+//! In every mode, cells that carry recovery contracts (E21, the corrupt
+//! sweep) report their verdicts; any failed clause fails the run.
 //!
 //! Soak mode (`--soak SECS`) streams randomized cells through the
 //! fault-isolated pool until the wall budget expires; see
@@ -29,16 +35,16 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use ravel_harness::{
-    default_jobs, experiments, render_json, render_timeline, run_soak, run_suite_opts, shrink_cell,
-    violating_timeline, BatchMode, CellRun, ObsMode, PoolOptions, RunReport, SoakOptions,
-    FIXTURE_FAULT_AT,
+    corrupt_violating_timeline, default_jobs, experiments, render_json, render_timeline, run_soak,
+    run_suite_opts, shrink_cell, shrink_corrupt_cell, violating_timeline, BatchMode, CellRun,
+    ObsMode, PoolOptions, RunReport, SoakOptions, FIXTURE_FAULT_AT,
 };
 use ravel_metrics::Table;
-use ravel_net::ChaosSchedule;
+use ravel_net::{ChaosSchedule, CorruptSchedule};
 use ravel_pipeline::InjectedFault;
 
 const USAGE: &str = "\
-ravel-harness — run the E1-E18 grid on a deterministic thread pool
+ravel-harness — run the E1-E21 grid on a deterministic thread pool
 
 USAGE:
     ravel-harness [OPTIONS]
@@ -59,6 +65,14 @@ OPTIONS:
     --chaos-seed S       first seed of the chaos sweep (default: 1);
                          cell i uses seed S+i, so (S, N) names the
                          sweep; requires --chaos
+    --corrupt N          run an N-cell seeded feedback-corruption sweep
+                         instead of the experiment grid; every cell
+                         carries a recovery contract, and any failure —
+                         invariant violation, broken contract clause,
+                         panic — is shrunk to a minimal corruption
+                         schedule and printed; exits nonzero
+    --corrupt-seed S     first seed of the corruption sweep (default:
+                         1); cell i uses seed S+i; requires --corrupt
     --soak SECS          stream seeded random chaos x impairment x
                          content cells through the fault-isolated pool
                          for SECS seconds of wall clock; prints merged
@@ -103,6 +117,8 @@ struct Args {
     experiments: Option<String>,
     chaos: Option<u64>,
     chaos_seed: Option<u64>,
+    corrupt: Option<u64>,
+    corrupt_seed: Option<u64>,
     soak: Option<u64>,
     soak_seed: Option<u64>,
     soak_cells: Option<u64>,
@@ -125,6 +141,8 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
         experiments: None,
         chaos: None,
         chaos_seed: None,
+        corrupt: None,
+        corrupt_seed: None,
         soak: None,
         soak_seed: None,
         soak_cells: None,
@@ -180,6 +198,22 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                     value("--chaos-seed")?
                         .parse()
                         .map_err(|_| "--chaos-seed expects an unsigned integer".to_string())?,
+                );
+            }
+            "--corrupt" => {
+                let n: u64 = value("--corrupt")?
+                    .parse()
+                    .map_err(|_| "--corrupt expects a positive cell count".to_string())?;
+                if n == 0 {
+                    return Err("--corrupt must be at least 1".into());
+                }
+                args.corrupt = Some(n);
+            }
+            "--corrupt-seed" => {
+                args.corrupt_seed = Some(
+                    value("--corrupt-seed")?
+                        .parse()
+                        .map_err(|_| "--corrupt-seed expects an unsigned integer".to_string())?,
                 );
             }
             "--soak" => {
@@ -254,15 +288,19 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
 fn validate(args: &Args) -> Result<(), String> {
     let modes = [
         args.chaos.is_some(),
+        args.corrupt.is_some(),
         args.soak.is_some(),
         args.fixture.is_some(),
     ];
     if modes.iter().filter(|&&on| on).count() > 1 {
-        return Err("--chaos, --soak and --fixture are mutually exclusive".into());
+        return Err("--chaos, --corrupt, --soak and --fixture are mutually exclusive".into());
     }
     if args.experiments.is_some() {
         if args.chaos.is_some() {
             return Err("--experiments cannot be combined with --chaos".into());
+        }
+        if args.corrupt.is_some() {
+            return Err("--experiments cannot be combined with --corrupt".into());
         }
         if args.soak.is_some() {
             return Err("--experiments cannot be combined with --soak".into());
@@ -273,6 +311,9 @@ fn validate(args: &Args) -> Result<(), String> {
     }
     if args.chaos_seed.is_some() && args.chaos.is_none() {
         return Err("--chaos-seed requires --chaos".into());
+    }
+    if args.corrupt_seed.is_some() && args.corrupt.is_none() {
+        return Err("--corrupt-seed requires --corrupt".into());
     }
     if args.soak_seed.is_some() && args.soak.is_none() {
         return Err("--soak-seed requires --soak".into());
@@ -316,6 +357,11 @@ fn main() -> ExitCode {
 
     let selected = if let Some(n) = args.chaos {
         vec![experiments::chaos_sweep(n, args.chaos_seed.unwrap_or(1))]
+    } else if let Some(n) = args.corrupt {
+        vec![experiments::corrupt_sweep(
+            n,
+            args.corrupt_seed.unwrap_or(1),
+        )]
     } else if let Some(fault) = args.fixture {
         vec![experiments::fixture(fault)]
     } else {
@@ -444,6 +490,75 @@ fn main() -> ExitCode {
         }
     }
 
+    // In corrupt mode, a cell fails on an invariant violation OR a
+    // broken recovery contract; either way the corruption schedule is
+    // shrunk to the minimal set of segments that still breaks it.
+    if args.corrupt.is_some() {
+        for (exp, run) in selected.iter().zip(&report.experiments) {
+            for (cell, cell_run) in exp.cells.iter().zip(&run.cells) {
+                let broken = cell_run.failed_contracts();
+                if cell_run.ok() && cell_run.result.violations.is_empty() && broken.is_empty() {
+                    continue;
+                }
+                violating_cells += 1;
+                println!(
+                    "FAILING CELL {} [{}]:",
+                    cell_run.label,
+                    cell_run.status.name()
+                );
+                if let Some(failure) = &cell_run.failure {
+                    println!("  {}", failure.detail);
+                }
+                for v in &cell_run.result.violations {
+                    println!("  {v}");
+                }
+                for verdict in &broken {
+                    println!("  contract {}: {}", verdict.name, verdict.detail);
+                }
+                let spec = cell
+                    .cfg
+                    .corrupt
+                    .expect("corrupt sweep cells always carry a spec");
+                let schedule = CorruptSchedule::generate(spec, cell.cfg.duration);
+                match shrink_corrupt_cell(cell, &schedule) {
+                    Some(min) => {
+                        println!(
+                            "minimal corruption reproducer (seed={} intensity={}, {} of {} segments):",
+                            spec.seed,
+                            spec.intensity,
+                            min.segments.len(),
+                            schedule.segments.len()
+                        );
+                        print!("{}", min.reproducer());
+                        println!("{}", corrupt_violating_timeline(cell, &min));
+                    }
+                    None => println!("  (failure did not reproduce under re-run)"),
+                }
+            }
+        }
+    }
+
+    // Recovery contracts gate every mode: a failed clause anywhere in
+    // the grid (E21 carries them by default) fails the run.
+    let failed_clauses: Vec<(&CellRun, &ravel_pipeline::ContractVerdict)> = report
+        .experiments
+        .iter()
+        .flat_map(|r| r.cells.iter())
+        .flat_map(|c| c.failed_contracts().into_iter().map(move |v| (c, v)))
+        .collect();
+    if !failed_clauses.is_empty() {
+        println!("=== contract failures ===");
+        let mut t = Table::new(&["cell", "contract", "detail"]);
+        for (run, verdict) in &failed_clauses {
+            t.row_owned(vec![
+                run.label.clone(),
+                verdict.name.to_string(),
+                verdict.detail.clone(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
     eprintln!(
         "{} cells ({} unique, {} executed, {} cache hits), {:.0} simulated seconds in {:.2} s wall ({:.1} sim-s/s, {:.2e} events/s, jobs={}, arena {} avoided / hw {})",
         stats.total_cells,
@@ -482,11 +597,23 @@ fn main() -> ExitCode {
     }
 
     if violating_cells > 0 {
-        eprintln!("error: {violating_cells} chaos cells failed");
+        let mode = if args.chaos.is_some() {
+            "chaos"
+        } else {
+            "corrupt"
+        };
+        eprintln!("error: {violating_cells} {mode} cells failed");
         return ExitCode::FAILURE;
     }
     if !failing.is_empty() {
         eprintln!("error: {} cells did not complete ok", failing.len());
+        return ExitCode::FAILURE;
+    }
+    if !failed_clauses.is_empty() {
+        eprintln!(
+            "error: {} recovery contract clauses failed",
+            failed_clauses.len()
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -539,6 +666,8 @@ mod tests {
         assert_eq!(a.experiments, None);
         assert_eq!(a.chaos, None);
         assert_eq!(a.chaos_seed, None);
+        assert_eq!(a.corrupt, None);
+        assert_eq!(a.corrupt_seed, None);
         assert_eq!(a.soak, None);
         assert_eq!(a.soak_seed, None);
         assert_eq!(a.deadline, None);
@@ -587,6 +716,24 @@ mod tests {
         assert_eq!(e, "--chaos must be at least 1");
         let e = parse(&["--chaos", "5", "--chaos-seed", "x"]).unwrap_err();
         assert_eq!(e, "--chaos-seed expects an unsigned integer");
+    }
+
+    #[test]
+    fn parses_corrupt_options() {
+        let a = parse(&["--corrupt", "40", "--corrupt-seed", "9", "--jobs", "4"]).unwrap();
+        assert_eq!(a.corrupt, Some(40));
+        assert_eq!(a.corrupt_seed, Some(9));
+        assert_eq!(a.jobs, 4);
+    }
+
+    #[test]
+    fn malformed_corrupt_is_a_clear_error() {
+        let e = parse(&["--corrupt", "lots"]).unwrap_err();
+        assert_eq!(e, "--corrupt expects a positive cell count");
+        let e = parse(&["--corrupt", "0"]).unwrap_err();
+        assert_eq!(e, "--corrupt must be at least 1");
+        let e = parse(&["--corrupt", "5", "--corrupt-seed", "x"]).unwrap_err();
+        assert_eq!(e, "--corrupt-seed expects an unsigned integer");
     }
 
     #[test]
@@ -700,6 +847,8 @@ mod tests {
     fn mode_seeds_require_their_mode() {
         let e = parse(&["--chaos-seed", "7"]).unwrap_err();
         assert_eq!(e, "--chaos-seed requires --chaos");
+        let e = parse(&["--corrupt-seed", "7"]).unwrap_err();
+        assert_eq!(e, "--corrupt-seed requires --corrupt");
         let e = parse(&["--soak-seed", "7"]).unwrap_err();
         assert_eq!(e, "--soak-seed requires --soak");
     }
@@ -707,11 +856,24 @@ mod tests {
     #[test]
     fn conflicting_modes_are_rejected() {
         let e = parse(&["--chaos", "5", "--soak", "10"]).unwrap_err();
-        assert_eq!(e, "--chaos, --soak and --fixture are mutually exclusive");
+        assert_eq!(
+            e,
+            "--chaos, --corrupt, --soak and --fixture are mutually exclusive"
+        );
         let e = parse(&["--soak", "10", "--fixture", "panic"]).unwrap_err();
-        assert_eq!(e, "--chaos, --soak and --fixture are mutually exclusive");
+        assert_eq!(
+            e,
+            "--chaos, --corrupt, --soak and --fixture are mutually exclusive"
+        );
+        let e = parse(&["--chaos", "5", "--corrupt", "5"]).unwrap_err();
+        assert_eq!(
+            e,
+            "--chaos, --corrupt, --soak and --fixture are mutually exclusive"
+        );
         let e = parse(&["--chaos", "5", "-e", "e1"]).unwrap_err();
         assert_eq!(e, "--experiments cannot be combined with --chaos");
+        let e = parse(&["--corrupt", "5", "-e", "e1"]).unwrap_err();
+        assert_eq!(e, "--experiments cannot be combined with --corrupt");
         let e = parse(&["--soak", "10", "-e", "e1"]).unwrap_err();
         assert_eq!(e, "--experiments cannot be combined with --soak");
         let e = parse(&["--fixture", "panic", "-e", "e1"]).unwrap_err();

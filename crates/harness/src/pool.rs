@@ -64,7 +64,8 @@ use std::time::{Duration, Instant};
 
 use ravel_obs::ObsMode;
 use ravel_pipeline::{
-    run_sessions_pooled, Invariant, KernelWorkspace, SessionConfig, SessionResult,
+    evaluate, run_sessions_pooled, ContractVerdict, Invariant, KernelWorkspace, SessionConfig,
+    SessionResult,
 };
 use ravel_trace::BandwidthTrace;
 
@@ -177,12 +178,24 @@ pub struct CellRun {
     /// The full session measurements ([`SessionResult::empty`] for
     /// panicked and timed-out cells, a truncated prefix for runaways).
     pub result: SessionResult,
+    /// Recovery-contract verdicts, evaluated from `result` when the
+    /// cell declares a [`ravel_pipeline::ContractSpec`] and the status
+    /// carries real metrics. Empty otherwise. Pure derivation: cache
+    /// hits re-evaluate from the cached result and land on identical
+    /// verdicts at any worker count.
+    pub contracts: Vec<ContractVerdict>,
 }
 
 impl CellRun {
     /// True when the cell completed normally.
     pub fn ok(&self) -> bool {
         self.status.is_ok()
+    }
+
+    /// The contract verdicts that failed (empty when the cell declares
+    /// no contract or every clause held).
+    pub fn failed_contracts(&self) -> Vec<&ContractVerdict> {
+        self.contracts.iter().filter(|v| !v.pass).collect()
     }
 }
 
@@ -460,6 +473,10 @@ fn make_run(cell: &Cell, wall: Duration, cache_hit: bool, outcome: &CellOutcome)
             SessionResult::empty(),
         ),
     };
+    let contracts = match &cell.contracts {
+        Some(spec) if status.has_metrics() => evaluate(spec, &result),
+        _ => Vec::new(),
+    };
     CellRun {
         label: cell.label.clone(),
         sim_secs: cell.cfg.duration.as_secs_f64(),
@@ -468,6 +485,7 @@ fn make_run(cell: &Cell, wall: Duration, cache_hit: bool, outcome: &CellOutcome)
         status,
         failure,
         result,
+        contracts,
     }
 }
 
@@ -760,6 +778,7 @@ mod tests {
                     label: format!("{}/{}", i, j),
                     trace: TraceSpec::Constant(rate),
                     cfg,
+                    contracts: None,
                 });
             }
         }
@@ -789,6 +808,7 @@ mod tests {
             label: label.into(),
             trace: TraceSpec::Constant(3e6),
             cfg,
+            contracts: None,
         }
     }
 
@@ -997,6 +1017,7 @@ mod tests {
             label: "slow".into(),
             trace: TraceSpec::Constant(3e6),
             cfg: slow_cfg,
+            contracts: None,
         });
         let (runs, _) = run_cells_opts(
             &cells,

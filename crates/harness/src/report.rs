@@ -2,9 +2,8 @@
 //!
 //! Serialized with the workspace's hand-rolled JSON module
 //! ([`ravel_trace::json`]) so offline builds never need serde. Schema
-//! (version 6 — version 5 plus the timing-gated arena counters
-//! `allocs_avoided` and `arena_high_water` from the batched workers'
-//! event-payload pools):
+//! (version 7 — version 6 plus the feedback-corruption counters and
+//! per-cell recovery-contract verdicts, all timing-free):
 //!
 //! ```json
 //! {
@@ -46,6 +45,22 @@
 //!           "rejected": 2,               // non-finite samples rejected
 //!                                        // by the metrics collectors;
 //!                                        // omitted when zero
+//!           "rejected_reports": 14,      // feedback reports the sender's
+//!                                        // validator refused; omitted
+//!                                        // when zero
+//!           "rejected_by_reason": {      // per-reason breakdown, fixed
+//!             "seq-warp": 9,             // order; omitted when empty
+//!             "non-monotone-time": 5
+//!           },
+//!           "feedback_corrupted": 17,    // reports mutated in flight;
+//!                                        // omitted when zero
+//!           "plis_suppressed": 1,        // PLIs rendered unparseable;
+//!                                        // omitted when zero
+//!           "contracts": [               // recovery-contract verdicts;
+//!             {"name": "recover-rate",   // omitted when the cell
+//!              "pass": true,             // declares no contract
+//!              "detail": "..."}
+//!           ],
 //!           "violations": []             // broken session invariants
 //!         }
 //!       ]
@@ -90,8 +105,14 @@ use crate::pool::{CellRun, PoolStats};
 /// `allocs_avoided` / `arena_high_water` aggregates from the batched
 /// workers' event-payload arenas: they depend on batch formation and
 /// worker scheduling, so — like `busy_ms` — they are omitted from the
-/// timing-free rendering.
-pub const SCHEMA_VERSION: f64 = 6.0;
+/// timing-free rendering. Version 7 added the control-plane corruption
+/// block — per-cell `rejected_reports`, `rejected_by_reason`,
+/// `feedback_corrupted`, `plis_suppressed` (each omitted when
+/// zero/empty, so clean grids keep their old byte layout) — and the
+/// per-cell `contracts` verdict array for cells that declare a recovery
+/// contract. All of it is deterministic simulation fact, inside the
+/// timing-free byte-identity contract.
+pub const SCHEMA_VERSION: f64 = 7.0;
 
 /// A whole harness invocation: every experiment that ran, plus pool
 /// accounting.
@@ -211,6 +232,59 @@ fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
         if all.rejected > 0 {
             fields.push(("rejected".to_string(), Json::Num(all.rejected as f64)));
         }
+        // Schema 7: the control-plane corruption block. Every field is
+        // omitted when zero/empty so grids without corruption keep the
+        // exact byte layout they had before the schema existed.
+        let r = &cell.result;
+        if r.rejected_reports > 0 {
+            fields.push((
+                "rejected_reports".to_string(),
+                Json::Num(r.rejected_reports as f64),
+            ));
+        }
+        if !r.rejected_by_reason.is_empty() {
+            fields.push((
+                "rejected_by_reason".to_string(),
+                Json::Obj(
+                    r.rejected_by_reason
+                        .iter()
+                        .map(|&(reason, n)| (reason.to_string(), Json::Num(n as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        if r.feedback_corrupted > 0 {
+            fields.push((
+                "feedback_corrupted".to_string(),
+                Json::Num(r.feedback_corrupted as f64),
+            ));
+        }
+        if r.plis_suppressed > 0 {
+            fields.push((
+                "plis_suppressed".to_string(),
+                Json::Num(r.plis_suppressed as f64),
+            ));
+        }
+    }
+    // Schema 7: recovery-contract verdicts, present only for cells that
+    // declare a contract. Pure derivation from the session result, so
+    // fully deterministic and timing-free.
+    if !cell.contracts.is_empty() {
+        fields.push((
+            "contracts".to_string(),
+            Json::Arr(
+                cell.contracts
+                    .iter()
+                    .map(|v| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(v.name.to_string())),
+                            ("pass".to_string(), Json::Bool(v.pass)),
+                            ("detail".to_string(), Json::Str(v.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
     // Invariant violations are pure simulation facts (deterministic
     // detail strings, no wall-clock content), so they belong in the
@@ -352,7 +426,7 @@ mod tests {
         };
         let timed = render_json(&report, true);
         let doc = parse(&timed).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(7.0));
         assert_eq!(doc.get("total_cells").and_then(Json::as_f64), Some(3.0));
         assert!(doc.get("unique_cells").and_then(Json::as_f64).is_some());
         assert!(doc.get("executed").and_then(Json::as_f64).is_some());
@@ -439,6 +513,7 @@ mod tests {
                 label: label.into(),
                 trace: TraceSpec::Constant(3e6),
                 cfg,
+                contracts: None,
             }
         };
         let cells = vec![
@@ -500,6 +575,56 @@ mod tests {
             .iter()
             .any(|v| v.as_str().unwrap().starts_with("runaway-termination")));
         // The timing-free rendering of a failing grid is reproducible.
+        assert_eq!(rendered, render_json(&report, false));
+    }
+
+    #[test]
+    fn corruption_block_and_contracts_render_in_schema_7() {
+        use crate::experiments::e21;
+
+        let exps = [e21()];
+        let (runs, stats) = run_suite_opts(&exps, 4, PoolOptions::default());
+        let report = RunReport {
+            jobs: 4,
+            total_wall: Duration::ZERO,
+            stats,
+            experiments: runs,
+        };
+        let rendered = render_json(&report, false);
+        let doc = parse(&rendered).unwrap();
+        let cells = doc.get("experiments").and_then(Json::as_array).unwrap()[0]
+            .get("cells")
+            .and_then(Json::as_array)
+            .unwrap();
+        // Every E21 cell declares the contract, so all four verdicts
+        // render per cell.
+        for cell in cells {
+            let contracts = cell.get("contracts").and_then(Json::as_array).unwrap();
+            assert_eq!(contracts.len(), 4);
+            for v in contracts {
+                assert!(v.get("name").and_then(Json::as_str).is_some());
+                assert!(v.get("pass").is_some());
+                assert!(v.get("detail").and_then(Json::as_str).is_some());
+            }
+        }
+        // The validator's work is visible: across the grid at least one
+        // cell reports rejections with a per-reason breakdown.
+        let any_rejected = cells.iter().any(|c| {
+            c.get("rejected_reports")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                > 0.0
+                && c.get("rejected_by_reason").is_some()
+        });
+        assert!(any_rejected, "{rendered}");
+        let any_corrupted = cells.iter().any(|c| {
+            c.get("feedback_corrupted")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                > 0.0
+        });
+        assert!(any_corrupted, "{rendered}");
+        // Deterministic timing-free rendering.
         assert_eq!(rendered, render_json(&report, false));
     }
 

@@ -13,9 +13,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ravel_net::ChaosSchedule;
+use ravel_net::{ChaosSchedule, CorruptSchedule};
 use ravel_obs::ObsMode;
-use ravel_pipeline::{run_session_chaos, run_session_chaos_obs};
+use ravel_pipeline::{
+    all_pass, evaluate, run_session_chaos, run_session_chaos_obs, run_session_corrupt,
+    run_session_corrupt_obs, SessionResult,
+};
 use ravel_sim::Dur;
 
 use crate::cell::Cell;
@@ -113,6 +116,108 @@ pub fn shrink_cell(cell: &Cell, schedule: &ChaosSchedule) -> Option<ChaosSchedul
     Some(shrink_schedule(schedule, violates))
 }
 
+/// Minimizes a feedback-corruption schedule while `violates` keeps
+/// returning `true` — the control-plane twin of [`shrink_schedule`],
+/// with the same two greedy fixpoint passes (segment removal, then
+/// duration halving down to [`MIN_SEGMENT`]).
+pub fn shrink_corrupt_schedule(
+    schedule: &CorruptSchedule,
+    mut violates: impl FnMut(&CorruptSchedule) -> bool,
+) -> CorruptSchedule {
+    let mut current = schedule.clone();
+
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.segments.len() {
+            let mut candidate = current.clone();
+            candidate.segments.remove(i);
+            if violates(&candidate) {
+                current = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    for i in 0..current.segments.len() {
+        loop {
+            let seg = &current.segments[i];
+            let dur = seg.until.saturating_since(seg.from);
+            let halved = Dur::from_secs_f64(dur.as_secs_f64() / 2.0);
+            if halved < MIN_SEGMENT {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.segments[i].until = candidate.segments[i].from + halved;
+            if violates(&candidate) {
+                current = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+
+    current
+}
+
+/// True when the finished session counts as failing for corruption
+/// shrinking: any invariant violation, or — when the cell declares a
+/// recovery contract — any failed contract clause. Contract failures
+/// matter here because a corruption schedule's usual damage is not a
+/// broken conservation law but a broken recovery promise.
+fn corrupt_fails(cell: &Cell, result: &SessionResult) -> bool {
+    if !result.violations.is_empty() {
+        return true;
+    }
+    match &cell.contracts {
+        Some(spec) => !all_pass(&evaluate(spec, result)),
+        None => false,
+    }
+}
+
+/// Shrinks the corruption schedule that made `cell` fail, re-running
+/// the seeded session per probe. A probe counts as failing on an
+/// invariant violation, a failed recovery-contract clause, or a panic
+/// (quarantined with `catch_unwind`). Returns `None` when the cell
+/// does not actually fail under the given schedule. The cell's chaos
+/// spec (if any) stays active throughout, so the minimized corruption
+/// schedule is valid in the exact environment that failed.
+pub fn shrink_corrupt_cell(cell: &Cell, schedule: &CorruptSchedule) -> Option<CorruptSchedule> {
+    let violates = |s: &CorruptSchedule| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let result = run_session_corrupt(cell.trace.build(), cell.cfg, Some(s.clone()));
+            corrupt_fails(cell, &result)
+        }))
+        .unwrap_or(true)
+    };
+    if !violates(schedule) {
+        return None;
+    }
+    Some(shrink_corrupt_schedule(schedule, violates))
+}
+
+/// [`violating_timeline`]'s corruption twin: re-runs the cell under the
+/// (minimized) corruption schedule with full observability and renders
+/// the timeline digest.
+pub fn corrupt_violating_timeline(cell: &Cell, schedule: &CorruptSchedule) -> String {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_session_corrupt_obs(
+            cell.trace.build(),
+            cell.cfg,
+            Some(schedule.clone()),
+            ObsMode::Full,
+        )
+        .obs
+        .digest(&cell.label)
+    }))
+    .unwrap_or_else(|_| format!("{}: (session panicked; no timeline)\n", cell.label))
+}
+
 /// Re-runs the cell's seeded session under `schedule` with full
 /// observability and renders the timeline digest — the event-level bug
 /// report that accompanies a minimized reproducer. Deterministic: the
@@ -139,7 +244,7 @@ pub fn violating_timeline(cell: &Cell, schedule: &ChaosSchedule) -> String {
 mod tests {
     use super::*;
     use crate::cell::TraceSpec;
-    use ravel_net::{FaultKind, FaultSegment};
+    use ravel_net::{CorruptKind, CorruptSegment, FaultKind, FaultSegment};
     use ravel_pipeline::{InjectedFault, Scheme, SessionConfig};
     use ravel_sim::Time;
 
@@ -197,6 +302,7 @@ mod tests {
             label: "boom".into(),
             trace: TraceSpec::Constant(3e6),
             cfg,
+            contracts: None,
         };
         let sched = ChaosSchedule::from_segments(vec![seg(1, 2), seg(3, 4)]);
         let min = shrink_cell(&cell, &sched).expect("a panicking probe counts as failing");
@@ -217,5 +323,85 @@ mod tests {
         let b = shrink_schedule(&sched, oracle);
         assert_eq!(a, b);
         assert_eq!(a.segments.len(), 2);
+    }
+
+    fn cseg(from_s: u64, until_s: u64) -> CorruptSegment {
+        CorruptSegment {
+            from: Time::from_secs(from_s),
+            until: Time::from_secs(until_s),
+            kind: CorruptKind::Truncate,
+            rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn corrupt_shrinker_drops_irrelevant_segments_and_halves() {
+        let sched = CorruptSchedule::from_segments(vec![cseg(2, 3), cseg(8, 16), cseg(20, 21)]);
+        // Oracle: violates iff a segment at least 1 s long overlaps
+        // t=10 s.
+        let min = shrink_corrupt_schedule(&sched, |s| {
+            s.segments.iter().any(|g| {
+                g.from <= Time::from_secs(10)
+                    && g.until >= Time::from_secs(10)
+                    && g.until.saturating_since(g.from) >= Dur::SECOND
+            })
+        });
+        assert_eq!(min.segments.len(), 1);
+        assert_eq!(min.segments[0].from, Time::from_secs(8));
+        let dur = min.segments[0].until.saturating_since(min.segments[0].from);
+        assert_eq!(
+            dur,
+            Dur::secs(2),
+            "8s halves to 4s then 2s; 1s no longer spans t=10"
+        );
+    }
+
+    #[test]
+    fn corrupt_cell_shrinks_against_its_contract() {
+        // A cell whose recovery contract is impossible (demands full
+        // pre-drop rate within 1 s of a 4x drop) fails under ANY
+        // schedule, so the shrinker must strip every corruption segment.
+        let mut cfg = SessionConfig::default_with(Scheme::adaptive());
+        cfg.duration = Dur::secs(20);
+        cfg.record_series = true;
+        let cell = Cell {
+            label: "impossible".into(),
+            trace: TraceSpec::SuddenDrop {
+                pre_bps: 4e6,
+                after_bps: 1e6,
+                at: Time::from_secs(10),
+            },
+            cfg,
+            contracts: Some(
+                ravel_pipeline::ContractSpec {
+                    recover_fraction: 4.0,
+                    ..ravel_pipeline::ContractSpec::for_drop(Time::from_secs(10), 1e6)
+                }
+                .with_recover_within(Dur::SECOND),
+            ),
+        };
+        let sched = CorruptSchedule::from_segments(vec![cseg(2, 4), cseg(6, 8)]);
+        let min = shrink_corrupt_cell(&cell, &sched).expect("contract failure counts");
+        assert!(min.is_empty(), "{}", min.reproducer());
+        // And the timeline digest for the minimized schedule renders.
+        let digest = corrupt_violating_timeline(&cell, &min);
+        assert!(
+            digest.starts_with("== timeline digest: impossible =="),
+            "{digest}"
+        );
+    }
+
+    #[test]
+    fn healthy_corrupt_cell_yields_no_reproducer() {
+        let mut cfg = SessionConfig::default_with(Scheme::adaptive());
+        cfg.duration = Dur::secs(10);
+        let cell = Cell {
+            label: "fine".into(),
+            trace: TraceSpec::Constant(3e6),
+            cfg,
+            contracts: None,
+        };
+        let sched = CorruptSchedule::from_segments(vec![cseg(2, 4)]);
+        assert!(shrink_corrupt_cell(&cell, &sched).is_none());
     }
 }

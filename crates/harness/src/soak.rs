@@ -16,14 +16,17 @@
 //! Soak cells reuse the chaos calibration: 30 s adaptive sessions
 //! (faults confined to the first 60 %, so the post-fault recovery
 //! invariants stay checkable) over randomized traces, content classes,
-//! reverse-path impairments, and watchdog settings.
+//! reverse-path impairments, watchdog settings, and feedback-corruption
+//! schedules (the control-plane fault axis). Failing cells that carry a
+//! corruption schedule get a shrunk corruption reproducer alongside the
+//! chaos one.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use ravel_core::WatchdogConfig;
-use ravel_net::{ChaosSchedule, ChaosSpec, ReversePathConfig};
+use ravel_net::{ChaosSchedule, ChaosSpec, CorruptSchedule, CorruptSpec, ReversePathConfig};
 use ravel_obs::ObsMode;
 use ravel_pipeline::{Scheme, SessionConfig};
 use ravel_sim::{Dur, Rng, Time};
@@ -31,7 +34,7 @@ use ravel_video::ContentClass;
 
 use crate::cell::{Cell, TraceSpec};
 use crate::pool::{run_cells_opts, BatchMode, CellRun, CellStatus, PoolOptions, PoolStats};
-use crate::shrink::shrink_cell;
+use crate::shrink::{shrink_cell, shrink_corrupt_cell};
 
 /// RNG substream tag for soak cell generation (distinct from the chaos
 /// schedule's `0xC4A0` and the session substreams).
@@ -218,10 +221,19 @@ pub fn soak_cell(soak_seed: u64, index: u64) -> Cell {
             cfg.reverse_delay * 2,
         ));
     }
+    // The corruption axis draws LAST so adding it left every
+    // pre-existing soak cell's trace/chaos/impairment draws untouched.
+    if rng.chance(0.35) {
+        cfg.corrupt = Some(CorruptSpec::new(
+            rng.next_u64() >> 32,
+            rng.uniform_in(0.1, 1.0),
+        ));
+    }
     Cell {
         label: format!("soak/s{soak_seed}/c{index}"),
         trace,
         cfg,
+        contracts: None,
     }
 }
 
@@ -252,10 +264,19 @@ fn absorb(outcome: &mut SoakOutcome, first_index: u64, cells: &[Cell], runs: &[C
         for v in &run.result.violations {
             let _ = writeln!(detail, "{v}");
         }
-        let reproducer = cell.cfg.chaos.and_then(|spec| {
+        let chaos_repro = cell.cfg.chaos.and_then(|spec| {
             let schedule = ChaosSchedule::generate(spec, cell.cfg.duration);
             shrink_cell(cell, &schedule).map(|min| min.reproducer())
         });
+        let corrupt_repro = cell.cfg.corrupt.and_then(|spec| {
+            let schedule = CorruptSchedule::generate(spec, cell.cfg.duration);
+            shrink_corrupt_cell(cell, &schedule)
+                .map(|min| format!("corrupt:\n{}", min.reproducer()))
+        });
+        let reproducer = match (chaos_repro, corrupt_repro) {
+            (None, None) => None,
+            (a, b) => Some([a, b].into_iter().flatten().collect::<String>()),
+        };
         outcome.failures.push(SoakFailure {
             index,
             label: run.label.clone(),
@@ -379,6 +400,8 @@ mod tests {
             .any(|c| matches!(c.trace, TraceSpec::LteLike { .. })));
         assert!(cells.iter().any(|c| c.cfg.chaos.is_some()));
         assert!(cells.iter().any(|c| c.cfg.chaos.is_none()));
+        assert!(cells.iter().any(|c| c.cfg.corrupt.is_some()));
+        assert!(cells.iter().any(|c| c.cfg.corrupt.is_none()));
         assert!(cells.iter().any(|c| c.cfg.watchdog.is_some()));
         assert!(cells.iter().any(|c| c.cfg.watchdog.is_none()));
         assert!(cells.iter().any(|c| c.cfg.reverse_path.loss > 0.0));

@@ -83,6 +83,10 @@ pub fn record_json(cell: &str, rec: &ObsRecord) -> Json {
             push("name", Json::Str(name.to_string()));
             push("detail", Json::Str(detail.clone()));
         }
+        ObsEvent::FeedbackRejected { report_seq, reason } => {
+            push("report_seq", num(*report_seq as f64));
+            push("reason", Json::Str(reason.to_string()));
+        }
     }
     Json::Obj(fields)
 }

@@ -28,6 +28,7 @@ fn broken_cell() -> Cell {
         label: "broken-invariant".to_string(),
         trace: TraceSpec::Constant(4e6),
         cfg,
+        contracts: None,
     }
 }
 

@@ -28,6 +28,7 @@ fn smoke_grid() -> Experiment {
                     at: Time::from_secs(3),
                 },
                 cfg,
+                contracts: None,
             });
         }
     }
@@ -245,6 +246,7 @@ fn mixed_duration_grid_batches_without_divergence() {
                 at: Time::from_secs(2),
             },
             cfg,
+            contracts: None,
         });
     }
     let mk = || {

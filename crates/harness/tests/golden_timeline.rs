@@ -1,8 +1,9 @@
 //! Golden-timeline snapshot tests.
 //!
-//! Four representative cells — the first grid position of E1 (sudden
-//! drop), E3 (scheme comparison), E17 (feedback impairment + watchdog)
-//! and E18 (data-plane chaos) — run with `--obs full` over a shortened
+//! Five representative cells — the first grid position of E1 (sudden
+//! drop), E3 (scheme comparison), E17 (feedback impairment + watchdog),
+//! E18 (data-plane chaos) and E21 (control-plane feedback corruption)
+//! — run with `--obs full` over a shortened
 //! 12 s session, and their timeline digests are compared byte-for-byte
 //! against checked-in snapshots in `tests/golden/`. The digests must
 //! also be byte-identical at any pool width and when served from the
@@ -27,7 +28,7 @@ use ravel_sim::Dur;
 /// keep the snapshots readable and the test fast.
 const GOLDEN_LEN: Dur = Dur::secs(12);
 
-const GOLDEN: [&str; 4] = ["e1", "e3", "e17", "e18"];
+const GOLDEN: [&str; 5] = ["e1", "e3", "e17", "e18", "e21"];
 
 fn golden_cells() -> Vec<Cell> {
     let shorten = |mut cell: Cell| {
@@ -39,6 +40,11 @@ fn golden_cells() -> Vec<Cell> {
         shorten(experiments::e3().cells[0].clone()),
         shorten(experiments::e17().cells[0].clone()),
         shorten(experiments::e18().cells[0].clone()),
+        // Shortening regenerates the corruption schedule for the 12 s
+        // window (CorruptSchedule::generate windows segments to a
+        // fraction of the session length), so corruption still lands
+        // inside the snapshot.
+        shorten(experiments::e21().cells[0].clone()),
     ]
 }
 

@@ -339,8 +339,9 @@ impl ChaosSchedule {
 }
 
 /// Parses `Time`'s display form — seconds with exactly six decimals —
-/// back to the integer-microsecond instant, digit-exactly.
-fn parse_instant(s: &str) -> Result<Time, String> {
+/// back to the integer-microsecond instant, digit-exactly. Shared with
+/// the control-plane corruption module's reproducer parser.
+pub(crate) fn parse_instant(s: &str) -> Result<Time, String> {
     let bad = || format!("malformed instant '{s}' (want seconds with 6 decimals)");
     let (whole, frac) = s.split_once('.').ok_or_else(bad)?;
     if frac.len() != 6 {
@@ -369,14 +370,14 @@ fn parse_span(s: &str) -> Result<Dur, String> {
 }
 
 /// Parses one `key=value` detail field out of `detail`.
-fn field<'a>(detail: &'a str, key: &str) -> Result<&'a str, String> {
+pub(crate) fn field<'a>(detail: &'a str, key: &str) -> Result<&'a str, String> {
     detail
         .split_whitespace()
         .find_map(|pair| pair.strip_prefix(key).and_then(|p| p.strip_prefix('=')))
         .ok_or_else(|| format!("missing field '{key}' in '{detail}'"))
 }
 
-fn num<T: std::str::FromStr>(detail: &str, key: &str) -> Result<T, String> {
+pub(crate) fn num<T: std::str::FromStr>(detail: &str, key: &str) -> Result<T, String> {
     field(detail, key)?
         .parse()
         .map_err(|_| format!("malformed field '{key}' in '{detail}'"))

@@ -1,0 +1,889 @@
+//! Control-plane corruption: seeded field-level mutation of in-flight
+//! feedback, plus the sender-side validator that contains it.
+//!
+//! [`chaos`](crate::chaos) attacks the forward data path and
+//! [`impair`](crate::impair) makes reverse-path messages *absent*
+//! (lost, late, duplicated). This module covers the remaining fault
+//! class: reverse-path messages that **arrive but lie**. A
+//! [`CorruptSchedule`] is a reproducible timeline of corruption
+//! segments generated from `(seed, intensity)`; while a segment is
+//! active, [`FeedbackCorruptor`] mutates delivered
+//! [`FeedbackReport`]s at the field level:
+//!
+//! * **Seq replay** — `report_seq` warped backwards, replaying an
+//!   already-processed report number.
+//! * **Seq warp** — `report_seq` jumped far forward, which would poison
+//!   the sender's freshness gate if accepted.
+//! * **Time warp** — `generated_at` pulled backwards, breaking report
+//!   monotonicity (and putting arrivals in the report's future).
+//! * **Arrival-before-send** — a received packet's echoed send time
+//!   pushed past its arrival, inverting the one-way-delay sign.
+//! * **Size bomb** — a received packet's size zeroed or inflated to an
+//!   absurd value, wrecking any rate computed from reported bytes.
+//! * **Truncate** — an interior packet removed, tearing the report's
+//!   contiguous sequence range.
+//! * **Forge** — a fabricated packet appended past the report's range.
+//!
+//! PLI messages have no mutable fields worth lying about, so corruption
+//! renders them unparseable: [`FeedbackCorruptor::suppress_pli`] eats
+//! them with the segment's rate.
+//!
+//! The same passthrough discipline as the other fault stages applies:
+//! an empty schedule — and every instant outside an active segment —
+//! consumes **zero** RNG draws, so sessions without corruption stay
+//! byte-identical.
+//!
+//! [`FeedbackValidator`] is the defense: a stateful sanitizer the
+//! session runs on every arriving report *before* the congestion
+//! controller, the drop detector, or the watchdog sees it. It never
+//! rejects a report an honest [`FeedbackBuilder`](crate::FeedbackBuilder)
+//! can produce (a property test pins this), and it counts rejections by
+//! reason so harness reports can break garbage feedback down.
+
+use ravel_sim::{Dur, Rng, Time};
+
+use crate::chaos::{num, parse_instant};
+use crate::feedback::{FeedbackReport, PacketResult};
+
+/// RNG substream tag for control-plane corruption (distinct from the
+/// forward link's `0x11F0`, the reverse path's `0x2EF0`, and forward
+/// chaos' `0xC4A0`).
+const CORRUPT_STREAM: u64 = 0xFEED;
+
+/// Largest forward jump in `report_seq` the validator accepts past the
+/// newest processed report. Honest senders see gaps only from dropped
+/// reports — bounded by session length over the feedback interval, far
+/// below this.
+pub const MAX_SEQ_JUMP: u64 = 10_000;
+
+/// Largest per-packet size the validator accepts, in bytes. Honest
+/// packets are MTU-bounded (~1.5 kB); 16 MiB is absurd for any of them.
+pub const MAX_PACKET_BYTES: u64 = 1 << 24;
+
+/// Everything needed to reproduce a corruption run: a schedule seed and
+/// an overall severity knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptSpec {
+    /// Seed of the schedule's RNG substream.
+    pub seed: u64,
+    /// Severity in `(0, 1]`: scales segment count and duration.
+    pub intensity: f64,
+}
+
+impl CorruptSpec {
+    /// A corruption spec. Panics unless `intensity` is in `(0, 1]`.
+    pub fn new(seed: u64, intensity: f64) -> CorruptSpec {
+        assert!(
+            intensity > 0.0 && intensity <= 1.0,
+            "CorruptSpec: intensity must be in (0, 1], got {intensity}"
+        );
+        CorruptSpec { seed, intensity }
+    }
+}
+
+/// One kind of control-plane corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// `report_seq` warped backwards (replay of an old report number).
+    SeqReplay,
+    /// `report_seq` jumped far forward.
+    SeqWarp,
+    /// `generated_at` pulled backwards in time.
+    TimeWarp,
+    /// A received packet's send time pushed past its arrival.
+    ArrivalBeforeSend,
+    /// A received packet's size zeroed or inflated absurdly.
+    SizeBomb,
+    /// An interior packet removed from the report.
+    Truncate,
+    /// A fabricated packet appended past the report's range.
+    Forge,
+}
+
+impl CorruptKind {
+    /// Stable kind name, used in reproducer specs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorruptKind::SeqReplay => "seq-replay",
+            CorruptKind::SeqWarp => "seq-warp",
+            CorruptKind::TimeWarp => "time-warp",
+            CorruptKind::ArrivalBeforeSend => "arrival-before-send",
+            CorruptKind::SizeBomb => "size-bomb",
+            CorruptKind::Truncate => "truncate",
+            CorruptKind::Forge => "forge",
+        }
+    }
+}
+
+/// A corruption mode active over `[from, until)` with a per-message
+/// mutation probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptSegment {
+    /// First instant of the segment (inclusive).
+    pub from: Time,
+    /// End of the segment (exclusive).
+    pub until: Time,
+    /// How delivered feedback is mutated.
+    pub kind: CorruptKind,
+    /// Probability that a message crossing the segment is mutated.
+    pub rate: f64,
+}
+
+impl CorruptSegment {
+    /// True if the segment is active at `at`.
+    pub fn active(&self, at: Time) -> bool {
+        self.from <= at && at < self.until
+    }
+}
+
+/// A reproducible timeline of control-plane corruption.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CorruptSchedule {
+    /// The corruption segments, sorted by `(from, until)` when generated
+    /// (explicitly-built schedules keep their caller's order). When
+    /// segments overlap, the earliest-starting one decides a message's
+    /// fate.
+    pub segments: Vec<CorruptSegment>,
+}
+
+impl CorruptSchedule {
+    /// The empty schedule: no corruption, exact passthrough.
+    pub fn empty() -> CorruptSchedule {
+        CorruptSchedule::default()
+    }
+
+    /// Builds a schedule from explicit segments (tests, shrinking).
+    pub fn from_segments(segments: Vec<CorruptSegment>) -> CorruptSchedule {
+        CorruptSchedule { segments }
+    }
+
+    /// Generates the schedule for `spec` over a session of `session_len`.
+    ///
+    /// Deterministic: the same `(seed, intensity, session_len)` always
+    /// yields the same segments. Like forward chaos, segments are
+    /// confined to the `[15%, 60%]` window of the session so every
+    /// schedule leaves a clean tail in which recovery is checkable, and
+    /// they come out sorted by `(from, until)`.
+    pub fn generate(spec: CorruptSpec, session_len: Dur) -> CorruptSchedule {
+        let mut rng = Rng::substream(spec.seed, CORRUPT_STREAM);
+        let len = session_len.as_secs_f64();
+        let window_start = 0.15 * len;
+        let window_end = 0.60 * len;
+        let count = 1 + (spec.intensity * 5.0).floor() as usize;
+        let mut segments = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = match rng.below(7) {
+                0 => CorruptKind::SeqReplay,
+                1 => CorruptKind::SeqWarp,
+                2 => CorruptKind::TimeWarp,
+                3 => CorruptKind::ArrivalBeforeSend,
+                4 => CorruptKind::SizeBomb,
+                5 => CorruptKind::Truncate,
+                _ => CorruptKind::Forge,
+            };
+            let start = rng.uniform_in(window_start, window_end);
+            let max_len = (window_end - start).max(0.05);
+            let dur = (0.3 + 2.2 * spec.intensity * rng.uniform()).clamp(0.05, max_len);
+            let rate = 0.6 + 0.4 * rng.uniform();
+            let from = Time::ZERO + Dur::from_secs_f64(start);
+            segments.push(CorruptSegment {
+                from,
+                until: from + Dur::from_secs_f64(dur),
+                kind,
+                rate,
+            });
+        }
+        segments.sort_by_key(|seg| (seg.from, seg.until));
+        CorruptSchedule { segments }
+    }
+
+    /// True if the schedule corrupts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// End of the last segment, if any.
+    pub fn last_segment_end(&self) -> Option<Time> {
+        self.segments.iter().map(|s| s.until).max()
+    }
+
+    /// A human-readable reproducer spec: one line per segment. Printed
+    /// by the shrinker as the minimal failing schedule.
+    pub fn reproducer(&self) -> String {
+        if self.segments.is_empty() {
+            return "  (empty schedule)\n".to_string();
+        }
+        let mut out = String::new();
+        for seg in &self.segments {
+            out.push_str(&format!(
+                "  {} [{} .. {}] rate={}\n",
+                seg.kind.name(),
+                seg.from,
+                seg.until,
+                seg.rate
+            ));
+        }
+        out
+    }
+
+    /// Parses a [`CorruptSchedule::reproducer`] spec back into a
+    /// schedule — the exact inverse for every schedule the generator can
+    /// produce, like [`ChaosSchedule`](crate::ChaosSchedule)'s.
+    pub fn parse_reproducer(text: &str) -> Result<CorruptSchedule, String> {
+        let mut segments = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "(empty schedule)" {
+                continue;
+            }
+            let (name, rest) = line
+                .split_once(" [")
+                .ok_or_else(|| format!("malformed segment line '{line}'"))?;
+            let (span, detail) = rest
+                .split_once(']')
+                .ok_or_else(|| format!("unterminated time span in '{line}'"))?;
+            let (from, until) = span
+                .split_once(" .. ")
+                .ok_or_else(|| format!("malformed time span '{span}'"))?;
+            segments.push(CorruptSegment {
+                from: parse_instant(from)?,
+                until: parse_instant(until)?,
+                kind: parse_corrupt_kind(name)?,
+                rate: num(detail.trim(), "rate")?,
+            });
+        }
+        Ok(CorruptSchedule { segments })
+    }
+}
+
+fn parse_corrupt_kind(name: &str) -> Result<CorruptKind, String> {
+    match name {
+        "seq-replay" => Ok(CorruptKind::SeqReplay),
+        "seq-warp" => Ok(CorruptKind::SeqWarp),
+        "time-warp" => Ok(CorruptKind::TimeWarp),
+        "arrival-before-send" => Ok(CorruptKind::ArrivalBeforeSend),
+        "size-bomb" => Ok(CorruptKind::SizeBomb),
+        "truncate" => Ok(CorruptKind::Truncate),
+        "forge" => Ok(CorruptKind::Forge),
+        other => Err(format!("unknown corruption kind '{other}'")),
+    }
+}
+
+/// Per-message corruption applied at the reverse path's send boundary.
+///
+/// RNG draws are only consumed while a segment is active, so the clean
+/// head and tail of a corrupted session — and all of a session with an
+/// empty schedule — consume zero draws.
+#[derive(Debug, Clone)]
+pub struct FeedbackCorruptor {
+    schedule: CorruptSchedule,
+    rng: Rng,
+    corrupted: u64,
+    plis_suppressed: u64,
+}
+
+impl FeedbackCorruptor {
+    /// Creates the corruption stage for `schedule`, seeded from the
+    /// session seed on the corruption substream.
+    pub fn new(schedule: CorruptSchedule, seed: u64) -> FeedbackCorruptor {
+        FeedbackCorruptor {
+            schedule,
+            rng: Rng::substream(seed, CORRUPT_STREAM),
+            corrupted: 0,
+            plis_suppressed: 0,
+        }
+    }
+
+    /// The schedule this stage applies.
+    pub fn schedule(&self) -> &CorruptSchedule {
+        &self.schedule
+    }
+
+    /// Reports mutated so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// PLI messages rendered unparseable so far.
+    pub fn plis_suppressed(&self) -> u64 {
+        self.plis_suppressed
+    }
+
+    fn active(&self, at: Time) -> Option<(CorruptKind, f64)> {
+        self.schedule
+            .segments
+            .iter()
+            .find(|s| s.active(at))
+            .map(|s| (s.kind, s.rate))
+    }
+
+    /// Mutates one delivered report copy in place. Returns the applied
+    /// kind's name, or `None` when no segment is active or the rate draw
+    /// passes the message through untouched.
+    pub fn corrupt(&mut self, report: &mut FeedbackReport, now: Time) -> Option<&'static str> {
+        let (kind, rate) = self.active(now)?;
+        if !self.rng.chance(rate) {
+            return None;
+        }
+        self.corrupted += 1;
+        match kind {
+            CorruptKind::SeqReplay => {
+                report.report_seq = report.report_seq.saturating_sub(1 + self.rng.below(8));
+            }
+            CorruptKind::SeqWarp => {
+                report.report_seq = report
+                    .report_seq
+                    .wrapping_add(1_000_000 + self.rng.below(1_000));
+            }
+            CorruptKind::TimeWarp => {
+                let half = report.generated_at.since(Time::ZERO).as_secs_f64() * 0.5;
+                report.generated_at = Time::ZERO + Dur::from_secs_f64(half);
+            }
+            CorruptKind::ArrivalBeforeSend => {
+                if let Some(p) = report.packets.iter_mut().find(|p| p.arrival.is_some()) {
+                    p.send_time = p.arrival.expect("found received") + Dur::millis(1);
+                }
+            }
+            CorruptKind::SizeBomb => {
+                let absurd = self.rng.chance(0.5);
+                if let Some(p) = report.packets.iter_mut().find(|p| p.arrival.is_some()) {
+                    p.size_bytes = if absurd { 1 << 30 } else { 0 };
+                }
+            }
+            CorruptKind::Truncate => {
+                if report.packets.len() >= 3 {
+                    let mid = report.packets.len() / 2;
+                    report.packets.remove(mid);
+                }
+            }
+            CorruptKind::Forge => {
+                let last = report.packets.last().map_or(0, |p| p.seq);
+                report.packets.push(PacketResult {
+                    seq: last + 2 + self.rng.below(16),
+                    send_time: report.generated_at,
+                    arrival: Some(report.generated_at),
+                    size_bytes: 1250,
+                });
+            }
+        }
+        Some(kind.name())
+    }
+
+    /// Decides whether a PLI crossing the reverse path at `now` is
+    /// rendered unparseable (dropped at the sender).
+    pub fn suppress_pli(&mut self, now: Time) -> bool {
+        let Some((_, rate)) = self.active(now) else {
+            return false;
+        };
+        let hit = self.rng.chance(rate);
+        if hit {
+            self.plis_suppressed += 1;
+        }
+        hit
+    }
+}
+
+/// Rejection reasons, in the fixed order reports break them down.
+pub const REJECT_REASONS: [&str; 8] = [
+    "empty-report",
+    "seq-warp",
+    "non-monotone-time",
+    "non-contiguous-seq",
+    "arrival-before-send",
+    "future-arrival",
+    "zero-size",
+    "absurd-size",
+];
+
+/// Sender-side report sanitizer.
+///
+/// The session runs [`FeedbackValidator::check`] on every report that
+/// survives the duplicate/stale gate, *before* the congestion
+/// controller, the drop detector, or the watchdog sees it. A rejected
+/// report is dropped on the floor: it neither advances the freshness
+/// gate nor resets the watchdog's feedback deadline, so sustained
+/// garbage trips `Degraded` exactly like silence does.
+///
+/// The validator accepts every report an honest
+/// [`FeedbackBuilder`](crate::FeedbackBuilder) can produce (zero false
+/// positives, property-tested), and its only state is the newest
+/// accepted `generated_at` — updated on accept only, so one rejected
+/// report cannot poison the monotonicity baseline for the next.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackValidator {
+    last_generated_at: Time,
+    counts: [u64; REJECT_REASONS.len()],
+}
+
+impl FeedbackValidator {
+    /// A fresh validator: nothing accepted, nothing rejected.
+    pub fn new() -> FeedbackValidator {
+        FeedbackValidator::default()
+    }
+
+    /// Validates `report` against the newest accepted report sequence
+    /// (`last_report_seq`, `None` before the first accept). `Ok` means
+    /// the report is internally consistent and safe to consume; `Err`
+    /// names the (counted) rejection reason.
+    pub fn check(
+        &mut self,
+        report: &FeedbackReport,
+        last_report_seq: Option<u64>,
+    ) -> Result<(), &'static str> {
+        match self.find_violation(report, last_report_seq) {
+            Some(reason) => {
+                let idx = REJECT_REASONS
+                    .iter()
+                    .position(|r| *r == reason)
+                    .expect("reason is registered");
+                self.counts[idx] += 1;
+                Err(reason)
+            }
+            None => {
+                self.last_generated_at = report.generated_at;
+                Ok(())
+            }
+        }
+    }
+
+    fn find_violation(
+        &self,
+        report: &FeedbackReport,
+        last_report_seq: Option<u64>,
+    ) -> Option<&'static str> {
+        if report.packets.is_empty() {
+            // An honest flush with nothing to report returns `None`
+            // instead of an empty report.
+            return Some("empty-report");
+        }
+        let newest = last_report_seq.unwrap_or(0);
+        if report.report_seq > newest + MAX_SEQ_JUMP {
+            return Some("seq-warp");
+        }
+        if report.generated_at < self.last_generated_at {
+            return Some("non-monotone-time");
+        }
+        let first_seq = report.packets[0].seq;
+        for (expected, p) in (first_seq..).zip(&report.packets) {
+            if p.seq != expected {
+                return Some("non-contiguous-seq");
+            }
+            if let Some(arrival) = p.arrival {
+                if arrival < p.send_time {
+                    return Some("arrival-before-send");
+                }
+                if arrival > report.generated_at {
+                    return Some("future-arrival");
+                }
+                if p.size_bytes == 0 {
+                    return Some("zero-size");
+                }
+                if p.size_bytes > MAX_PACKET_BYTES {
+                    return Some("absurd-size");
+                }
+            }
+        }
+        None
+    }
+
+    /// Total reports rejected.
+    pub fn rejected(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Nonzero rejection counts in [`REJECT_REASONS`] order.
+    pub fn by_reason(&self) -> Vec<(&'static str, u64)> {
+        REJECT_REASONS
+            .iter()
+            .zip(self.counts)
+            .filter(|&(_, n)| n > 0)
+            .map(|(r, n)| (*r, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::FeedbackBuilder;
+    use crate::packet::{MediaKind, Packet};
+
+    fn pkt(seq: u64, send_ms: u64) -> Packet {
+        Packet {
+            kind: MediaKind::Video,
+            seq,
+            frame_index: 0,
+            fragment: 0,
+            num_fragments: 1,
+            size_bytes: 1250,
+            pts: Time::ZERO,
+            send_time: Time::from_millis(send_ms),
+            is_keyframe: false,
+        }
+    }
+
+    /// A small honest report: seqs `0..n` arriving 10 ms apart.
+    fn honest_report(n: u64) -> FeedbackReport {
+        let mut fb = FeedbackBuilder::new();
+        for seq in 0..n {
+            fb.on_packet(&pkt(seq, seq * 10), Time::from_millis(30 + seq * 10));
+        }
+        fb.flush(Time::from_millis(100 + n * 10))
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed_and_intensity() {
+        let spec = CorruptSpec::new(42, 0.7);
+        let a = CorruptSchedule::generate(spec, Dur::secs(30));
+        let b = CorruptSchedule::generate(spec, Dur::secs(30));
+        assert_eq!(a, b);
+        let c = CorruptSchedule::generate(CorruptSpec::new(43, 0.7), Dur::secs(30));
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn segments_stay_inside_the_fault_window() {
+        for seed in 0..50 {
+            for intensity in [0.1, 0.4, 0.8, 1.0] {
+                let s = CorruptSchedule::generate(CorruptSpec::new(seed, intensity), Dur::secs(30));
+                assert!(!s.is_empty());
+                for seg in &s.segments {
+                    assert!(seg.from < seg.until, "empty segment {seg:?}");
+                    assert!(seg.from >= Time::ZERO + Dur::from_secs_f64(30.0 * 0.15));
+                    assert!(
+                        seg.until <= Time::ZERO + Dur::from_secs_f64(30.0 * 0.60) + Dur::SECOND
+                    );
+                    assert!(seg.rate > 0.0 && seg.rate <= 1.0, "rate {}", seg.rate);
+                }
+                assert!(s.last_segment_end().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_segment_count() {
+        let low = CorruptSchedule::generate(CorruptSpec::new(1, 0.1), Dur::secs(30));
+        let high = CorruptSchedule::generate(CorruptSpec::new(1, 1.0), Dur::secs(30));
+        assert_eq!(low.segments.len(), 1);
+        assert_eq!(high.segments.len(), 6);
+    }
+
+    #[test]
+    fn corruptor_is_passthrough_outside_segments() {
+        let s = CorruptSchedule::from_segments(vec![CorruptSegment {
+            from: Time::from_secs(10),
+            until: Time::from_secs(11),
+            kind: CorruptKind::SeqWarp,
+            rate: 1.0,
+        }]);
+        let mut c = FeedbackCorruptor::new(s, 7);
+        let pristine = honest_report(5);
+        let mut copy = pristine.clone();
+        assert_eq!(c.corrupt(&mut copy, Time::from_secs(1)), None);
+        assert_eq!(copy, pristine);
+        assert!(!c.suppress_pli(Time::from_secs(1)));
+        assert_eq!(c.corrupted() + c.plis_suppressed(), 0);
+    }
+
+    #[test]
+    fn every_kind_mutates_into_a_rejectable_report() {
+        // At rate 1.0 inside the segment, each kind must turn an honest
+        // report into one the validator (or the stale gate, for
+        // seq-replay) refuses. The validator has already accepted one
+        // honest report, as it always has mid-session — a time warp is
+        // only detectable against that monotonicity baseline.
+        for kind in [
+            CorruptKind::SeqWarp,
+            CorruptKind::TimeWarp,
+            CorruptKind::ArrivalBeforeSend,
+            CorruptKind::SizeBomb,
+            CorruptKind::Truncate,
+            CorruptKind::Forge,
+        ] {
+            let s = CorruptSchedule::from_segments(vec![CorruptSegment {
+                from: Time::ZERO,
+                until: Time::from_secs(100),
+                kind,
+                rate: 1.0,
+            }]);
+            let mut c = FeedbackCorruptor::new(s, 7);
+            let mut v = FeedbackValidator::new();
+            let prior = honest_report(6);
+            assert_eq!(v.check(&prior, None), Ok(()));
+            let mut report = honest_report(6);
+            report.report_seq = prior.report_seq + 1;
+            let applied = c.corrupt(&mut report, Time::from_secs(1));
+            assert_eq!(applied, Some(kind.name()));
+            assert!(
+                v.check(&report, Some(prior.report_seq)).is_err(),
+                "{}: corrupted report passed validation",
+                kind.name()
+            );
+            assert_eq!(v.rejected(), 1);
+        }
+    }
+
+    #[test]
+    fn seq_replay_regresses_the_report_seq() {
+        let s = CorruptSchedule::from_segments(vec![CorruptSegment {
+            from: Time::ZERO,
+            until: Time::from_secs(100),
+            kind: CorruptKind::SeqReplay,
+            rate: 1.0,
+        }]);
+        let mut c = FeedbackCorruptor::new(s, 7);
+        let mut report = honest_report(4);
+        report.report_seq = 50;
+        c.corrupt(&mut report, Time::from_secs(1));
+        // The regressed seq is absorbed by the sender's existing
+        // duplicate/stale gate, not the validator.
+        assert!(report.report_seq < 50);
+    }
+
+    #[test]
+    fn pli_suppression_counts_and_respects_segments() {
+        let s = CorruptSchedule::from_segments(vec![CorruptSegment {
+            from: Time::from_secs(1),
+            until: Time::from_secs(2),
+            kind: CorruptKind::Forge,
+            rate: 1.0,
+        }]);
+        let mut c = FeedbackCorruptor::new(s, 7);
+        assert!(!c.suppress_pli(Time::from_millis(500)));
+        assert!(c.suppress_pli(Time::from_millis(1_500)));
+        assert!(!c.suppress_pli(Time::from_millis(2_500)));
+        assert_eq!(c.plis_suppressed(), 1);
+    }
+
+    #[test]
+    fn validator_accepts_honest_reports_and_tracks_time() {
+        let mut v = FeedbackValidator::new();
+        let r = honest_report(5);
+        assert_eq!(v.check(&r, None), Ok(()));
+        assert_eq!(v.rejected(), 0);
+        assert!(v.by_reason().is_empty());
+        // A later report with an earlier generated_at is refused.
+        let mut stale = honest_report(5);
+        stale.report_seq = r.report_seq + 1;
+        stale.generated_at = Time::from_millis(1);
+        // Keep its packets from tripping future-arrival first.
+        for p in &mut stale.packets {
+            p.arrival = None;
+            p.size_bytes = 0;
+        }
+        assert_eq!(
+            v.check(&stale, Some(r.report_seq)),
+            Err("non-monotone-time")
+        );
+        assert_eq!(v.by_reason(), vec![("non-monotone-time", 1)]);
+    }
+
+    #[test]
+    fn validator_rejects_each_field_level_lie() {
+        type Lie = Box<dyn Fn(&mut FeedbackReport)>;
+        let base = honest_report(6);
+        let cases: Vec<(&str, Lie)> = vec![
+            ("empty-report", Box::new(|r| r.packets.clear())),
+            ("seq-warp", Box::new(|r| r.report_seq += MAX_SEQ_JUMP + 1)),
+            (
+                "non-contiguous-seq",
+                Box::new(|r| {
+                    r.packets.remove(2);
+                }),
+            ),
+            (
+                "arrival-before-send",
+                Box::new(|r| {
+                    r.packets[1].send_time = r.packets[1].arrival.unwrap() + Dur::millis(5)
+                }),
+            ),
+            (
+                "future-arrival",
+                Box::new(|r| r.packets[1].arrival = Some(r.generated_at + Dur::millis(5))),
+            ),
+            ("zero-size", Box::new(|r| r.packets[1].size_bytes = 0)),
+            (
+                "absurd-size",
+                Box::new(|r| r.packets[1].size_bytes = MAX_PACKET_BYTES + 1),
+            ),
+        ];
+        for (want, mutate) in cases {
+            let mut v = FeedbackValidator::new();
+            let mut report = base.clone();
+            mutate(&mut report);
+            assert_eq!(v.check(&report, None), Err(want));
+            assert_eq!(v.by_reason(), vec![(want, 1)]);
+            assert_eq!(v.rejected(), 1);
+        }
+    }
+
+    #[test]
+    fn rejection_does_not_poison_the_monotonicity_baseline() {
+        let mut v = FeedbackValidator::new();
+        let good = honest_report(4);
+        assert!(v.check(&good, None).is_ok());
+        // A time-warped-forward forgery is rejected on another ground;
+        // its absurd generated_at must not become the baseline.
+        let mut forged = honest_report(4);
+        forged.report_seq = good.report_seq + 1;
+        forged.generated_at = Time::from_secs(9_000);
+        forged.packets.remove(1);
+        assert_eq!(
+            v.check(&forged, Some(good.report_seq)),
+            Err("non-contiguous-seq")
+        );
+        // An honest successor (generated_at just past `good`'s) passes.
+        let mut next = honest_report(4);
+        next.report_seq = good.report_seq + 1;
+        next.generated_at = good.generated_at + Dur::millis(50);
+        for p in &mut next.packets {
+            if let Some(a) = p.arrival {
+                assert!(a <= next.generated_at);
+            }
+        }
+        assert_eq!(v.check(&next, Some(good.report_seq)), Ok(()));
+    }
+
+    #[test]
+    fn empty_reproducer_roundtrips() {
+        let empty = CorruptSchedule::empty();
+        assert_eq!(
+            CorruptSchedule::parse_reproducer(&empty.reproducer()),
+            Ok(empty)
+        );
+    }
+
+    #[test]
+    fn explicit_segments_of_every_kind_roundtrip() {
+        let kinds = [
+            CorruptKind::SeqReplay,
+            CorruptKind::SeqWarp,
+            CorruptKind::TimeWarp,
+            CorruptKind::ArrivalBeforeSend,
+            CorruptKind::SizeBomb,
+            CorruptKind::Truncate,
+            CorruptKind::Forge,
+        ];
+        let segments = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| CorruptSegment {
+                from: Time::from_micros(1_234_567 + i as u64),
+                until: Time::from_secs(2 + i as u64),
+                kind,
+                rate: 0.625 + 0.03125 * i as f64,
+            })
+            .collect();
+        let s = CorruptSchedule::from_segments(segments);
+        assert_eq!(CorruptSchedule::parse_reproducer(&s.reproducer()), Ok(s));
+    }
+
+    #[test]
+    fn malformed_reproducers_are_rejected_with_context() {
+        let cases = [
+            ("forge 1.000000 .. 2.000000", "malformed segment line"),
+            ("forge [1.000000 .. 2.000000", "unterminated time span"),
+            ("forge [1.000000 - 2.000000]", "malformed time span"),
+            ("forge [1.5 .. 2.000000] rate=1", "malformed instant"),
+            (
+                "gaslight [1.000000 .. 2.000000] rate=1",
+                "unknown corruption kind",
+            ),
+            ("forge [1.000000 .. 2.000000]", "missing field 'rate'"),
+            (
+                "forge [1.000000 .. 2.000000] rate=lots",
+                "malformed field 'rate'",
+            ),
+        ];
+        for (line, want) in cases {
+            let err = CorruptSchedule::parse_reproducer(line).unwrap_err();
+            assert!(err.contains(want), "'{line}' gave '{err}', want '{want}'");
+        }
+    }
+
+    proptest::proptest! {
+        /// Generated schedules come out sorted by `(from, until)` with
+        /// positive durations and in-range rates, across the whole
+        /// seed × intensity × session-length input space.
+        #[test]
+        fn generated_segments_are_time_ordered_with_positive_durations(
+            seed in 0u64..5_000,
+            intensity_pct in 1u32..101,
+            len_s in 10u64..61,
+        ) {
+            let spec = CorruptSpec::new(seed, intensity_pct as f64 / 100.0);
+            let s = CorruptSchedule::generate(spec, Dur::secs(len_s));
+            for seg in &s.segments {
+                proptest::prop_assert!(
+                    seg.from < seg.until,
+                    "non-positive segment {seg:?}"
+                );
+                proptest::prop_assert!(seg.rate > 0.0 && seg.rate <= 1.0);
+            }
+            for w in s.segments.windows(2) {
+                proptest::prop_assert!(
+                    (w[0].from, w[0].until) <= (w[1].from, w[1].until),
+                    "out of order: {:?} then {:?}", w[0], w[1]
+                );
+            }
+        }
+
+        /// `reproducer()` is parseable and lossless for generated
+        /// schedules, mirroring `ChaosSchedule`'s contract.
+        #[test]
+        fn reproducer_roundtrips_for_generated_schedules(
+            seed in 0u64..5_000,
+            intensity_pct in 1u32..101,
+            len_s in 10u64..61,
+        ) {
+            let spec = CorruptSpec::new(seed, intensity_pct as f64 / 100.0);
+            let s = CorruptSchedule::generate(spec, Dur::secs(len_s));
+            let parsed = CorruptSchedule::parse_reproducer(&s.reproducer());
+            proptest::prop_assert_eq!(parsed, Ok(s));
+        }
+
+        /// Zero false positives: whatever the arrival pattern and
+        /// whichever reports the reverse path drops, the validator
+        /// accepts every report an honest `FeedbackBuilder` flushes.
+        #[test]
+        fn validator_never_rejects_honest_builder_reports(
+            arrivals in proptest::collection::vec((0u64..400, 0u64..50), 1..120),
+            flush_every in 1usize..20,
+            drop_mask in proptest::collection::vec(0u64..2, 32..33),
+        ) {
+            let mut fb = FeedbackBuilder::new();
+            let mut v = FeedbackValidator::new();
+            let mut last_accepted: Option<u64> = None;
+            let mut now_ms = 0;
+            for (i, chunk) in arrivals.chunks(flush_every).enumerate() {
+                for &(seq, jitter_ms) in chunk {
+                    now_ms += 1;
+                    fb.on_packet(&pkt(seq, now_ms), Time::from_millis(now_ms + jitter_ms));
+                }
+                // The flush instant must not precede any recorded
+                // arrival, exactly like the session's feedback timer.
+                now_ms += 100;
+                let Some(report) = fb.flush(Time::from_millis(now_ms)) else {
+                    continue;
+                };
+                // Simulate reverse-path loss: some reports never reach
+                // the sender, leaving gaps in what the validator sees.
+                if drop_mask[i % drop_mask.len()] == 1 {
+                    continue;
+                }
+                proptest::prop_assert_eq!(
+                    v.check(&report, last_accepted),
+                    Ok(()),
+                    "honest report {} rejected",
+                    report.report_seq
+                );
+                last_accepted = Some(report.report_seq);
+            }
+            proptest::prop_assert_eq!(v.rejected(), 0);
+        }
+    }
+}

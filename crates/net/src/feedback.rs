@@ -64,17 +64,28 @@ impl FeedbackReport {
         }
     }
 
-    /// Total received bytes in this report.
+    /// Total received bytes in this report. Saturating, so a report
+    /// whose sizes were bombed to absurd values cannot wrap the sum.
     pub fn received_bytes(&self) -> u64 {
         self.packets
             .iter()
             .filter(|p| p.arrival.is_some())
-            .map(|p| p.size_bytes)
-            .sum()
+            .fold(0u64, |acc, p| acc.saturating_add(p.size_bytes))
     }
 
     /// Delivered throughput over the report's arrival span, if at least
     /// two packets arrived (bits/second).
+    ///
+    /// Defensive by construction — these degenerate shapes can reach a
+    /// caller through a corrupted reverse path, so they are handled
+    /// here rather than at every consumer:
+    ///
+    /// * fewer than two arrivals, or a zero-duration arrival span
+    ///   (all packets stamped with one instant) → `None`, never a
+    ///   division by zero;
+    /// * arrivals out of order → the span is `max − min`, not
+    ///   `last − first`;
+    /// * absurd sizes → the byte total saturates instead of wrapping.
     pub fn delivered_rate_bps(&self) -> Option<f64> {
         let mut first: Option<Time> = None;
         let mut last: Option<Time> = None;
@@ -83,7 +94,7 @@ impl FeedbackReport {
             if let Some(a) = p.arrival {
                 first = Some(first.map_or(a, |f: Time| f.min(a)));
                 last = Some(last.map_or(a, |l: Time| l.max(a)));
-                bytes += p.size_bytes;
+                bytes = bytes.saturating_add(p.size_bytes);
             }
         }
         let (first, last) = (first?, last?);
@@ -277,6 +288,96 @@ mod tests {
         fb.on_packet(&pkt(0, 0), Time::from_millis(100));
         let report = fb.flush(Time::from_millis(200)).unwrap();
         assert!(report.delivered_rate_bps().is_none());
+    }
+
+    /// A report with several packets stamped with one arrival instant —
+    /// producible only via corruption — has a zero-duration span and
+    /// must yield `None`, not an infinite or NaN rate.
+    #[test]
+    fn delivered_rate_zero_duration_span_is_none() {
+        let report = FeedbackReport {
+            report_seq: 0,
+            generated_at: Time::from_millis(200),
+            packets: (0..3)
+                .map(|seq| PacketResult {
+                    seq,
+                    send_time: Time::from_millis(10),
+                    arrival: Some(Time::from_millis(100)),
+                    size_bytes: 1250,
+                })
+                .collect(),
+        };
+        assert!(report.delivered_rate_bps().is_none());
+    }
+
+    /// Size-bombed packets (u64::MAX) must saturate the byte totals
+    /// instead of wrapping them back toward zero.
+    #[test]
+    fn absurd_sizes_saturate_instead_of_wrapping() {
+        let report = FeedbackReport {
+            report_seq: 0,
+            generated_at: Time::from_millis(300),
+            packets: (0..4)
+                .map(|seq| PacketResult {
+                    seq,
+                    send_time: Time::from_millis(10),
+                    arrival: Some(Time::from_millis(100 + seq * 10)),
+                    size_bytes: u64::MAX,
+                })
+                .collect(),
+        };
+        assert_eq!(report.received_bytes(), u64::MAX);
+        let rate = report.delivered_rate_bps().unwrap();
+        assert!(rate.is_finite() && rate > 0.0, "rate {rate}");
+    }
+
+    /// A lost-only report (arrival `None` everywhere) exercises every
+    /// accessor's empty-arrival path at once.
+    #[test]
+    fn lost_only_report_degenerates_cleanly() {
+        let report = FeedbackReport {
+            report_seq: 0,
+            generated_at: Time::from_millis(100),
+            packets: (0..3)
+                .map(|seq| PacketResult {
+                    seq,
+                    send_time: Time::from_millis(10),
+                    arrival: None,
+                    size_bytes: 0,
+                })
+                .collect(),
+        };
+        assert_eq!(report.received_count(), 0);
+        assert_eq!(report.received_bytes(), 0);
+        assert!((report.loss_fraction() - 1.0).abs() < 1e-12);
+        assert!(report.delivered_rate_bps().is_none());
+    }
+
+    /// Corruption can reorder arrival stamps; the rate span must be
+    /// `max − min`, never a negative/saturated `last − first`.
+    #[test]
+    fn out_of_order_arrivals_still_yield_a_rate() {
+        let report = FeedbackReport {
+            report_seq: 0,
+            generated_at: Time::from_millis(300),
+            packets: vec![
+                PacketResult {
+                    seq: 0,
+                    send_time: Time::from_millis(10),
+                    arrival: Some(Time::from_millis(140)),
+                    size_bytes: 1250,
+                },
+                PacketResult {
+                    seq: 1,
+                    send_time: Time::from_millis(12),
+                    arrival: Some(Time::from_millis(100)),
+                    size_bytes: 1250,
+                },
+            ],
+        };
+        // 2500 B over 40 ms = 500 kbit/s.
+        let rate = report.delivered_rate_bps().unwrap();
+        assert!((rate - 5e5).abs() < 1e3, "rate {rate}");
     }
 
     #[test]

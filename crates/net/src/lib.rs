@@ -30,6 +30,11 @@
 //! * [`chaos`] — forward-path chaos injection: seeded multi-fault
 //!   timelines (burst loss, blackouts, capacity collapse, reordering,
 //!   duplication, MTU shrink) reproducible from `(seed, intensity)`.
+//! * [`corrupt`] — control-plane corruption: seeded field-level
+//!   mutation of in-flight feedback (seq replay/warp, time warps,
+//!   forged/truncated packet vectors, size bombs) plus the sender-side
+//!   [`FeedbackValidator`] that sanitizes every report before the
+//!   congestion controller sees it.
 //!
 //! The link is modelled analytically (delivery times computed at send
 //! time against the capacity trace) rather than with per-byte events;
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod corrupt;
 pub mod fec;
 pub mod feedback;
 pub mod impair;
@@ -50,6 +56,10 @@ pub mod pli;
 pub mod rtx;
 
 pub use chaos::{ChaosSchedule, ChaosSpec, ChaosTrace, FaultKind, FaultSegment, ForwardChaos};
+pub use corrupt::{
+    CorruptKind, CorruptSchedule, CorruptSegment, CorruptSpec, FeedbackCorruptor,
+    FeedbackValidator, REJECT_REASONS,
+};
 pub use fec::{FecDecoder, FecEncoder};
 pub use feedback::{FeedbackBuilder, FeedbackReport, PacketResult};
 pub use impair::{Blackout, GilbertElliott, ReversePath, ReversePathConfig};

@@ -106,6 +106,16 @@ pub enum ObsEvent {
         /// Packets the report marked lost.
         lost: u64,
     },
+    /// The sender's validator rejected an arriving feedback report
+    /// before any estimator saw it (corrupted or forged control plane).
+    FeedbackRejected {
+        /// Report sequence number as claimed by the (possibly lying)
+        /// report.
+        report_seq: u64,
+        /// Stable rejection reason (one of
+        /// `ravel_net::REJECT_REASONS`).
+        reason: &'static str,
+    },
     /// The encoder target bitrate changed.
     TargetChanged {
         /// Previous target (bps).
@@ -160,6 +170,9 @@ impl fmt::Display for ObsEvent {
             ObsEvent::FeedbackReceived { report_seq, lost } => {
                 write!(f, "FeedbackReceived report={report_seq} lost={lost}")
             }
+            ObsEvent::FeedbackRejected { report_seq, reason } => {
+                write!(f, "FeedbackRejected report={report_seq} reason={reason}")
+            }
             ObsEvent::TargetChanged {
                 old_bps,
                 new_bps,
@@ -190,6 +203,7 @@ impl ObsEvent {
             ObsEvent::PacketDelivered { .. } => "packet-delivered",
             ObsEvent::PacketDropped { .. } => "packet-dropped",
             ObsEvent::FeedbackReceived { .. } => "feedback-received",
+            ObsEvent::FeedbackRejected { .. } => "feedback-rejected",
             ObsEvent::TargetChanged { .. } => "target-changed",
             ObsEvent::PliSent => "pli-sent",
             ObsEvent::KeyframeEmitted => "keyframe-emitted",
@@ -236,6 +250,8 @@ pub struct ObsCounters {
     pub chaos_segments: u64,
     /// Feedback reports the sender accepted.
     pub feedback_received: u64,
+    /// Feedback reports the sender's validator rejected.
+    pub feedback_rejected: u64,
     /// Encoder target-bitrate changes.
     pub target_changes: u64,
     /// Invariant violations observed.
@@ -254,6 +270,7 @@ impl ObsCounters {
             ObsEvent::PliSent => self.plis_sent += 1,
             ObsEvent::ChaosSegmentEntered { .. } => self.chaos_segments += 1,
             ObsEvent::FeedbackReceived { .. } => self.feedback_received += 1,
+            ObsEvent::FeedbackRejected { .. } => self.feedback_rejected += 1,
             ObsEvent::TargetChanged { .. } => self.target_changes += 1,
             ObsEvent::InvariantViolated { .. } => self.invariant_violations += 1,
         }
@@ -270,6 +287,7 @@ impl ObsCounters {
             + self.plis_sent
             + self.chaos_segments
             + self.feedback_received
+            + self.feedback_rejected
             + self.target_changes
             + self.invariant_violations
     }
@@ -426,11 +444,22 @@ impl ObsLog {
             "net: sent={} delivered={} dropped={} plis={} chaos-segments={}",
             c.packets_sent, c.packets_delivered, c.packets_dropped, c.plis_sent, c.chaos_segments
         );
-        let _ = writeln!(
-            out,
-            "cc: feedback={} target-changes={}",
-            c.feedback_received, c.target_changes
-        );
+        // The rejected counter renders only when nonzero so clean-run
+        // digests (every golden snapshot predating corruption) stay
+        // byte-identical.
+        if c.feedback_rejected > 0 {
+            let _ = writeln!(
+                out,
+                "cc: feedback={} rejected={} target-changes={}",
+                c.feedback_received, c.feedback_rejected, c.target_changes
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "cc: feedback={} target-changes={}",
+                c.feedback_received, c.target_changes
+            );
+        }
         let _ = writeln!(out, "violations: {}", c.invariant_violations);
         let events = self.events();
         let _ = writeln!(
@@ -581,6 +610,10 @@ mod tests {
                 report_seq: 0,
                 lost: 0,
             },
+            ObsEvent::FeedbackRejected {
+                report_seq: 0,
+                reason: "seq-warp",
+            },
             ObsEvent::TargetChanged {
                 old_bps: 2e6,
                 new_bps: 1e6,
@@ -668,6 +701,26 @@ mod tests {
         assert!(d.contains("first 8 events:"));
         // Digest is a pure function: same log renders identically.
         assert_eq!(d, log.digest("cell-x"));
+    }
+
+    #[test]
+    fn rejected_counter_renders_only_when_nonzero() {
+        let mut clean = ObsLog::new(ObsMode::Counters);
+        clean.record(at(1), || ObsEvent::FeedbackReceived {
+            report_seq: 0,
+            lost: 0,
+        });
+        let d = clean.digest("c");
+        assert!(d.contains("cc: feedback=1 target-changes=0\n"));
+        assert!(!d.contains("rejected"));
+
+        let mut dirty = ObsLog::new(ObsMode::Counters);
+        dirty.record(at(1), || ObsEvent::FeedbackRejected {
+            report_seq: 9,
+            reason: "zero-size",
+        });
+        let d = dirty.digest("c");
+        assert!(d.contains("cc: feedback=0 rejected=1 target-changes=0\n"));
     }
 
     #[test]

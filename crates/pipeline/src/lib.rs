@@ -23,14 +23,17 @@
 
 #![warn(missing_docs)]
 
+pub mod contracts;
 pub mod invariants;
 pub mod scheme;
 pub mod session;
 
+pub use contracts::{all_pass, evaluate, ContractSpec, ContractVerdict};
 pub use invariants::{Invariant, InvariantChecker, InvariantViolation};
 pub use scheme::{CcKind, Scheme};
 pub use session::{
-    run_session, run_session_chaos, run_session_chaos_obs, run_session_guarded, run_session_obs,
+    run_session, run_session_chaos, run_session_chaos_obs, run_session_corrupt,
+    run_session_corrupt_obs, run_session_faults, run_session_guarded, run_session_obs,
     run_sessions, run_sessions_obs, run_sessions_pooled, InjectedFault, KernelWorkspace,
     SessionConfig, SessionGuard, SessionResult, CANCEL_POLL_EVERY_EVENTS, RUNAWAY_BASE_EVENTS,
     RUNAWAY_EVENTS_PER_SIM_SEC,

@@ -19,10 +19,10 @@ use ravel_codec::{Decoder, EncodedFrame, Encoder, EncoderConfig};
 use ravel_core::{AdaptiveController, FeedbackWatchdog, FrameDecision, WatchdogConfig};
 use ravel_metrics::{FrameOutcomeKind, FrameRecord, LatencyRecorder};
 use ravel_net::{
-    ChaosSchedule, ChaosSpec, ChaosTrace, Delivery, FecDecoder, FecEncoder, FeedbackBuilder,
-    FeedbackReport, ForwardChaos, FrameAssembler, Link, LinkConfig, MediaKind, NackBatch,
-    NackGenerator, Pacer, Packet, Packetizer, PliRequester, ReversePath, ReversePathConfig,
-    RtxBuffer,
+    ChaosSchedule, ChaosSpec, ChaosTrace, CorruptSchedule, CorruptSpec, Delivery, FecDecoder,
+    FecEncoder, FeedbackBuilder, FeedbackCorruptor, FeedbackReport, FeedbackValidator,
+    ForwardChaos, FrameAssembler, Link, LinkConfig, MediaKind, NackBatch, NackGenerator, Pacer,
+    Packet, Packetizer, PliRequester, ReversePath, ReversePathConfig, RtxBuffer,
 };
 use ravel_obs::{ObsEvent, ObsLog, ObsMode};
 use ravel_sim::{ArenaStats, BoxPool, Dur, EventQueue, SeriesSet, Time};
@@ -93,6 +93,13 @@ pub struct SessionConfig {
     /// duplication, MTU shrink). `None` (the default) adds no faults and
     /// consumes no randomness, so existing runs stay byte-identical.
     pub chaos: Option<ChaosSpec>,
+    /// Control-plane corruption: when set, a corruption schedule is
+    /// generated from `(spec.seed, spec.intensity)` and applied to
+    /// in-flight feedback reports and PLIs on the reverse path (seq
+    /// replay/warp, time warps, size bombs, truncated/forged packet
+    /// vectors). `None` (the default) adds no corruption and consumes
+    /// no randomness, so existing runs stay byte-identical.
+    pub corrupt: Option<CorruptSpec>,
     /// Test-only fault injection used by the harness's fault-isolation
     /// fixtures: a deterministic mid-session panic or a self-scheduling
     /// runaway event storm. [`InjectedFault::None`] (the default) is
@@ -149,6 +156,7 @@ impl SessionConfig {
             seed: 1,
             record_series: false,
             chaos: None,
+            corrupt: None,
             inject: InjectedFault::None,
         }
     }
@@ -327,6 +335,18 @@ pub struct SessionResult {
     pub reverse_duplicates: u64,
     /// Feedback reports the sender discarded as duplicate or stale.
     pub reports_discarded: u64,
+    /// Feedback reports the sender's validator rejected as internally
+    /// inconsistent (corrupted or forged), total.
+    pub rejected_reports: u64,
+    /// The rejections broken down by reason, nonzero entries only, in
+    /// [`ravel_net::REJECT_REASONS`] order.
+    pub rejected_by_reason: Vec<(&'static str, u64)>,
+    /// Feedback report copies the corruption stage mutated in transit
+    /// (0 without corruption).
+    pub feedback_corrupted: u64,
+    /// PLI deliveries the corruption stage rendered unparseable
+    /// (0 without corruption).
+    pub plis_suppressed: u64,
     /// Watchdog degradation steps fired (0 without a watchdog).
     pub watchdog_timeouts: u64,
     /// Distinct blind episodes the watchdog saw (0 without a watchdog):
@@ -420,6 +440,10 @@ impl SessionResult {
             reverse_lost: 0,
             reverse_duplicates: 0,
             reports_discarded: 0,
+            rejected_reports: 0,
+            rejected_by_reason: Vec::new(),
+            feedback_corrupted: 0,
+            plis_suppressed: 0,
             watchdog_timeouts: 0,
             watchdog_episodes: 0,
             plis_sent: 0,
@@ -494,10 +518,37 @@ pub fn run_session_chaos_obs<T: BandwidthTrace>(
     run_session_guarded(trace, cfg, schedule, obs_mode, guard)
 }
 
-/// The fully general entry point: an explicit chaos schedule, an
-/// observability mode, and a [`SessionGuard`]. Every other entry point
-/// delegates here with the standard guard for the config, so the
-/// runaway budget and horizon are always armed.
+/// [`run_session`] with an explicit corruption schedule, bypassing
+/// schedule generation (the corruption shrinker's entry point). The
+/// chaos schedule, if any, still generates from `cfg.chaos`. An empty
+/// or absent schedule is exact passthrough: zero extra RNG draws.
+pub fn run_session_corrupt<T: BandwidthTrace>(
+    trace: T,
+    cfg: SessionConfig,
+    corrupt: Option<CorruptSchedule>,
+) -> SessionResult {
+    run_session_corrupt_obs(trace, cfg, corrupt, ObsMode::Off)
+}
+
+/// [`run_session_corrupt`] with an observability mode — the shrinker
+/// uses this to render the violating timeline of a minimized schedule.
+pub fn run_session_corrupt_obs<T: BandwidthTrace>(
+    trace: T,
+    cfg: SessionConfig,
+    corrupt: Option<CorruptSchedule>,
+    obs_mode: ObsMode,
+) -> SessionResult {
+    let schedule = cfg
+        .chaos
+        .map(|spec| ChaosSchedule::generate(spec, cfg.duration));
+    let guard = SessionGuard::for_config(&cfg);
+    run_session_faults(trace, cfg, schedule, corrupt, obs_mode, guard)
+}
+
+/// The standard guarded entry point: an explicit chaos schedule, an
+/// observability mode, and a [`SessionGuard`]. The corruption schedule
+/// generates from `cfg.corrupt`; see [`run_session_faults`] to supply
+/// one explicitly.
 pub fn run_session_guarded<T: BandwidthTrace>(
     trace: T,
     cfg: SessionConfig,
@@ -505,11 +556,29 @@ pub fn run_session_guarded<T: BandwidthTrace>(
     obs_mode: ObsMode,
     guard: SessionGuard,
 ) -> SessionResult {
+    let corrupt = cfg
+        .corrupt
+        .map(|spec| CorruptSchedule::generate(spec, cfg.duration));
+    run_session_faults(trace, cfg, schedule, corrupt, obs_mode, guard)
+}
+
+/// The fully general entry point: explicit chaos AND corruption
+/// schedules, an observability mode, and a [`SessionGuard`]. Every
+/// other entry point delegates here with the standard guard for the
+/// config, so the runaway budget and horizon are always armed.
+pub fn run_session_faults<T: BandwidthTrace>(
+    trace: T,
+    cfg: SessionConfig,
+    schedule: Option<ChaosSchedule>,
+    corrupt: Option<CorruptSchedule>,
+    obs_mode: ObsMode,
+    guard: SessionGuard,
+) -> SessionResult {
     let mut queue: EventQueue<Event> = EventQueue::new();
     // Solo sessions keep the plain allocating path: it is the historical
     // behaviour and the oracle the pooled kernel is tested against.
     let mut pool: BoxPool<EncodedFrame> = BoxPool::disabled();
-    let mut state = SessionState::new(trace, cfg, schedule, obs_mode, guard);
+    let mut state = SessionState::new(trace, cfg, schedule, corrupt, obs_mode, guard);
     state.start(&mut queue);
     while let Some(scheduled) = queue.pop() {
         if let Step::Stop = state.step(scheduled.at, scheduled.event, &mut queue, &mut pool) {
@@ -628,8 +697,11 @@ pub fn run_sessions_pooled<T: BandwidthTrace>(
         let schedule = cfg
             .chaos
             .map(|spec| ChaosSchedule::generate(spec, cfg.duration));
+        let corrupt = cfg
+            .corrupt
+            .map(|spec| CorruptSchedule::generate(spec, cfg.duration));
         let guard = SessionGuard::for_config(&cfg);
-        let mut state = SessionState::new(trace, cfg, schedule, obs_mode, guard);
+        let mut state = SessionState::new(trace, cfg, schedule, corrupt, obs_mode, guard);
         state.start(&mut TaggedSink {
             queue,
             session: session as u32,
@@ -812,11 +884,19 @@ struct SessionState<T: BandwidthTrace> {
     last_pli: Time,
     last_report_seq: Option<u64>,
     reports_discarded: u64,
+    /// Sanitizes every arriving report before any estimator sees it.
+    /// Always armed: on clean runs it draws no randomness and rejects
+    /// nothing, so it costs only the per-report field scan.
+    validator: FeedbackValidator,
 
     // --- network --------------------------------------------------------
     link: Link<ChaosTrace<T>>,
     fwd_chaos: Option<ForwardChaos>,
     reverse: ReversePath,
+    /// Control-plane corruption applied to delivered feedback/PLI
+    /// copies at the reverse path's send boundary. `None` is exact
+    /// passthrough.
+    corruptor: Option<FeedbackCorruptor>,
     acct: ForwardAcct,
 
     // --- receiver -------------------------------------------------------
@@ -879,10 +959,12 @@ impl<T: BandwidthTrace> SessionState<T> {
         trace: T,
         cfg: SessionConfig,
         schedule: Option<ChaosSchedule>,
+        corrupt: Option<CorruptSchedule>,
         obs_mode: ObsMode,
         guard: SessionGuard,
     ) -> SessionState<T> {
         let schedule = schedule.filter(|s| !s.is_empty());
+        let corrupt = corrupt.filter(|s| !s.is_empty());
         let source = VideoSource::new(cfg.content.profile(), cfg.resolution, cfg.fps, cfg.seed);
         let mut enc_cfg = EncoderConfig::rtc(cfg.start_rate_bps, cfg.fps);
         enc_cfg.capture_resolution = cfg.resolution;
@@ -963,8 +1045,10 @@ impl<T: BandwidthTrace> SessionState<T> {
             last_pli: Time::ZERO,
             last_report_seq: None,
             reports_discarded: 0,
+            validator: FeedbackValidator::new(),
             link,
             fwd_chaos,
+            corruptor: corrupt.map(|s| FeedbackCorruptor::new(s, cfg.seed)),
             // All receiver → sender traffic crosses the (possibly impaired)
             // reverse path; the receiver keeps PLI requests alive until a
             // post-request keyframe actually lands.
@@ -1344,8 +1428,15 @@ impl<T: BandwidthTrace> SessionState<T> {
             if report.lost_count() > 0 {
                 self.pli.request(now);
             }
+            // Each delivered copy is corrupted independently — a
+            // duplicated reverse path can deliver one honest and one
+            // mutated copy of the same report.
             for at in self.reverse.transit(now).into_iter().flatten() {
-                sink.push(at, Event::FeedbackArrive(report.clone()));
+                let mut copy = report.clone();
+                if let Some(c) = self.corruptor.as_mut() {
+                    c.corrupt(&mut copy, now);
+                }
+                sink.push(at, Event::FeedbackArrive(copy));
             }
         }
         // PLI emission (first send and backoff retries) shares
@@ -1353,6 +1444,12 @@ impl<T: BandwidthTrace> SessionState<T> {
         if self.pli.poll(now) {
             self.obs.record(now, || ObsEvent::PliSent);
             for at in self.reverse.transit(now).into_iter().flatten() {
+                // A corrupted PLI is unparseable at the sender: the
+                // delivery slot is consumed but nothing arrives. The
+                // requester's retry loop keeps the request alive.
+                if self.corruptor.as_mut().is_some_and(|c| c.suppress_pli(now)) {
+                    continue;
+                }
                 sink.push(at, Event::PliArrive);
             }
         }
@@ -1373,6 +1470,20 @@ impl<T: BandwidthTrace> SessionState<T> {
             .is_some_and(|last| report.report_seq <= last)
         {
             self.reports_discarded += 1;
+            return;
+        }
+        // Field-level sanitation, after the cheap duplicate gate and
+        // before ANY estimator state advances. A rejected report is
+        // dropped whole: it does not move the freshness gate (the next
+        // honest report must still be accepted) and it does NOT reset
+        // the watchdog's feedback deadline — an attacker feeding
+        // garbage looks like silence, and sustained garbage trips
+        // `Degraded` exactly like a blackout does.
+        if let Err(reason) = self.validator.check(report, self.last_report_seq) {
+            self.obs.record(now, || ObsEvent::FeedbackRejected {
+                report_seq: report.report_seq,
+                reason,
+            });
             return;
         }
         self.last_report_seq = Some(report.report_seq);
@@ -1830,6 +1941,14 @@ impl<T: BandwidthTrace> SessionState<T> {
             reverse_lost: self.reverse.lost() + self.reverse.blackout_dropped(),
             reverse_duplicates: self.reverse.duplicated(),
             reports_discarded: self.reports_discarded,
+            rejected_reports: self.validator.rejected(),
+            rejected_by_reason: self.validator.by_reason(),
+            feedback_corrupted: self.corruptor.as_ref().map(|c| c.corrupted()).unwrap_or(0),
+            plis_suppressed: self
+                .corruptor
+                .as_ref()
+                .map(|c| c.plis_suppressed())
+                .unwrap_or(0),
             watchdog_timeouts: self.watchdog.as_ref().map(|wd| wd.timeouts()).unwrap_or(0),
             watchdog_episodes: self.watchdog.as_ref().map(|wd| wd.episodes()).unwrap_or(0),
             plis_sent: self.pli.sent(),
@@ -2286,6 +2405,135 @@ mod tests {
                 assert_eq!(a.chaos_duplicates, b.chaos_duplicates);
             }
         }
+    }
+
+    #[test]
+    fn corrupt_none_equals_empty_schedule_byte_for_byte() {
+        // Same passthrough contract as chaos: an explicitly empty
+        // corruption schedule must be indistinguishable from none.
+        let cfg = short_cfg(Scheme::adaptive());
+        let mk = || StepTrace::sudden_drop(4e6, 1e6, Time::from_secs(10));
+        let plain = run_session(mk(), cfg);
+        let empty = run_session_corrupt(mk(), cfg, Some(ravel_net::CorruptSchedule::empty()));
+        assert_eq!(plain.recorder.records(), empty.recorder.records());
+        assert_eq!(plain.events_processed, empty.events_processed);
+        assert_eq!(plain.packets_delivered, empty.packets_delivered);
+        assert_eq!(plain.rejected_reports, 0);
+        assert_eq!(empty.rejected_reports, 0);
+        assert_eq!(empty.feedback_corrupted, 0);
+        assert!(empty.rejected_by_reason.is_empty());
+    }
+
+    #[test]
+    fn pure_corruption_trips_the_watchdog_like_silence() {
+        // The blind-time regression (satellite of ISSUE 9): reports that
+        // ARRIVE but are rejected must not reset the feedback deadline.
+        // Zero-loss, zero-blackout reverse path; one explicit corruption
+        // segment at rate 1.0 over [8 s, 12 s) — every report crossing
+        // it is truncated and rejected, so the watchdog must see a blind
+        // episode even though a report lands every interval.
+        use ravel_net::{CorruptKind, CorruptSchedule, CorruptSegment};
+        let mut cfg = short_cfg(Scheme::adaptive());
+        cfg.duration = Dur::secs(40);
+        cfg.record_series = true;
+        cfg.reverse_path = ReversePathConfig::with_loss(0.0);
+        cfg.watchdog = Some(WatchdogConfig::for_timing(
+            cfg.feedback_interval,
+            cfg.reverse_delay * 2,
+        ));
+        let schedule = CorruptSchedule::from_segments(vec![CorruptSegment {
+            from: Time::from_secs(8),
+            until: Time::from_secs(12),
+            kind: CorruptKind::Truncate,
+            rate: 1.0,
+        }]);
+        let result = run_session_corrupt(ConstantTrace::new(4e6), cfg, Some(schedule.clone()));
+        assert!(result.violations.is_empty(), "{:?}", result.violations);
+        assert_eq!(result.reverse_lost, 0, "reverse path must be clean");
+        assert!(result.feedback_corrupted > 0);
+        assert!(
+            result.rejected_reports > 0,
+            "every report in the segment should be rejected"
+        );
+        assert_eq!(
+            result.rejected_by_reason,
+            vec![("non-contiguous-seq", result.rejected_reports)]
+        );
+        // The exact episode count is a regression pin. It is > 1 because
+        // the blind window self-oscillates: once the watchdog cuts the
+        // target, reports shrink below the 3 packets truncation needs, an
+        // honest report slips through and re-arms the deadline, the rate
+        // climbs, and truncation bites again. Any feedback-path change
+        // that shifts this number deserves scrutiny.
+        assert_eq!(
+            result.watchdog_episodes, 6,
+            "pure corruption must trip repeated blind episodes"
+        );
+        assert!(
+            result.watchdog_timeouts >= result.watchdog_episodes,
+            "each blind episode starts with at least one timeout"
+        );
+        // While blind, the watchdog cuts the target; afterwards the
+        // next honest report must be accepted (the freshness gate did
+        // not advance on rejected seqs) and the rate must recover.
+        let tgt = result.series.get("target_bps").expect("series recorded");
+        let blind = tgt.mean_in(Time::from_secs(8), Time::from_secs(12));
+        let recovered = tgt.mean_in(Time::from_secs(34), Time::from_secs(40));
+        assert!(
+            blind < 0.5 * recovered,
+            "watchdog never cut while garbage flowed: blind {blind:.0} vs recovered {recovered:.0}"
+        );
+        assert!(
+            recovered >= 0.55 * 4e6,
+            "no recovery after corruption: {recovered:.0}"
+        );
+        // The obs layer sees the same rejections the validator counted.
+        let observed = run_session_corrupt_obs(
+            ConstantTrace::new(4e6),
+            cfg,
+            Some(schedule),
+            ObsMode::Counters,
+        );
+        assert_eq!(
+            observed.obs.counters.feedback_rejected,
+            observed.rejected_reports
+        );
+        assert_eq!(observed.rejected_reports, result.rejected_reports);
+        assert_eq!(observed.recorder.records(), result.recorder.records());
+    }
+
+    #[test]
+    fn corrupt_sessions_hold_invariants_and_are_deterministic() {
+        let mut total_rejected = 0u64;
+        for seed in [1u64, 7, 23] {
+            for intensity in [0.3, 1.0] {
+                let mut cfg = short_cfg(Scheme::adaptive());
+                cfg.duration = Dur::secs(30);
+                cfg.seed = seed;
+                cfg.corrupt = Some(ravel_net::CorruptSpec::new(seed, intensity));
+                cfg.watchdog = Some(WatchdogConfig::for_timing(
+                    cfg.feedback_interval,
+                    cfg.reverse_delay * 2,
+                ));
+                let a = run_session(ConstantTrace::new(4e6), cfg);
+                assert!(
+                    a.violations.is_empty(),
+                    "seed {seed} intensity {intensity}: {:?}",
+                    a.violations
+                );
+                assert!(a.feedback_corrupted > 0, "schedule never fired");
+                total_rejected += a.rejected_reports;
+                let b = run_session(ConstantTrace::new(4e6), cfg);
+                assert_eq!(a.recorder.records(), b.recorder.records());
+                assert_eq!(a.rejected_reports, b.rejected_reports);
+                assert_eq!(a.rejected_by_reason, b.rejected_by_reason);
+                assert_eq!(a.feedback_corrupted, b.feedback_corrupted);
+                assert_eq!(a.events_processed, b.events_processed);
+            }
+        }
+        // Individual schedules can draw only stale-gate-absorbed kinds;
+        // across the grid the validator must have real work.
+        assert!(total_rejected > 0);
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn main() {
                     at: drop_at,
                 },
                 cfg,
+                contracts: None,
             }
         })
         .collect();

@@ -46,6 +46,7 @@ fn cell(name: &str, impaired: bool, watchdog: bool) -> Cell {
             at: DROP_AT,
         },
         cfg,
+        contracts: None,
     }
 }
 

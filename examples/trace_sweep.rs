@@ -40,6 +40,7 @@ fn main() {
                     len: duration,
                 },
                 cfg,
+                contracts: None,
             });
         }
     }
