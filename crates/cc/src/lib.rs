@@ -21,22 +21,48 @@
 //!
 //! [`baselines`] adds the two strawmen used in E8: a fixed-rate sender
 //! and a loss-only AIMD.
+//!
+//! ## The controller arena
+//!
+//! Beyond GCC, the crate ships three alternative controllers so the
+//! paper's claim — one-frame encoder adaptation helps *regardless of
+//! the CC underneath* — can be tested head-to-head (the harness E22
+//! grid):
+//!
+//! * [`Nada`] — RFC 8698: one aggregate congestion signal
+//!   (queuing delay + quadratic loss penalty) driving a PI rate law,
+//!   with accelerated ramp-up on clean paths.
+//! * [`Bbr`] — BBR-style: windowed max-filter over delivery-rate
+//!   samples with periodic pacing-gain probe cycles.
+//! * [`LossEma`] — beam's production loss loop: per-interval loss rate,
+//!   EMA smoothing, threshold AIMD.
+//!
+//! All four implement [`CongestionController`] and pass the shared
+//! conformance battery in `tests/conformance.rs` (finite/bounded
+//! targets under arbitrary feedback, ramp-up, convergence, step-drop
+//! reaction, blackout recovery, bit-exact determinism).
 
 #![warn(missing_docs)]
 
 pub mod aimd;
 pub mod baselines;
+pub mod bbr;
 pub mod gcc;
 pub mod interarrival;
 pub mod loss;
+pub mod loss_ema;
+pub mod nada;
 pub mod throughput;
 pub mod trendline;
 
 pub use aimd::{AimdRateControl, RateControlState};
 pub use baselines::{FixedRate, NaiveAimd};
+pub use bbr::{Bbr, BbrConfig};
 pub use gcc::{Gcc, GccConfig};
 pub use interarrival::{InterArrival, PacketGroupDelta};
 pub use loss::LossController;
+pub use loss_ema::{LossEma, LossEmaConfig};
+pub use nada::{Nada, NadaConfig};
 pub use throughput::ThroughputEstimator;
 pub use trendline::{BandwidthUsage, TrendlineEstimator};
 

@@ -253,6 +253,49 @@ mod tests {
     }
 
     #[test]
+    fn canonical_key_is_injective_across_the_controller_axis() {
+        use ravel_pipeline::CcKind;
+        use std::collections::HashMap;
+
+        // Two cells differing only in controller must never share a
+        // cache slot — otherwise E22's memoization would serve one
+        // controller's results as another's. Check keys and (FNV)
+        // fingerprints over the full kind × adaptive product.
+        let kinds = [
+            CcKind::Gcc,
+            CcKind::Fixed,
+            CcKind::NaiveAimd,
+            CcKind::Nada,
+            CcKind::Bbr,
+            CcKind::LossEma,
+        ];
+        let mut by_key: HashMap<String, String> = HashMap::new();
+        let mut by_fp: HashMap<u64, String> = HashMap::new();
+        for kind in kinds {
+            for scheme in [Scheme::cc_baseline(kind), Scheme::cc_adaptive(kind)] {
+                let mut cfg = SessionConfig::default_with(scheme);
+                cfg.duration = Dur::secs(5);
+                let cell = Cell {
+                    // One shared label: the controller must split the
+                    // key on config content alone.
+                    label: "arena".into(),
+                    trace: TraceSpec::Constant(3e6),
+                    cfg,
+                    contracts: None,
+                };
+                let name = scheme.name();
+                if let Some(prev) = by_key.insert(cell.canonical_key(), name.clone()) {
+                    panic!("key collision: {prev} vs {name}");
+                }
+                if let Some(prev) = by_fp.insert(cell.fingerprint(), name.clone()) {
+                    panic!("fingerprint collision: {prev} vs {name}");
+                }
+            }
+        }
+        assert_eq!(by_key.len(), kinds.len() * 2);
+    }
+
+    #[test]
     fn cell_run_is_reproducible() {
         let mut cfg = SessionConfig::default_with(Scheme::adaptive());
         cfg.duration = Dur::secs(5);

@@ -1,4 +1,4 @@
-//! E1–E18 (DESIGN.md §5, plus the chaos grid) expressed as harness
+//! E1–E22 (DESIGN.md §5, plus the chaos, corruption and arena grids) expressed as harness
 //! grids.
 //!
 //! Every experiment is two pure pieces:
@@ -1605,6 +1605,178 @@ pub fn corrupt_sweep(n: u64, seed0: u64) -> Experiment {
     }
 }
 
+/// The E22 arena controllers, in grid order. GCC rides along as the
+/// reference point the paper's numbers were established on.
+pub const E22_CONTROLLERS: [CcKind; 4] = [CcKind::Gcc, CcKind::Nada, CcKind::Bbr, CcKind::LossEma];
+
+/// The E22 scenario axis: the canonical 4 → 1 Mbps drop, the seeded
+/// data-plane chaos timeline, and the seeded control-plane corruption
+/// schedule.
+pub const E22_SCENARIOS: [&str; 3] = ["drop", "chaos", "corrupt"];
+
+/// Seed shared by E22's chaos and corruption scenarios (one seed so the
+/// fault timeline is identical under every controller — the controller
+/// is the only variable per scenario row).
+pub const E22_SEED: u64 = 7;
+
+/// Fault intensity of E22's chaos and corruption scenarios.
+pub const E22_INTENSITY: f64 = 0.5;
+
+/// One E22 cell: `controller × scenario × (base|adpt)`.
+///
+/// The corruption scenario arms the watchdog like E21 but attaches no
+/// recovery contract: [`corruption_contract`]'s deadlines are
+/// calibrated against GCC's convergence behaviour, and E22's question
+/// is *whether adaptation helps under each controller*, not whether
+/// every controller meets GCC's recovery bar. Invariant checking (the
+/// `violations` column) still applies to every cell.
+fn e22_cell(cc: CcKind, scenario: &'static str, adaptive: bool) -> Cell {
+    let scheme = if adaptive {
+        Scheme::cc_adaptive(cc)
+    } else {
+        Scheme::cc_baseline(cc)
+    };
+    let mode = if adaptive { "adpt" } else { "base" };
+    let label = format!("arena/{}/{scenario}/{mode}", cc.cc_name());
+    match scenario {
+        "drop" => cell_with(label, scheme, canonical_drop(), |_| {}),
+        "chaos" => {
+            let mut cfg = SessionConfig::default_with(scheme);
+            cfg.duration = CHAOS_SESSION_LEN;
+            cfg.seed = E22_SEED;
+            cfg.chaos = Some(ChaosSpec::new(E22_SEED, E22_INTENSITY));
+            Cell {
+                label,
+                trace: TraceSpec::Constant(PRE_RATE),
+                cfg,
+                contracts: None,
+            }
+        }
+        "corrupt" => cell_with(label, scheme, canonical_drop(), |cfg| {
+            cfg.seed = E22_SEED;
+            cfg.corrupt = Some(CorruptSpec::new(E22_SEED, E22_INTENSITY));
+            cfg.watchdog = Some(WatchdogConfig::for_timing(
+                cfg.feedback_interval,
+                cfg.reverse_delay * 2,
+            ));
+        }),
+        other => unreachable!("unknown E22 scenario {other}"),
+    }
+}
+
+/// E22 over an arbitrary controller subset, in canonical grid order.
+/// The assembly keys rows off cell labels, so a filtered grid (CLI
+/// `--controller`) renders exactly the surviving rows.
+fn e22_with(kinds: &[CcKind]) -> Experiment {
+    let mut cells = Vec::new();
+    for &cc in kinds {
+        for scenario in E22_SCENARIOS {
+            for adaptive in [false, true] {
+                cells.push(e22_cell(cc, scenario, adaptive));
+            }
+        }
+    }
+    fn assemble(_: &Experiment, runs: &[CellRun]) -> Output {
+        let mut t = Table::new(&[
+            "controller",
+            "scenario",
+            "base_p95_ms",
+            "adpt_p95_ms",
+            "p95_reduction",
+            "base_ssim",
+            "adpt_ssim",
+            "ssim_delta",
+            "violations",
+        ]);
+        // Cells come in (base, adpt) pairs; recover the row's identity
+        // from the label (`arena/<controller>/<scenario>/<mode>`) so a
+        // controller-filtered grid assembles without the full constant.
+        for pair in runs.chunks(2) {
+            let parts: Vec<&str> = pair[0].label.split('/').collect();
+            let (controller, scenario) = (parts[1], parts[2]);
+            // "Post-drop" is the drop/corrupt measurement window; the
+            // chaos scenario has no drop instant, so it is judged over
+            // the whole session.
+            let summarize = |run: &CellRun| {
+                if scenario == "chaos" {
+                    run.result.recorder.summarize_all()
+                } else {
+                    window_after(&run.result)
+                }
+            };
+            let (b, a) = (summarize(&pair[0]), summarize(&pair[1]));
+            let violations = pair[0].result.violations.len() + pair[1].result.violations.len();
+            t.row_owned(vec![
+                controller.to_string(),
+                scenario.to_string(),
+                format!("{:.1}", b.p95_latency_ms),
+                format!("{:.1}", a.p95_latency_ms),
+                fmt_reduction(b.p95_latency_ms, a.p95_latency_ms),
+                format!("{:.4}", b.mean_ssim),
+                format!("{:.4}", a.mean_ssim),
+                format!("{:+.4}", a.mean_ssim - b.mean_ssim),
+                violations.to_string(),
+            ]);
+        }
+        Output::Table(t)
+    }
+    Experiment {
+        id: "e22",
+        title: "congestion-controller arena: adaptation benefit per controller",
+        cells,
+        assemble_fn: assemble,
+    }
+}
+
+/// E22 — the congestion-controller arena: every controller
+/// ([`E22_CONTROLLERS`]) × every scenario ([`E22_SCENARIOS`]) ×
+/// (baseline | adaptive), reporting whether one-frame encoder
+/// adaptation improves post-drop p95 latency and SSIM under *each*
+/// controller — the generalization check behind ROADMAP item 1.
+pub fn e22() -> Experiment {
+    e22_with(&E22_CONTROLLERS)
+}
+
+/// E22 restricted to a comma-separated controller list (the CLI's
+/// `--controller` flag). Unknown names are an error; the scenario and
+/// scheme axes always stay full.
+pub fn e22_subset(controllers: &str) -> Result<Experiment, String> {
+    let wanted: Vec<&str> = controllers
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if wanted.is_empty() {
+        return Err("no controllers given".into());
+    }
+    let mut picked = Vec::new();
+    for name in wanted {
+        match E22_CONTROLLERS
+            .iter()
+            .find(|k| k.cc_name().eq_ignore_ascii_case(name))
+        {
+            Some(&k) => {
+                if !picked.contains(&k) {
+                    picked.push(k);
+                }
+            }
+            None => {
+                return Err(format!(
+                    "unknown controller '{name}' (valid: {})",
+                    E22_CONTROLLERS.map(CcKind::cc_name).join(",")
+                ))
+            }
+        }
+    }
+    // Canonical grid order, independent of request order.
+    let kinds: Vec<CcKind> = E22_CONTROLLERS
+        .iter()
+        .copied()
+        .filter(|k| picked.contains(k))
+        .collect();
+    Ok(e22_with(&kinds))
+}
+
 /// Simulation instant the `--fixture` injected faults fire at.
 pub const FIXTURE_FAULT_AT: Time = Time::from_secs(2);
 
@@ -1698,6 +1870,7 @@ pub fn all() -> Vec<Experiment> {
         e17(),
         e18(),
         e21(),
+        e22(),
     ]
 }
 
@@ -1754,7 +1927,7 @@ mod tests {
 
     #[test]
     fn expansions_cover_the_full_cross_product_without_duplicates() {
-        let expected: [(&str, usize); 18] = [
+        let expected: [(&str, usize); 19] = [
             ("e1", 2 * 3 * 2),
             ("e2", 2 * 3 * 2),
             ("e3", 2),
@@ -1773,6 +1946,7 @@ mod tests {
             ("e17", 4 * 3 * 2 * 2),
             ("e18", 3 * 4),
             ("e21", 4 * 2),
+            ("e22", 4 * 3 * 2),
         ];
         let registry = all();
         assert_eq!(registry.len(), expected.len());
@@ -1803,10 +1977,49 @@ mod tests {
         // Canonical order, independent of request order.
         assert_eq!(picked[0].id, "e1");
         assert_eq!(picked[1].id, "e4");
-        assert_eq!(select("all").unwrap().len(), 18);
+        assert_eq!(select("all").unwrap().len(), 19);
         assert!(select("e10").is_err());
         assert!(select("e99").is_err());
         assert!(select("").is_err());
+    }
+
+    #[test]
+    fn e22_grid_pairs_base_and_adpt_per_condition() {
+        let exp = e22();
+        assert_eq!(exp.cells.len(), 24);
+        for pair in exp.cells.chunks(2) {
+            assert!(pair[0].cfg.scheme.adaptive.is_none());
+            assert!(pair[1].cfg.scheme.adaptive.is_some());
+            assert_eq!(pair[0].cfg.scheme.cc, pair[1].cfg.scheme.cc);
+            assert_eq!(pair[0].trace, pair[1].trace);
+            assert!(pair[0].label.ends_with("/base"));
+            assert!(pair[1].label.ends_with("/adpt"));
+        }
+        // Chaos and corruption scenarios share one seed across every
+        // controller so the fault timeline is the constant.
+        for cell in &exp.cells {
+            if cell.cfg.chaos.is_some() || cell.cfg.corrupt.is_some() {
+                assert_eq!(cell.cfg.seed, E22_SEED, "{}", cell.label);
+            }
+            assert!(cell.contracts.is_none(), "{}", cell.label);
+        }
+    }
+
+    #[test]
+    fn e22_subset_filters_controllers_in_canonical_order() {
+        let sub = e22_subset("bbr, nada").unwrap();
+        assert_eq!(sub.cells.len(), 12);
+        // Canonical controller order (nada before bbr), not request
+        // order; scenario × scheme axes stay full.
+        assert!(sub.cells[0].label.starts_with("arena/nada/"));
+        assert!(sub.cells[6].label.starts_with("arena/bbr/"));
+        assert!(e22_subset("nada,quic").is_err());
+        assert!(e22_subset("").is_err());
+        // The full subset reproduces the registry grid.
+        let full = e22_subset("gcc,nada,bbr,loss-ema").unwrap();
+        let labels: Vec<_> = full.cells.iter().map(|c| c.label.clone()).collect();
+        let canon: Vec<_> = e22().cells.iter().map(|c| c.label.clone()).collect();
+        assert_eq!(labels, canon);
     }
 
     #[test]

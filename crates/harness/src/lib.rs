@@ -1,6 +1,6 @@
 //! # ravel-harness — the parallel deterministic experiment harness
 //!
-//! The E1–E21 evaluation grid (DESIGN.md §5, plus the chaos and
+//! The E1–E22 evaluation grid (DESIGN.md §5, plus the chaos and
 //! corruption grids) is embarrassingly parallel:
 //! every `(scheme, content, drop severity, seed)` cell is an independent,
 //! seed-deterministic session. This crate exploits that:
@@ -19,7 +19,7 @@
 //!   exactly once per run, and grid positions that repeat it (E1 and E2
 //!   share their entire grid) are served from the in-process cache.
 //!   `--no-cache` / [`PoolOptions`] restores cold execution.
-//! * [`experiments`] — E1–E21 ported to expansion + assembly form, plus
+//! * [`experiments`] — E1–E22 ported to expansion + assembly form, plus
 //!   the [`experiments::select`] registry the CLI uses and the
 //!   [`experiments::chaos_sweep`] / [`experiments::corrupt_sweep`]
 //!   generators behind `--chaos N` and `--corrupt N`. Cells may carry a

@@ -44,7 +44,7 @@ use ravel_net::{ChaosSchedule, CorruptSchedule};
 use ravel_pipeline::InjectedFault;
 
 const USAGE: &str = "\
-ravel-harness — run the E1-E21 grid on a deterministic thread pool
+ravel-harness — run the E1-E22 grid on a deterministic thread pool
 
 USAGE:
     ravel-harness [OPTIONS]
@@ -58,6 +58,9 @@ OPTIONS:
                          1 = the per-cell kernel path; output is
                          byte-identical at any batch size)
     --experiments LIST   comma-separated ids, e.g. e1,e4,e17 (default: all)
+    --controller LIST    restrict the E22 arena grid to a comma-separated
+                         controller list (gcc, nada, bbr, loss-ema);
+                         requires e22 in the selected experiments
     --chaos N            run an N-cell seeded chaos sweep instead of the
                          experiment grid; exits nonzero if any session
                          invariant is violated (violating schedules are
@@ -115,6 +118,7 @@ struct Args {
     jobs: usize,
     batch: BatchMode,
     experiments: Option<String>,
+    controller: Option<String>,
     chaos: Option<u64>,
     chaos_seed: Option<u64>,
     corrupt: Option<u64>,
@@ -139,6 +143,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
         jobs: default_jobs(),
         batch: BatchMode::Auto,
         experiments: None,
+        controller: None,
         chaos: None,
         chaos_seed: None,
         corrupt: None,
@@ -184,6 +189,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 };
             }
             "--experiments" | "-e" => args.experiments = Some(value("--experiments")?),
+            "--controller" => args.controller = Some(value("--controller")?),
             "--chaos" => {
                 let n: u64 = value("--chaos")?
                     .parse()
@@ -309,6 +315,20 @@ fn validate(args: &Args) -> Result<(), String> {
             return Err("--experiments cannot be combined with --fixture".into());
         }
     }
+    if args.controller.is_some() {
+        if args.chaos.is_some() {
+            return Err("--controller cannot be combined with --chaos".into());
+        }
+        if args.corrupt.is_some() {
+            return Err("--controller cannot be combined with --corrupt".into());
+        }
+        if args.soak.is_some() {
+            return Err("--controller cannot be combined with --soak".into());
+        }
+        if args.fixture.is_some() {
+            return Err("--controller cannot be combined with --fixture".into());
+        }
+    }
     if args.chaos_seed.is_some() && args.chaos.is_none() {
         return Err("--chaos-seed requires --chaos".into());
     }
@@ -372,6 +392,30 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    };
+
+    // --controller narrows the E22 arena grid in place; every other
+    // experiment is controller-fixed by construction.
+    let selected = if let Some(list) = &args.controller {
+        let Some(pos) = selected.iter().position(|e| e.id == "e22") else {
+            eprintln!(
+                "error: --controller only applies to the e22 arena grid; add e22 to --experiments"
+            );
+            return ExitCode::FAILURE;
+        };
+        match experiments::e22_subset(list) {
+            Ok(sub) => {
+                let mut selected = selected;
+                selected[pos] = sub;
+                selected
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        selected
     };
 
     if args.list {
@@ -716,6 +760,35 @@ mod tests {
         assert_eq!(e, "--chaos must be at least 1");
         let e = parse(&["--chaos", "5", "--chaos-seed", "x"]).unwrap_err();
         assert_eq!(e, "--chaos-seed expects an unsigned integer");
+    }
+
+    #[test]
+    fn parses_controller_option() {
+        let a = parse(&["--controller", "nada,bbr", "-e", "e22"]).unwrap();
+        assert_eq!(a.controller.as_deref(), Some("nada,bbr"));
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.controller, None);
+        let e = parse(&["--controller"]).unwrap_err();
+        assert_eq!(e, "--controller requires a value");
+        // The list itself is validated by `e22_subset` in main.
+        let a = parse(&["--controller", "quic"]).unwrap();
+        assert!(experiments::e22_subset(a.controller.as_deref().unwrap()).is_err());
+    }
+
+    #[test]
+    fn controller_conflicts_with_sweep_modes() {
+        for mode in [
+            ["--chaos", "5"],
+            ["--corrupt", "5"],
+            ["--soak", "5"],
+            ["--fixture", "panic"],
+        ] {
+            let e = parse(&["--controller", "nada", mode[0], mode[1]]).unwrap_err();
+            assert!(
+                e.starts_with("--controller cannot be combined with"),
+                "{mode:?}: {e}"
+            );
+        }
     }
 
     #[test]

@@ -171,6 +171,11 @@ pub struct CellRun {
     /// than executing the simulation (schedule-dependent; excluded from
     /// byte-compared output).
     pub cache_hit: bool,
+    /// The arena controller behind this cell (schema ≥ 8 `controller`
+    /// field), from [`CcKind::arena_name`](ravel_pipeline::CcKind):
+    /// `Some` for the E22 arena kinds, `None` for the pre-arena kinds
+    /// so e1–e21 report bytes are unchanged.
+    pub controller: Option<&'static str>,
     /// How the computation ended.
     pub status: CellStatus,
     /// The failure record when `status` is not [`CellStatus::Ok`].
@@ -482,6 +487,7 @@ fn make_run(cell: &Cell, wall: Duration, cache_hit: bool, outcome: &CellOutcome)
         sim_secs: cell.cfg.duration.as_secs_f64(),
         wall,
         cache_hit,
+        controller: cell.cfg.scheme.cc.arena_name(),
         status,
         failure,
         result,

@@ -111,8 +111,11 @@ use crate::pool::{CellRun, PoolStats};
 /// zero/empty, so clean grids keep their old byte layout) — and the
 /// per-cell `contracts` verdict array for cells that declare a recovery
 /// contract. All of it is deterministic simulation fact, inside the
-/// timing-free byte-identity contract.
-pub const SCHEMA_VERSION: f64 = 7.0;
+/// timing-free byte-identity contract. Version 8 added the per-cell
+/// `controller` field naming the E22 arena controller (`nada`, `bbr`,
+/// `loss-ema`); it is omitted for the pre-arena kinds (GCC, fixed,
+/// naive-aimd), so every e1–e21 cell keeps its version-7 byte layout.
+pub const SCHEMA_VERSION: f64 = 8.0;
 
 /// A whole harness invocation: every experiment that ran, plus pool
 /// accounting.
@@ -185,6 +188,11 @@ fn cell_json(cell: &CellRun, with_timing: bool) -> Json {
             Json::Str(cell.status.name().to_string()),
         ),
     ];
+    // Schema 8: the arena controller, present only for the E22 kinds so
+    // e1–e21 cells keep their version-7 byte layout.
+    if let Some(controller) = cell.controller {
+        fields.push(("controller".to_string(), Json::Str(controller.to_string())));
+    }
     // The failure detail and its digest are deterministic (panic
     // messages and runaway details carry only simulation values), so
     // they live inside the timing-free contract alongside `status`.
@@ -426,7 +434,7 @@ mod tests {
         };
         let timed = render_json(&report, true);
         let doc = parse(&timed).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(8.0));
         assert_eq!(doc.get("total_cells").and_then(Json::as_f64), Some(3.0));
         assert!(doc.get("unique_cells").and_then(Json::as_f64).is_some());
         assert!(doc.get("executed").and_then(Json::as_f64).is_some());
@@ -459,6 +467,8 @@ mod tests {
         );
         assert!(cells[0].get("failure").is_none());
         assert!(cells[0].get("failure_digest").is_none());
+        // Schema 8: pre-arena (GCC) cells omit the controller field.
+        assert!(cells[0].get("controller").is_none());
         // Clean cells carry an empty violations array (schema 3).
         let v = cells[0].get("violations").and_then(Json::as_array).unwrap();
         assert!(v.is_empty());
@@ -579,7 +589,7 @@ mod tests {
     }
 
     #[test]
-    fn corruption_block_and_contracts_render_in_schema_7() {
+    fn corruption_block_and_contracts_render_in_schema_8() {
         use crate::experiments::e21;
 
         let exps = [e21()];

@@ -1,9 +1,10 @@
 //! Golden-timeline snapshot tests.
 //!
-//! Five representative cells — the first grid position of E1 (sudden
+//! Seven representative cells — the first grid position of E1 (sudden
 //! drop), E3 (scheme comparison), E17 (feedback impairment + watchdog),
-//! E18 (data-plane chaos) and E21 (control-plane feedback corruption)
-//! — run with `--obs full` over a shortened
+//! E18 (data-plane chaos), E21 (control-plane feedback corruption),
+//! plus the NADA and BBR adaptive drop cells of the E22 controller
+//! arena — run with `--obs full` over a shortened
 //! 12 s session, and their timeline digests are compared byte-for-byte
 //! against checked-in snapshots in `tests/golden/`. The digests must
 //! also be byte-identical at any pool width and when served from the
@@ -28,7 +29,7 @@ use ravel_sim::Dur;
 /// keep the snapshots readable and the test fast.
 const GOLDEN_LEN: Dur = Dur::secs(12);
 
-const GOLDEN: [&str; 5] = ["e1", "e3", "e17", "e18", "e21"];
+const GOLDEN: [&str; 7] = ["e1", "e3", "e17", "e18", "e21", "e22-nada", "e22-bbr"];
 
 fn golden_cells() -> Vec<Cell> {
     let shorten = |mut cell: Cell| {
@@ -45,7 +46,21 @@ fn golden_cells() -> Vec<Cell> {
         // fraction of the session length), so corruption still lands
         // inside the snapshot.
         shorten(experiments::e21().cells[0].clone()),
+        // The arena's two RFC-shaped controllers, each on the adaptive
+        // canonical-drop cell (per-controller order within E22 is
+        // drop/base, drop/adpt, chaos/..., corrupt/...; NADA is the
+        // second controller block, BBR the third).
+        shorten(experiments::e22().cells[7].clone()),
+        shorten(experiments::e22().cells[13].clone()),
     ]
+}
+
+#[test]
+fn golden_arena_cells_are_the_intended_grid_positions() {
+    // Guard the hard-coded indices above against E22 grid reordering.
+    let e22 = experiments::e22();
+    assert_eq!(e22.cells[7].label, "arena/nada/drop/adpt");
+    assert_eq!(e22.cells[13].label, "arena/bbr/drop/adpt");
 }
 
 fn assemble(_: &Experiment, _: &[CellRun]) -> Output {

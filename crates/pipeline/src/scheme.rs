@@ -1,7 +1,10 @@
 //! Sender schemes: which congestion controller, and whether the
 //! adaptive encoder controller is in the loop.
 
-use ravel_cc::{CongestionController, FixedRate, Gcc, GccConfig, NaiveAimd};
+use ravel_cc::{
+    Bbr, BbrConfig, CongestionController, FixedRate, Gcc, GccConfig, LossEma, LossEmaConfig, Nada,
+    NadaConfig, NaiveAimd,
+};
 use ravel_core::AdaptiveConfig;
 
 /// Which congestion controller drives the long-term target.
@@ -13,6 +16,12 @@ pub enum CcKind {
     Fixed,
     /// Loss-only AIMD (TCP-flavoured strawman).
     NaiveAimd,
+    /// RFC 8698 NADA (arena controller).
+    Nada,
+    /// BBR-style delivery-rate estimator (arena controller).
+    Bbr,
+    /// beam's loss-EMA AIMD loop (arena controller).
+    LossEma,
 }
 
 impl CcKind {
@@ -22,6 +31,31 @@ impl CcKind {
             CcKind::Gcc => Box::new(Gcc::new(GccConfig::new(start_bps))),
             CcKind::Fixed => Box::new(FixedRate::new(start_bps)),
             CcKind::NaiveAimd => Box::new(NaiveAimd::new(start_bps, 150_000.0, 8e6)),
+            CcKind::Nada => Box::new(Nada::new(NadaConfig::new(start_bps))),
+            CcKind::Bbr => Box::new(Bbr::new(BbrConfig::new(start_bps))),
+            CcKind::LossEma => Box::new(LossEma::new(LossEmaConfig::new(start_bps))),
+        }
+    }
+
+    /// Short name for experiment tables and CLI selection.
+    pub fn cc_name(self) -> &'static str {
+        match self {
+            CcKind::Gcc => "gcc",
+            CcKind::Fixed => "fixed",
+            CcKind::NaiveAimd => "naive-aimd",
+            CcKind::Nada => "nada",
+            CcKind::Bbr => "bbr",
+            CcKind::LossEma => "loss-ema",
+        }
+    }
+
+    /// `Some(name)` for the E22 arena controllers (schema ≥ 8 reports
+    /// carry this as the per-cell `controller` field); `None` for the
+    /// pre-arena kinds so e1–e21 report bytes are unchanged.
+    pub fn arena_name(self) -> Option<&'static str> {
+        match self {
+            CcKind::Nada | CcKind::Bbr | CcKind::LossEma => Some(self.cc_name()),
+            CcKind::Gcc | CcKind::Fixed | CcKind::NaiveAimd => None,
         }
     }
 }
@@ -60,13 +94,22 @@ impl Scheme {
         }
     }
 
+    /// An arbitrary controller without the adaptive encoder loop.
+    pub fn cc_baseline(cc: CcKind) -> Scheme {
+        Scheme { cc, adaptive: None }
+    }
+
+    /// An arbitrary controller with the full adaptive encoder loop.
+    pub fn cc_adaptive(cc: CcKind) -> Scheme {
+        Scheme {
+            cc,
+            adaptive: Some(AdaptiveConfig::default()),
+        }
+    }
+
     /// Short name for experiment tables.
     pub fn name(&self) -> String {
-        let cc = match self.cc {
-            CcKind::Gcc => "gcc",
-            CcKind::Fixed => "fixed",
-            CcKind::NaiveAimd => "naive-aimd",
-        };
+        let cc = self.cc.cc_name();
         if self.adaptive.is_some() {
             format!("{cc}+adaptive")
         } else {
@@ -79,25 +122,46 @@ impl Scheme {
 mod tests {
     use super::*;
 
+    /// Every kind the scheme layer knows about.
+    pub const ALL_KINDS: [CcKind; 6] = [
+        CcKind::Gcc,
+        CcKind::Fixed,
+        CcKind::NaiveAimd,
+        CcKind::Nada,
+        CcKind::Bbr,
+        CcKind::LossEma,
+    ];
+
     #[test]
     fn names() {
         assert_eq!(Scheme::baseline().name(), "gcc");
         assert_eq!(Scheme::adaptive().name(), "gcc+adaptive");
-        assert_eq!(
-            Scheme {
-                cc: CcKind::Fixed,
-                adaptive: None
-            }
-            .name(),
-            "fixed"
-        );
+        assert_eq!(Scheme::cc_baseline(CcKind::Fixed).name(), "fixed");
+        assert_eq!(Scheme::cc_adaptive(CcKind::Nada).name(), "nada+adaptive");
+        assert_eq!(Scheme::cc_baseline(CcKind::Bbr).name(), "bbr");
+        assert_eq!(Scheme::cc_baseline(CcKind::LossEma).name(), "loss-ema");
     }
 
     #[test]
     fn cc_builders_start_at_requested_rate() {
-        for kind in [CcKind::Gcc, CcKind::Fixed, CcKind::NaiveAimd] {
+        for kind in ALL_KINDS {
             let cc = kind.build(2e6);
             assert_eq!(cc.target_bps(), 2e6, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn cc_names_are_unique_and_match_controllers() {
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in ALL_KINDS {
+            assert!(seen.insert(kind.cc_name()), "duplicate name for {kind:?}");
+            assert_eq!(kind.build(1e6).name(), kind.cc_name(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn arena_names_cover_exactly_the_new_controllers() {
+        let arena: Vec<_> = ALL_KINDS.iter().filter_map(|k| k.arena_name()).collect();
+        assert_eq!(arena, ["nada", "bbr", "loss-ema"]);
     }
 }
